@@ -1,0 +1,115 @@
+// Command snaptask-agent is the mobile-client simulator: a guided
+// participant that connects to a snaptask-server backend, optionally
+// uploads the bootstrap capture, then fetches tasks, navigates to them,
+// performs 360° sweeps or annotation photo sets and uploads the results —
+// the role the paper's Android app and its human carrier play.
+//
+// The agent must be started with the same -venue and -seed as the server
+// so that its camera observes the same simulated world.
+//
+// Usage:
+//
+//	snaptask-agent -server http://127.0.0.1:8080 -venue library -seed 42 -bootstrap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/client"
+	"snaptask/internal/core"
+	"snaptask/internal/crowd"
+	"snaptask/internal/venue"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "snaptask-agent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("snaptask-agent", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8080", "backend base URL")
+	venueName := fs.String("venue", "library", "venue: library, small or office")
+	seed := fs.Int64("seed", 42, "world seed (must match the server)")
+	agentSeed := fs.Int64("agent-seed", 7, "agent behaviour seed")
+	bootstrap := fs.Bool("bootstrap", false, "upload the initial entrance capture first")
+	maxTasks := fs.Int("tasks", 300, "maximum tasks to execute")
+	blurProb := fs.Float64("blur", 0, "probability of a careless blurred sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	v, err := buildVenue(*venueName, *seed)
+	if err != nil {
+		return err
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(*seed)))
+	world := camera.NewWorld(v, feats)
+	gt, err := v.GroundTruth(0.15)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*agentSeed))
+	cl := client.New(*serverURL, nil)
+	agent := &client.Agent{
+		Client: cl,
+		Worker: &crowd.GuidedWorker{
+			World:      world,
+			Venue:      v,
+			Intrinsics: camera.DefaultIntrinsics(),
+			Pos:        v.Entrance(),
+			BlurProb:   *blurProb,
+		},
+		Venue:   v,
+		WalkMap: v.WalkMap(gt),
+	}
+
+	if *bootstrap {
+		photos, err := core.BootstrapCapture(world, v, camera.DefaultIntrinsics(), rng)
+		if err != nil {
+			return fmt.Errorf("bootstrap capture: %w", err)
+		}
+		resp, err := cl.UploadBootstrap(photos)
+		if err != nil {
+			return fmt.Errorf("bootstrap upload: %w", err)
+		}
+		log.Printf("bootstrap: %d photos registered, %d points", resp.Registered, resp.NewPoints)
+	}
+
+	stats, err := agent.Run(*maxTasks, rng)
+	if err != nil {
+		return err
+	}
+	log.Printf("agent done: %d photo tasks, %d annotation tasks, %d photos uploaded, covered=%v",
+		stats.PhotoTasks, stats.AnnotationTasks, stats.PhotosUploaded, stats.Covered)
+
+	status, err := cl.Status()
+	if err != nil {
+		return err
+	}
+	log.Printf("backend: views=%d points=%d photos=%d tasks=%d+%d covered=%v",
+		status.Views, status.Points, status.PhotosProcessed,
+		status.PhotoTasks, status.AnnotationTasks, status.Covered)
+	return nil
+}
+
+func buildVenue(name string, seed int64) (*venue.Venue, error) {
+	switch name {
+	case "library":
+		return venue.Library()
+	case "small":
+		return venue.SmallRoom()
+	case "office":
+		return venue.GenerateOffice(rand.New(rand.NewSource(seed)), 18, 12, 8)
+	default:
+		return nil, fmt.Errorf("unknown venue %q (library, small, office)", name)
+	}
+}

@@ -1,0 +1,627 @@
+// Command snaptask-bench regenerates the paper's evaluation: every figure
+// and table of Section V, plus ablations of the design parameters called
+// out in DESIGN.md. Output is printed as aligned text tables; the series
+// correspond one-to-one to the paper's plots.
+//
+// Usage:
+//
+//	snaptask-bench -exp all            # everything (several minutes)
+//	snaptask-bench -exp fig11b         # one experiment
+//	snaptask-bench -exp all -quick     # small venue, fast smoke run
+//
+// Experiments: fig8, fig9, fig10, fig11a, fig11b, fig12, table1,
+// ablate-obstacle, ablate-tolerance, ablate-minarea, ablate-cell,
+// ablate-window, ablate-sor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"math/rand"
+
+	"snaptask/internal/core"
+	"snaptask/internal/experiments"
+	"snaptask/internal/floorplan"
+	"snaptask/internal/grid"
+	"snaptask/internal/incentive"
+	"snaptask/internal/mapping"
+	"snaptask/internal/metrics"
+	"snaptask/internal/pointcloud"
+	"snaptask/internal/taskgen"
+	"snaptask/internal/venue"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "snaptask-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type bench struct {
+	setup *experiments.Setup
+	seed  int64
+	quick bool
+
+	// lazily computed shared artefacts
+	guided *experiments.GuidedResult
+	opp    *experiments.IncrementalResult
+	oppN   int
+	ung    *experiments.IncrementalResult
+	ungN   int
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("snaptask-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id or 'all'")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	quick := fs.Bool("quick", false, "small venue, fast smoke run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	b := &bench{seed: *seed, quick: *quick}
+	var v *venue.Venue
+	var err error
+	if *quick {
+		v, err = venue.SmallRoom()
+	} else {
+		v, err = venue.Library()
+	}
+	if err != nil {
+		return err
+	}
+	b.setup, err = experiments.NewSetup(v, *seed, core.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SnapTask evaluation — venue %q (%.0f m², bounds %.2f m), seed %d\n\n",
+		v.Name(), v.Area(), v.OuterBoundsLength(), *seed)
+
+	runners := map[string]func() error{
+		"floorplan":        b.floorplanExp,
+		"ext-budget":       b.extBudget,
+		"fig8":             b.fig8,
+		"fig9":             b.fig9,
+		"fig10":            b.fig10,
+		"fig11a":           b.fig11a,
+		"fig11b":           b.fig11b,
+		"fig12":            b.fig12,
+		"table1":           b.table1,
+		"ablate-obstacle":  b.ablateObstacle,
+		"ablate-tolerance": b.ablateTolerance,
+		"ablate-minarea":   b.ablateMinArea,
+		"ablate-cell":      b.ablateCell,
+		"ablate-window":    b.ablateWindow,
+		"ablate-sor":       b.ablateSOR,
+	}
+	order := []string{
+		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
+		"ablate-obstacle", "ablate-tolerance", "ablate-minarea",
+		"ablate-cell", "ablate-window", "ablate-sor",
+		"floorplan", "ext-budget",
+	}
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := runners[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return fn()
+}
+
+func (b *bench) maxTasks() int {
+	if b.quick {
+		return 60
+	}
+	return 240
+}
+
+func (b *bench) guidedResult() (*experiments.GuidedResult, error) {
+	if b.guided != nil {
+		return b.guided, nil
+	}
+	fmt.Println("(running the guided field test — this is the long step)")
+	res, err := b.setup.RunGuided(b.seed+1, experiments.GuidedOptions{
+		MaxTasks:      b.maxTasks(),
+		SnapshotEvery: 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.guided = res
+	return res, nil
+}
+
+func (b *bench) oppResult() (*experiments.IncrementalResult, error) {
+	if b.opp != nil {
+		return b.opp, nil
+	}
+	photos, _, err := b.setup.BuildOpportunistic(b.seed+2, 15, 700)
+	if err != nil {
+		return nil, err
+	}
+	b.oppN = len(photos)
+	b.opp, err = b.setup.EvaluateIncremental(photos, 100, b.seed+3)
+	return b.opp, err
+}
+
+func (b *bench) ungResult() (*experiments.IncrementalResult, error) {
+	if b.ung != nil {
+		return b.ung, nil
+	}
+	photos, err := b.setup.BuildUnguided(b.seed+4, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.ungN = len(photos)
+	b.ung, err = b.setup.EvaluateIncremental(photos, 100, b.seed+5)
+	return b.ung, err
+}
+
+// fig8: opportunistic participant paths.
+func (b *bench) fig8() error {
+	_, paths, err := b.setup.BuildOpportunistic(b.seed+2, 15, 700)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 8 — %d opportunistic trips (start -> end, length):\n", len(paths))
+	for i, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		fmt.Printf("  trip %2d: %v -> %v  (%.1f m, %d waypoints)\n",
+			i+1, p[0], p[len(p)-1], p.Length(), len(p))
+	}
+	return nil
+}
+
+// fig9: generated task positions and execution offsets.
+func (b *bench) fig9() error {
+	res, err := b.guidedResult()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9 — generated tasks (sequence, kind, issued position):")
+	photoN, annN := 0, 0
+	for _, m := range res.Marks {
+		if m.Kind == taskgen.KindAnnotation {
+			annN++
+			fmt.Printf("  task %3d  ANNOTATION at %v\n", m.Seq, m.Issued)
+		} else {
+			photoN++
+		}
+	}
+	fmt.Printf("  (%d photo tasks not listed individually)\n", photoN)
+	var offSum float64
+	for _, it := range res.Loop.Iterations {
+		offSum += it.ArrivedOffset
+	}
+	if n := len(res.Loop.Iterations); n > 0 {
+		fmt.Printf("  mean issued-vs-executed offset: %.2f m (navigation error <= %.1f m)\n",
+			offSum/float64(n), 1.0)
+	}
+	fmt.Printf("  totals: %d photo tasks, %d annotation tasks\n", photoN, annN)
+	return nil
+}
+
+// fig10: coverage growth per task.
+func (b *bench) fig10() error {
+	res, err := b.guidedResult()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 10 — map growth after each completed task:")
+	fmt.Println("  task  kind        photos  bounds%  coverage%")
+	for i, p := range res.Curve {
+		kind := "photo"
+		if res.Marks[i].Kind == taskgen.KindAnnotation {
+			kind = "annotation"
+		}
+		fmt.Printf("  %4d  %-10s  %6d  %6.2f  %8.2f\n", i+1, kind, p.Photos, p.BoundsPct, p.CoveragePct)
+	}
+	last := res.Curve[len(res.Curve)-1]
+	fmt.Printf("  final: %.2f%% coverage, %.2f%% outer bounds (paper: 98.12%% / 100%%), covered=%v\n",
+		last.CoveragePct, last.BoundsPct, res.Covered)
+	return nil
+}
+
+// curveTable prints a Figure 11 style comparison at shared photo budgets.
+func (b *bench) curveTable(metric func(experiments.CurvePoint) float64, title, paperNote string) error {
+	guided, err := b.guidedResult()
+	if err != nil {
+		return err
+	}
+	opp, err := b.oppResult()
+	if err != nil {
+		return err
+	}
+	ung, err := b.ungResult()
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	fmt.Printf("  (datasets: opportunistic %d frames, unguided %d photos, guided %d photos)\n",
+		b.oppN, b.ungN, guided.Loop.TotalPhotos)
+	fmt.Println("  photos   SnapTask  Unguided  Opportunistic")
+	budgets := []int{100, 200, 300, 400, 500, 600, 700, 800, 900}
+	for _, n := range budgets {
+		g := sampleCurve(guided.Curve, n, metric)
+		u := sampleCurve(ung.Curve, n, metric)
+		o := sampleCurve(opp.Curve, n, metric)
+		fmt.Printf("  %6d   %8s  %8s  %13s\n", n, fmtPct(g), fmtPct(u), fmtPct(o))
+	}
+	gFinal := metric(guided.Curve[len(guided.Curve)-1])
+	uFinal := metric(ung.Curve[len(ung.Curve)-1])
+	oFinal := metric(opp.Curve[len(opp.Curve)-1])
+	fmt.Printf("  final    %8s  %8s  %13s\n", fmtPct(gFinal), fmtPct(uFinal), fmtPct(oFinal))
+	fmt.Printf("  SnapTask advantage at the final point: +%.2f%% vs unguided, +%.2f%% vs opportunistic\n",
+		gFinal-uFinal, gFinal-oFinal)
+	fmt.Println(" ", paperNote)
+	return nil
+}
+
+// sampleCurve returns the metric at the last point with Photos <= n, or -1
+// when the series has not reached n photos yet.
+func sampleCurve(curve []experiments.CurvePoint, n int, metric func(experiments.CurvePoint) float64) float64 {
+	best := -1.0
+	for _, p := range curve {
+		if p.Photos <= n {
+			best = metric(p)
+		}
+	}
+	return best
+}
+
+func fmtPct(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", v)
+}
+
+func (b *bench) fig11a() error {
+	return b.curveTable(
+		func(p experiments.CurvePoint) float64 { return p.BoundsPct },
+		"Figure 11a — reconstructed outer bounds vs number of input photos:",
+		"paper: SnapTask 100%, unguided 80.69%, opportunistic 72.04%")
+}
+
+func (b *bench) fig11b() error {
+	return b.curveTable(
+		func(p experiments.CurvePoint) float64 { return p.CoveragePct },
+		"Figure 11b — model coverage vs number of input photos:",
+		"paper: SnapTask 98.12%, unguided 77.4%, opportunistic 63.67% (+20.72 / +34.45)")
+}
+
+// fig12: final map renders for the three approaches plus ground truth.
+func (b *bench) fig12() error {
+	guided, err := b.guidedResult()
+	if err != nil {
+		return err
+	}
+	opp, err := b.oppResult()
+	if err != nil {
+		return err
+	}
+	ung, err := b.ungResult()
+	if err != nil {
+		return err
+	}
+	show := func(name string, maps *mapping.Maps) error {
+		r, err := metrics.RenderASCII(maps.Obstacles, maps.Visibility, b.setup.TruthCov)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s ---\n%s\n", name, shrink(r, 2))
+		return nil
+	}
+	fmt.Println("Figure 12 — final maps (#=obstacle, .=visible, _=unknown inside truth):")
+	if err := show("(a) opportunistic", opp.FinalMaps); err != nil {
+		return err
+	}
+	if err := show("(b) unguided participatory", ung.FinalMaps); err != nil {
+		return err
+	}
+	if err := show("(c) guided (SnapTask)", guided.FinalMaps); err != nil {
+		return err
+	}
+	gt, err := b.setup.GT.Coverage()
+	if err != nil {
+		return err
+	}
+	r, err := metrics.RenderASCII(b.setup.GT.Obstacles, b.setup.GT.Freespace, gt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- (d) ground truth ---\n%s\n", shrink(r, 2))
+	return nil
+}
+
+// shrink downsamples an ASCII render by the given factor to keep terminal
+// output readable.
+func shrink(render string, factor int) string {
+	lines := strings.Split(strings.TrimRight(render, "\n"), "\n")
+	var out strings.Builder
+	for j := 0; j < len(lines); j += factor {
+		line := lines[j]
+		for i := 0; i < len(line); i += factor {
+			// Prefer obstacles, then visibility, within the block.
+			ch := byte(' ')
+			for dj := 0; dj < factor && j+dj < len(lines); dj++ {
+				for di := 0; di < factor && i+di < len(lines[j+dj]); di++ {
+					c := lines[j+dj][i+di]
+					if c == '#' {
+						ch = '#'
+					} else if c == '.' && ch != '#' {
+						ch = '.'
+					} else if c == '_' && ch == ' ' {
+						ch = '_'
+					}
+				}
+			}
+			out.WriteByte(ch)
+		}
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// table1: featureless surfaces reconstruction analysis.
+func (b *bench) table1() error {
+	res, err := b.guidedResult()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table I — featureless surfaces reconstruction:")
+	fmt.Println("  task  identified  reconstructed  precision  recall  f-score")
+	for _, row := range res.TableI {
+		fmt.Printf("  %4d  %10d  %13d  %9.2f  %6.2f  %7.2f\n",
+			row.Task, row.Identified, row.Reconstructed,
+			row.PRF.Precision, row.PRF.Recall, row.PRF.F)
+	}
+	agg := experiments.AggregatePRF(res.TableI)
+	fmt.Printf("  average over reconstructing tasks: precision %.2f%%, recall %.2f%%, F %.2f%%\n",
+		agg.Precision*100, agg.Recall*100, agg.F*100)
+	fmt.Println("  paper: 98.14% precision, 90.23% F-score on average")
+	return nil
+}
+
+// floorplanExp vectorises the guided run's final obstacle map into wall
+// segments — the "indoor map" artefact the paper compiles for its
+// navigation clients.
+func (b *bench) floorplanExp() error {
+	res, err := b.guidedResult()
+	if err != nil {
+		return err
+	}
+	plan, err := floorplan.Extract(res.FinalMaps.Obstacles, floorplan.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Floor plan vectorisation — %d walls, %.1f m total (venue outer bounds: %.1f m + furniture):\n",
+		len(plan.Walls), plan.TotalWallLength(), b.setup.Venue.OuterBoundsLength())
+	n := len(plan.Walls)
+	if n > 12 {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		w := plan.Walls[i]
+		fmt.Printf("  wall %2d: %v  (%.2f m, %d cells)\n", i+1, w.Seg, w.Length(), w.Cells)
+	}
+	if len(plan.Walls) > n {
+		fmt.Printf("  ... and %d more\n", len(plan.Walls)-n)
+	}
+	return nil
+}
+
+// extBudget sweeps the incentive budget of the campaign extension (the
+// paper's stated future work) on the small venue: coverage achieved vs
+// budget spent.
+func (b *bench) extBudget() error {
+	v, err := venue.SmallRoom()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension — incentive budget vs achieved coverage (small venue):")
+	fmt.Println("  budget  spent  tasks  dropped  covered  coverage%")
+	for _, budget := range []float64{8, 14, 20, 60} {
+		s, err := experiments.NewSetup(v, b.seed, core.Config{Margin: 3})
+		if err != nil {
+			return err
+		}
+		world := s.World
+		sys, err := core.NewSystem(s.Venue, world, s.Config)
+		if err != nil {
+			return err
+		}
+		campaign, err := incentive.NewCampaign(budget)
+		if err != nil {
+			return err
+		}
+		pool := incentive.UniformPool(6, s.Venue.Bounds(), 3, 0.2, 0.8, b.seed+9)
+		res, err := incentive.RunCampaign(sys, pool, campaign, s.WalkMap, 60,
+			rand.New(rand.NewSource(b.seed+10)))
+		if err != nil {
+			return err
+		}
+		cov, err := metrics.CoveragePercent(sys.Maps().AspectCoverage(), s.TruthCov)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %6.0f  %5.1f  %5d  %7d  %7v  %8.1f\n",
+			budget, res.Spent, res.PhotoTasks+res.AnnotationTasks, res.TasksDropped, res.Covered, cov)
+	}
+	fmt.Println("  (more budget -> more affordable assignments -> higher coverage)")
+	return nil
+}
+
+// ablateObstacle sweeps OBSTACLE_THRESHOLD on the unguided dataset.
+func (b *bench) ablateObstacle() error {
+	photos, err := b.setup.BuildUnguided(b.seed+4, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — OBSTACLE_THRESHOLD (paper: 4), unguided dataset:")
+	fmt.Println("  threshold  bounds%  coverage%")
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		cfg := core.Config{Mapping: mapping.Config{ObstacleThreshold: th}}
+		s, err := experiments.NewSetup(b.setup.Venue, b.seed, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := s.EvaluateIncremental(photos, len(photos), b.seed+5)
+		if err != nil {
+			return err
+		}
+		last := res.Curve[len(res.Curve)-1]
+		fmt.Printf("  %9d  %6.2f  %8.2f\n", th, last.BoundsPct, last.CoveragePct)
+	}
+	return nil
+}
+
+// ablateTolerance sweeps COVERED_VIEW_TOLERANCE in the guided loop on a
+// small venue (the loop is the expensive part).
+func (b *bench) ablateTolerance() error {
+	v, err := venue.SmallRoom()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — COVERED_VIEW_TOLERANCE (paper: 3), small venue guided loop:")
+	fmt.Println("  tolerance  tasks  photos  coverage%")
+	for _, tol := range []int{1, 3, 6} {
+		cfg := core.Config{Margin: 3, TaskGen: taskgen.Config{CoveredViewTolerance: tol}}
+		s, err := experiments.NewSetup(v, b.seed, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := s.RunGuided(b.seed+6, experiments.GuidedOptions{MaxTasks: 60})
+		if err != nil {
+			return err
+		}
+		last := res.Curve[len(res.Curve)-1]
+		fmt.Printf("  %9d  %5d  %6d  %8.2f\n",
+			tol, len(res.Loop.Iterations), res.Loop.TotalPhotos, last.CoveragePct)
+	}
+	return nil
+}
+
+// ablateMinArea sweeps MIN_AREA_SIZE in the guided loop on a small venue —
+// the coverage vs task-count trade-off the paper discusses.
+func (b *bench) ablateMinArea() error {
+	v, err := venue.SmallRoom()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — MIN_AREA_SIZE (paper: 2.25 m²), small venue guided loop:")
+	fmt.Println("  min-area  tasks  photos  coverage%")
+	for _, area := range []float64{1.0, 2.25, 5.0, 9.0} {
+		cfg := core.Config{Margin: 3, TaskGen: taskgen.Config{MinAreaSize: area}}
+		s, err := experiments.NewSetup(v, b.seed, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := s.RunGuided(b.seed+7, experiments.GuidedOptions{MaxTasks: 60})
+		if err != nil {
+			return err
+		}
+		last := res.Curve[len(res.Curve)-1]
+		fmt.Printf("  %7.2f  %6d  %6d  %8.2f\n",
+			area, len(res.Loop.Iterations), res.Loop.TotalPhotos, last.CoveragePct)
+	}
+	return nil
+}
+
+// ablateCell sweeps the grid resolution (paper: 15 cm, 10–50 cm range).
+func (b *bench) ablateCell() error {
+	photos, err := b.setup.BuildUnguided(b.seed+4, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — grid cell size (paper: 0.15 m), unguided dataset:")
+	fmt.Println("  cell(m)  bounds%  coverage%")
+	for _, res := range []float64{0.10, 0.15, 0.30, 0.50} {
+		cfg := core.Config{Res: res}
+		s, err := experiments.NewSetup(b.setup.Venue, b.seed, cfg)
+		if err != nil {
+			return err
+		}
+		r, err := s.EvaluateIncremental(photos, len(photos), b.seed+5)
+		if err != nil {
+			return err
+		}
+		last := r.Curve[len(r.Curve)-1]
+		fmt.Printf("  %7.2f  %6.2f  %8.2f\n", res, last.BoundsPct, last.CoveragePct)
+	}
+	return nil
+}
+
+// ablateWindow sweeps the sliding-window size of sharpest-frame extraction.
+func (b *bench) ablateWindow() error {
+	fmt.Println("Ablation — frame extraction window (paper: 30), opportunistic videos:")
+	fmt.Println("  window  frames  bounds%  coverage%")
+	for _, win := range []int{1, 10, 30, 60} {
+		photos, _, err := b.setup.BuildOpportunistic(b.seed+2, win, 0)
+		if err != nil {
+			return err
+		}
+		// Cap so every window size feeds the pipeline equally many frames.
+		if len(photos) > 700 {
+			photos = photos[:700]
+		}
+		res, err := b.setup.EvaluateIncremental(photos, len(photos), b.seed+3)
+		if err != nil {
+			return err
+		}
+		last := res.Curve[len(res.Curve)-1]
+		fmt.Printf("  %6d  %6d  %6.2f  %8.2f\n", win, len(photos), last.BoundsPct, last.CoveragePct)
+	}
+	return nil
+}
+
+// ablateSOR compares the statistical outlier filter on and off.
+func (b *bench) ablateSOR() error {
+	photos, err := b.setup.BuildUnguided(b.seed+4, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — statistical outlier removal, unguided dataset:")
+	fmt.Println("  sor        bounds%  coverage%  spurious-obstacle-cells")
+	for _, mode := range []string{"on", "off"} {
+		cfg := core.Config{}
+		if mode == "off" {
+			// A huge multiplier keeps every point.
+			cfg.SOR = pointcloud.SOROptions{StdDevMul: 1e9}
+		}
+		s, err := experiments.NewSetup(b.setup.Venue, b.seed, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := s.EvaluateIncremental(photos, len(photos), b.seed+5)
+		if err != nil {
+			return err
+		}
+		last := res.Curve[len(res.Curve)-1]
+		// Spurious cells: obstacle cells outside the ground-truth
+		// obstacle map (SfM outliers surviving into the map).
+		spurious := 0
+		res.FinalMaps.Obstacles.Each(func(c grid.Cell, val int) {
+			if val > 0 && s.GT.Obstacles.At(c) == 0 {
+				spurious++
+			}
+		})
+		fmt.Printf("  %-9s  %6.2f  %8.2f  %23d\n", mode, last.BoundsPct, last.CoveragePct, spurious)
+	}
+	return nil
+}

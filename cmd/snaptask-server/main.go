@@ -1,0 +1,101 @@
+// Command snaptask-server runs the SnapTask backend over HTTP: task
+// generation, photo-batch ingestion into the incremental SfM model, the
+// featureless-surface annotation pipeline and map serving.
+//
+// The simulated world (venue + visual features) is derived
+// deterministically from -venue and -seed; agents must be started with the
+// same pair so that their cameras observe the same world.
+//
+// Usage:
+//
+//	snaptask-server -addr :8080 -venue library -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/server"
+	"snaptask/internal/venue"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "snaptask-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("snaptask-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	venueName := fs.String("venue", "library", "venue: library, small or office")
+	seed := fs.Int64("seed", 42, "world seed (agents must use the same)")
+	margin := fs.Float64("margin", 12, "map margin beyond the venue bounds (m)")
+	statePath := fs.String("load", "", "resume from a snapshot file (see GET /v1/snapshot)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	v, err := buildVenue(*venueName, *seed)
+	if err != nil {
+		return err
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(*seed)))
+	world := camera.NewWorld(v, feats)
+	var sys *core.System
+	if *statePath != "" {
+		f, err := os.Open(*statePath)
+		if err != nil {
+			return fmt.Errorf("open snapshot: %w", err)
+		}
+		sys, err = core.LoadSystem(f, v, world)
+		closeErr := f.Close()
+		if err != nil {
+			return fmt.Errorf("load snapshot: %w", err)
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		log.Printf("resumed session: %d photos processed, covered=%v",
+			sys.PhotosProcessed(), sys.Covered())
+	} else {
+		sys, err = core.NewSystem(v, world, core.Config{Margin: *margin})
+		if err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)))
+	if err != nil {
+		return err
+	}
+
+	log.Printf("snaptask-server: venue %q (%.0f m², %d features), listening on %s",
+		v.Name(), v.Area(), len(feats), *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return httpServer.ListenAndServe()
+}
+
+func buildVenue(name string, seed int64) (*venue.Venue, error) {
+	switch name {
+	case "library":
+		return venue.Library()
+	case "small":
+		return venue.SmallRoom()
+	case "office":
+		return venue.GenerateOffice(rand.New(rand.NewSource(seed)), 18, 12, 8)
+	default:
+		return nil, fmt.Errorf("unknown venue %q (library, small, office)", name)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestBuildVenue(t *testing.T) {
+	tests := []struct {
+		name    string
+		wantErr bool
+	}{
+		{"library", false},
+		{"small", false},
+		{"office", false},
+		{"bogus", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v, err := buildVenue(tt.name, 1)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && v.Area() <= 0 {
+				t.Error("empty venue")
+			}
+		})
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-venue", "bogus"}); err == nil {
+		t.Error("bogus venue accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Library field test: the paper's full evaluation scenario — the ~335 m²
+// university library with glass walls, bookshelves and a meeting room,
+// mapped end-to-end by a guided participant.
+//
+// This is the long-running example (several minutes): the backend issues
+// photo-sweep tasks until coverage stalls at the glass walls, escalates to
+// crowdsourced annotation tasks there, reconstructs the featureless
+// surfaces via texture imprinting and finishes with a complete floor plan.
+//
+// Run with:
+//
+//	go run ./examples/library [-tasks 240] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"snaptask/internal/core"
+	"snaptask/internal/experiments"
+	"snaptask/internal/floorplan"
+	"snaptask/internal/taskgen"
+)
+
+func main() {
+	maxTasks := flag.Int("tasks", 240, "maximum tasks before stopping")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	flag.Parse()
+	if err := run(*maxTasks, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(maxTasks int, seed int64) error {
+	setup, err := experiments.NewLibrarySetup(seed, core.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("venue %q: %.0f m², %.2f m outer bounds, %d featureless surfaces\n\n",
+		setup.Venue.Name(), setup.Venue.Area(), setup.Venue.OuterBoundsLength(),
+		len(setup.Venue.FeaturelessSurfaces()))
+
+	res, err := setup.RunGuided(seed+1, experiments.GuidedOptions{MaxTasks: maxTasks})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("per-task progress (photo tasks compressed):")
+	for i, p := range res.Curve {
+		mark := res.Marks[i]
+		if mark.Kind == taskgen.KindAnnotation || i == len(res.Curve)-1 || i%10 == 9 {
+			fmt.Printf("  task %3d %-10s photos=%5d bounds=%5.1f%% coverage=%5.1f%%\n",
+				i+1, mark.Kind, p.Photos, p.BoundsPct, p.CoveragePct)
+		}
+	}
+
+	last := res.Curve[len(res.Curve)-1]
+	fmt.Printf("\nfinal: coverage %.2f%% (paper: 98.12%%), outer bounds %.2f%% (paper: 100%%)\n",
+		last.CoveragePct, last.BoundsPct)
+	fmt.Printf("tasks: %d photo + %d annotation (paper: 11 + 6), %d photos, covered=%v\n",
+		res.Loop.PhotoTasks, res.Loop.AnnotationTasks, res.Loop.TotalPhotos, res.Covered)
+
+	fmt.Println("\nfeatureless surface reconstruction (Table I):")
+	for _, row := range res.TableI {
+		fmt.Printf("  task %2d: identified=%d reconstructed=%d precision=%.2f recall=%.2f F=%.2f\n",
+			row.Task, row.Identified, row.Reconstructed,
+			row.PRF.Precision, row.PRF.Recall, row.PRF.F)
+	}
+	agg := experiments.AggregatePRF(res.TableI)
+	fmt.Printf("  average: precision %.2f%%, F-score %.2f%% (paper: 98.14%% / 90.23%%)\n",
+		agg.Precision*100, agg.F*100)
+
+	if len(res.Snapshots) > 0 {
+		fmt.Println("\nfinal map (#=obstacle, .=visible):")
+		fmt.Println(res.Snapshots[len(res.Snapshots)-1])
+	}
+
+	// Vectorise the final obstacle map into the deliverable floor plan.
+	plan, err := floorplan.Extract(res.FinalMaps.Obstacles, floorplan.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vectorised floor plan: %d walls, %.1f m total wall length\n",
+		len(plan.Walls), plan.TotalWallLength())
+	return nil
+}

@@ -1,0 +1,93 @@
+// Quickstart: the complete SnapTask loop on a small venue in ~10 seconds.
+//
+// It builds a 10×10 m room, bootstraps the model at the entrance, lets a
+// simulated guided participant execute generated tasks until the backend
+// declares the venue covered, and prints the resulting map.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/crowd"
+	"snaptask/internal/metrics"
+	"snaptask/internal/venue"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The world: a venue plus the visual features cameras can see.
+	v, err := venue.SmallRoom()
+	if err != nil {
+		return err
+	}
+	features := v.GenerateFeatures(rand.New(rand.NewSource(1)))
+	world := camera.NewWorld(v, features)
+
+	// 2. The backend: incremental SfM + mapping + task generation.
+	sys, err := core.NewSystem(v, world, core.Config{Margin: 3})
+	if err != nil {
+		return err
+	}
+
+	// 3. A guided participant with a phone.
+	worker := &crowd.GuidedWorker{
+		World:      world,
+		Venue:      v,
+		Intrinsics: camera.DefaultIntrinsics(),
+		Pos:        v.Entrance(),
+	}
+
+	// 4. Ground truth for scoring (and the participant's walk map).
+	gt, err := v.GroundTruthAt(sys.Layout())
+	if err != nil {
+		return err
+	}
+	truthCov, err := gt.Coverage()
+	if err != nil {
+		return err
+	}
+
+	// 5. The closed crowdsourcing loop.
+	rng := rand.New(rand.NewSource(2))
+	res, err := core.RunGuidedLoop(sys, worker, v.WalkMap(gt), core.LoopOptions{
+		MaxTasks: 50,
+		OnIteration: func(it core.Iteration) {
+			fmt.Printf("task %2d (%s): %d photos so far, %d coverage cells\n",
+				it.Task.ID, it.Task.Kind, it.PhotosUsed, it.CoverageCells)
+		},
+	}, rng)
+	if err != nil {
+		return err
+	}
+
+	coverage, err := metrics.CoveragePercent(sys.Maps().Coverage, truthCov)
+	if err != nil {
+		return err
+	}
+	bounds, err := metrics.OuterBoundsPercent(sys.Maps().Obstacles, v.OuterSurfaces(), metrics.BoundsMatchThreshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncovered=%v after %d tasks and %d photos\n", res.Covered, len(res.Iterations), res.TotalPhotos)
+	fmt.Printf("map coverage %.1f%%, outer bounds %.1f%%\n\n", coverage, bounds)
+
+	render, err := metrics.RenderASCII(sys.Maps().Obstacles, sys.Maps().Visibility, truthCov)
+	if err != nil {
+		return err
+	}
+	fmt.Println(render)
+	return nil
+}

@@ -1,0 +1,3 @@
+module snaptask
+
+go 1.24

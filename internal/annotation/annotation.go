@@ -1,0 +1,362 @@
+// Package annotation implements SnapTask's featureless-surface pipeline:
+// collecting photos of a glass or plaster surface (the first half of an
+// annotation task), simulating the online workers who mark the surface's
+// four corners on each photo, cleaning the noisy multi-worker annotations
+// into per-object corner quads (Algorithm 5: DBSCAN over annotation
+// centres, k-means over corner points), and reconstructing the surface by
+// imprinting distinctive textures and re-running SfM (Algorithm 6).
+package annotation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/venue"
+)
+
+// PhotosPerTask is T, the number of photos a participant takes of the
+// featureless surface (4 in the paper's evaluation).
+const PhotosPerTask = 4
+
+// Task is one featureless-surface annotation task: the photos taken on
+// site plus bookkeeping about what they actually show (ground truth used
+// only by the evaluation, never by the algorithms).
+type Task struct {
+	// Location is where the task was issued.
+	Location geom.Vec2
+	// Photos are the T capture frames facing the surface.
+	Photos []camera.Photo
+	// TruthSurfaceID is the featureless surface the participant aimed at
+	// (ground truth for the evaluation; Algorithms 5–6 never read it).
+	TruthSurfaceID int
+}
+
+// Annotation is one worker's marks on one photo: four corner points in
+// image coordinates (u, v) ∈ [0,1]².
+type Annotation struct {
+	WorkerID int
+	PhotoIdx int
+	Corners  [4]geom.Vec2
+}
+
+// Center returns the centroid of the four marked corners — the quantity
+// Algorithm 5 clusters to identify distinct marked objects.
+func (a Annotation) Center() geom.Vec2 {
+	var c geom.Vec2
+	for _, p := range a.Corners {
+		c = c.Add(p)
+	}
+	return c.Scale(0.25)
+}
+
+// NearestFeaturelessSurface returns the featureless surface closest to p,
+// or false when the venue has none.
+func NearestFeaturelessSurface(v *venue.Venue, p geom.Vec2) (venue.Surface, bool) {
+	best := venue.Surface{}
+	bestD := math.Inf(1)
+	found := false
+	for _, s := range v.FeaturelessSurfaces() {
+		if d := s.Seg.DistToPoint(p); d < bestD {
+			best, bestD, found = s, d, true
+		}
+	}
+	return best, found
+}
+
+// CollectPhotos performs the on-site half of an annotation task: the
+// participant at loc turns toward the nearest featureless surface and takes
+// PhotosPerTask photos from slightly different positions (side-steps give
+// the later corner triangulation its baseline).
+func CollectPhotos(w *camera.World, v *venue.Venue, loc geom.Vec2, in camera.Intrinsics, rng *rand.Rand) (Task, error) {
+	surf, ok := NearestFeaturelessSurface(v, loc)
+	if !ok {
+		// Nothing to annotate: take a small fan of photos at the task
+		// location anyway so the backend can observe the failure and
+		// give up on the spot.
+		task := Task{Location: loc}
+		for i := 0; i < PhotosPerTask; i++ {
+			yaw := float64(i) * 0.5
+			photo, err := w.Capture(camera.Pose{Pos: loc, Yaw: yaw}, in, camera.CaptureOptions{}, rng)
+			if err != nil {
+				return Task{}, fmt.Errorf("annotation: fallback photo %d: %w", i, err)
+			}
+			task.Photos = append(task.Photos, photo)
+		}
+		return task, nil
+	}
+	aim, _ := surf.Seg.ClosestPoint(loc)
+	// Step back if standing too close (or the task location itself is
+	// unreachable — issued beyond a glass wall), trying a fan of fallback
+	// positions when furniture blocks the obvious spot.
+	stand := loc
+	if v.Blocked(stand) || stand.Dist(aim) < 3.0 {
+		away := stand.Sub(aim).Norm()
+		if away.Len2() == 0 {
+			away = surf.Seg.Normal()
+		}
+		if v.Blocked(aim.Add(away.Scale(1.0))) {
+			away = away.Scale(-1) // the surface faces the other way
+		}
+		side := surf.Seg.Dir()
+		candidates := []geom.Vec2{
+			aim.Add(away.Scale(4.0)),
+			aim.Add(away.Scale(4.0)).Add(side.Scale(1.2)),
+			aim.Add(away.Scale(4.0)).Sub(side.Scale(1.2)),
+			aim.Add(away.Scale(3.0)),
+			aim.Add(away.Scale(3.0)).Add(side.Scale(1.5)),
+			aim.Add(away.Scale(3.0)).Sub(side.Scale(1.5)),
+			aim.Add(away.Scale(2.2)),
+			aim.Add(away.Scale(4.6)),
+		}
+		for _, cand := range candidates {
+			if !v.Blocked(cand) {
+				stand = cand
+				break
+			}
+		}
+	}
+	task := Task{Location: loc, TruthSurfaceID: surf.ID}
+	side := surf.Seg.Dir()
+	for i := 0; i < PhotosPerTask; i++ {
+		offset := side.Scale((float64(i) - float64(PhotosPerTask-1)/2) * 0.8)
+		pos := stand.Add(offset)
+		if v.Blocked(pos) {
+			pos = stand
+		}
+		yaw := aim.Sub(pos).Angle()
+		photo, err := w.Capture(camera.Pose{Pos: pos, Yaw: yaw}, in, camera.CaptureOptions{}, rng)
+		if err != nil {
+			return Task{}, fmt.Errorf("annotation: photo %d: %w", i, err)
+		}
+		task.Photos = append(task.Photos, photo)
+	}
+	return task, nil
+}
+
+// WorkerOptions tunes the simulated annotation workers.
+type WorkerOptions struct {
+	// Workers is how many independent workers annotate the photo set
+	// (15 in the paper's evaluation).
+	Workers int
+	// CornerNoise is the std-dev of corner placement error in image
+	// units. Defaults to 0.015 (≈1.5 % of the image dimension).
+	CornerNoise float64
+	// WrongObjectProb is the chance a worker marks a different
+	// featureless object than the intended one (the disagreement visible
+	// in the paper's Figure 6b). Defaults to 0.12.
+	WrongObjectProb float64
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Workers == 0 {
+		o.Workers = 15
+	}
+	if o.CornerNoise == 0 {
+		o.CornerNoise = 0.015
+	}
+	if o.WrongObjectProb == 0 {
+		o.WrongObjectProb = 0.12
+	}
+	return o
+}
+
+// SimulateWorkers produces the annotations the online tool would collect
+// for a task: each worker marks, on every photo, the four corners of the
+// closest featureless surface they perceive — usually the intended one,
+// sometimes another visible featureless object, always with placement
+// noise, clamped to the image borders when the object extends beyond the
+// frame (the paper's recall-loss mechanism for wide surfaces).
+func SimulateWorkers(task Task, v *venue.Venue, opts WorkerOptions, rng *rand.Rand) ([]Annotation, error) {
+	if len(task.Photos) == 0 {
+		return nil, fmt.Errorf("annotation: task has no photos")
+	}
+	opts = opts.withDefaults()
+
+	// Candidate featureless surfaces a worker might mark, sorted so the
+	// intended surface is the overwhelming choice. A task whose photos
+	// show no featureless surface at all (the system escalated at a spot
+	// with nothing to annotate) yields no marks — workers leave the tool
+	// empty.
+	intended, others := splitSurfaces(v, task)
+	if intended == nil {
+		if task.TruthSurfaceID == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("annotation: truth surface %d not found", task.TruthSurfaceID)
+	}
+
+	// The annotation tool shows workers the whole photo set, so marks
+	// target the physical stretch identifiable in every photo.
+	quadFor := make(map[int][4]geom.Vec3)
+	if q, ok := CommonMarkQuad(task.Photos, *intended); ok {
+		quadFor[intended.ID] = q
+	}
+	for _, s := range others {
+		if q, ok := CommonMarkQuad(task.Photos, s); ok {
+			quadFor[s.ID] = q
+		}
+	}
+
+	var anns []Annotation
+	for worker := 0; worker < opts.Workers; worker++ {
+		target := *intended
+		if len(others) > 0 && rng.Float64() < opts.WrongObjectProb {
+			target = others[rng.Intn(len(others))]
+		}
+		world, ok := quadFor[target.ID]
+		if !ok {
+			continue
+		}
+		for pi, photo := range task.Photos {
+			corners, ok := projectQuad(photo, world)
+			if !ok {
+				continue // quad not fully visible in this photo
+			}
+			var marked [4]geom.Vec2
+			for ci, c := range corners {
+				marked[ci] = geom.V2(
+					geom.Clamp(c.X+rng.NormFloat64()*opts.CornerNoise, 0, 1),
+					geom.Clamp(c.Y+rng.NormFloat64()*opts.CornerNoise, 0, 1),
+				)
+			}
+			anns = append(anns, Annotation{WorkerID: worker + 1, PhotoIdx: pi, Corners: marked})
+		}
+	}
+	return anns, nil
+}
+
+// splitSurfaces returns the task's intended surface and the other
+// featureless surfaces of the venue.
+func splitSurfaces(v *venue.Venue, task Task) (*venue.Surface, []venue.Surface) {
+	var intended *venue.Surface
+	var others []venue.Surface
+	for _, s := range v.FeaturelessSurfaces() {
+		if s.ID == task.TruthSurfaceID {
+			sc := s
+			intended = &sc
+			continue
+		}
+		others = append(others, s)
+	}
+	// Keep only other surfaces near the task (plausibly visible).
+	var near []venue.Surface
+	for _, s := range others {
+		if s.Seg.DistToPoint(task.Location) < 6 {
+			near = append(near, s)
+		}
+	}
+	return intended, near
+}
+
+// VisibleRange returns the stretch of surface s visible in a photo, as
+// distances [dLo, dHi] along the surface's footprint segment. ok is false
+// when no usable stretch is visible. The evaluation uses the union of
+// these ranges as the recall denominator ("ground truth lengths of
+// featureless obstacles visible in the photosets").
+func VisibleRange(photo camera.Photo, s venue.Surface) (dLo, dHi float64, ok bool) {
+	in := photo.Intrinsics
+	length := s.Seg.Len()
+	if length < 0.2 {
+		return 0, 0, false
+	}
+	tanV := math.Tan(in.VFOV / 2)
+	const steps = 60
+	tLo, tHi := math.Inf(1), math.Inf(-1)
+	for i := 0; i <= steps; i++ {
+		tt := float64(i) / steps
+		p := s.Seg.At(tt)
+		d := p.Dist(photo.Pose.Pos)
+		zLo := math.Max(0.2, in.EyeHeight-tanV*d*0.95)
+		zHi := math.Min(s.Top-0.2, in.EyeHeight+tanV*d*0.95)
+		if zHi <= zLo {
+			continue
+		}
+		if _, _, visible := camera.Project(photo.Pose, in, p.Lift((zLo+zHi)/2)); !visible {
+			continue
+		}
+		if tt < tLo {
+			tLo = tt
+		}
+		if tt > tHi {
+			tHi = tt
+		}
+	}
+	if math.IsInf(tLo, 1) || tHi-tLo < 0.05 {
+		return 0, 0, false
+	}
+	return tLo * length, tHi * length, true
+}
+
+// CommonMarkQuad returns the world-space quad workers agree to mark for
+// surface s across a photo set: the intersection of the per-photo visible
+// stretches, snapped to repeatable physical landmarks (frame lines on
+// glass, true surface ends otherwise). The snapping is what the paper's
+// instruction "mark the exact same 4 corners of the object in other
+// photos" relies on; surfaces stretching far beyond every frame lose their
+// outer margins, reproducing the recall loss of the paper's tasks 3 and 6.
+func CommonMarkQuad(photos []camera.Photo, s venue.Surface) ([4]geom.Vec3, bool) {
+	length := s.Seg.Len()
+	dLo, dHi := 0.0, length
+	any := false
+	for _, p := range photos {
+		lo, hi, ok := VisibleRange(p, s)
+		if !ok {
+			continue
+		}
+		any = true
+		dLo = math.Max(dLo, lo)
+		dHi = math.Min(dHi, hi)
+	}
+	if !any || dHi-dLo < 0.4 {
+		return [4]geom.Vec3{}, false
+	}
+
+	// Snap the horizontal extent to landmarks.
+	if s.Material == venue.Glass {
+		if dLo > 0.01 {
+			dLo = math.Ceil(dLo/venue.MullionSpacing) * venue.MullionSpacing
+		}
+		if dHi < length-0.01 {
+			dHi = math.Floor(dHi/venue.MullionSpacing) * venue.MullionSpacing
+		}
+	}
+	if dHi-dLo < 0.4 {
+		return [4]geom.Vec3{}, false
+	}
+
+	// Vertical band: frame rails clipped by the worst view of either end.
+	zLo, zHi := 0.2, s.Top-0.2
+	for _, p := range photos {
+		tanV := math.Tan(p.Intrinsics.VFOV / 2)
+		for _, d := range []float64{dLo, dHi} {
+			pt := s.Seg.At(d / length)
+			dist := pt.Dist(p.Pose.Pos)
+			zLo = math.Max(zLo, p.Intrinsics.EyeHeight-tanV*dist*0.95)
+			zHi = math.Min(zHi, p.Intrinsics.EyeHeight+tanV*dist*0.95)
+		}
+	}
+	if zHi-zLo < 0.2 {
+		return [4]geom.Vec3{}, false
+	}
+
+	a := s.Seg.At(dLo / length)
+	b := s.Seg.At(dHi / length)
+	return [4]geom.Vec3{a.Lift(zLo), b.Lift(zLo), b.Lift(zHi), a.Lift(zHi)}, true
+}
+
+// projectQuad projects a world quad into a photo's image coordinates,
+// failing when any corner is outside the frame.
+func projectQuad(photo camera.Photo, world [4]geom.Vec3) ([4]geom.Vec2, bool) {
+	var out [4]geom.Vec2
+	for i, w := range world {
+		u, v, ok := camera.Project(photo.Pose, photo.Intrinsics, w)
+		if !ok {
+			return out, false
+		}
+		out[i] = geom.V2(u, v)
+	}
+	return out, true
+}

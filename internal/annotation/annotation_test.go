@@ -1,0 +1,394 @@
+package annotation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/venue"
+)
+
+// glassRoom builds a 12x10 room whose east wall is glass, with brick
+// everywhere else, plus enough textured furniture near the glass for
+// annotation photos to register against a model.
+func glassRoom(t *testing.T) *venue.Venue {
+	t.Helper()
+	b := venue.NewBuilder("glass-room", geom.Rect(geom.V2(0, 0), geom.V2(12, 10)), 3.0)
+	b.WallMaterial(1, venue.Glass) // east
+	b.Entrance(0, 0.1, 0.2)
+	b.Obstacle("shelf", geom.Rect(geom.V2(8, 1), geom.V2(11, 1.6)), 2.0, venue.Wood, 10)
+	b.Obstacle("shelf2", geom.Rect(geom.V2(8, 8.4), geom.V2(11, 9)), 2.0, venue.Wood, 10)
+	v, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNearestFeaturelessSurface(t *testing.T) {
+	v := glassRoom(t)
+	s, ok := NearestFeaturelessSurface(v, geom.V2(11, 5))
+	if !ok {
+		t.Fatal("no featureless surface found")
+	}
+	if s.Material != venue.Glass {
+		t.Errorf("nearest surface material = %v", s.Material)
+	}
+	// The east glass wall runs along x=12.
+	if math.Abs(s.Seg.A.X-12) > 1e-9 || math.Abs(s.Seg.B.X-12) > 1e-9 {
+		t.Errorf("nearest surface segment %v not the east wall", s.Seg)
+	}
+	// Venue without featureless surfaces.
+	plain, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := NearestFeaturelessSurface(plain, geom.V2(5, 5)); ok {
+		t.Error("small room should have no featureless surfaces")
+	}
+}
+
+func TestCollectPhotos(t *testing.T) {
+	v := glassRoom(t)
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(1)))
+	w := camera.NewWorld(v, feats)
+	rng := rand.New(rand.NewSource(2))
+	task, err := CollectPhotos(w, v, geom.V2(10.5, 5), camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Photos) != PhotosPerTask {
+		t.Fatalf("photos = %d, want %d", len(task.Photos), PhotosPerTask)
+	}
+	if task.TruthSurfaceID == 0 {
+		t.Error("truth surface not recorded")
+	}
+	// All photos face roughly +x (toward the glass wall).
+	for i, p := range task.Photos {
+		if math.Abs(geom.AngleDiff(0, p.Pose.Yaw)) > math.Pi/3 {
+			t.Errorf("photo %d yaw %v not facing the glass", i, p.Pose.Yaw)
+		}
+		if v.Blocked(p.Pose.Pos) {
+			t.Errorf("photo %d taken from blocked position %v", i, p.Pose.Pos)
+		}
+	}
+	// Positions must differ (baseline for corner triangulation).
+	if task.Photos[0].Pose.Pos.Dist(task.Photos[3].Pose.Pos) < 0.5 {
+		t.Error("photo positions lack baseline")
+	}
+}
+
+func TestCollectPhotosNoFeatureless(t *testing.T) {
+	// A venue without featureless surfaces yields fallback photos with no
+	// truth surface, and workers produce no marks — the backend observes
+	// the failure and gives up on the spot.
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(5)))
+	w := camera.NewWorld(v, feats)
+	task, err := CollectPhotos(w, v, geom.V2(5, 3), camera.DefaultIntrinsics(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("fallback capture failed: %v", err)
+	}
+	if len(task.Photos) != PhotosPerTask || task.TruthSurfaceID != 0 {
+		t.Fatalf("fallback task: photos=%d truth=%d", len(task.Photos), task.TruthSurfaceID)
+	}
+	anns, err := SimulateWorkers(task, v, WorkerOptions{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("workers on fallback task: %v", err)
+	}
+	if len(anns) != 0 {
+		t.Errorf("fallback task produced %d annotations, want 0", len(anns))
+	}
+}
+
+func collectTask(t *testing.T, v *venue.Venue, loc geom.Vec2, seed int64) (Task, *camera.World) {
+	t.Helper()
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(seed)))
+	w := camera.NewWorld(v, feats)
+	task, err := CollectPhotos(w, v, loc, camera.DefaultIntrinsics(), rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, w
+}
+
+func TestSimulateWorkers(t *testing.T) {
+	v := glassRoom(t)
+	task, _ := collectTask(t, v, geom.V2(10.5, 5), 10)
+	anns, err := SimulateWorkers(task, v, WorkerOptions{Workers: 15}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 workers × up to 4 photos; the glass wall is visible in all.
+	if len(anns) < 30 {
+		t.Fatalf("annotations = %d, want >= 30", len(anns))
+	}
+	for _, a := range anns {
+		if a.PhotoIdx < 0 || a.PhotoIdx >= PhotosPerTask {
+			t.Fatalf("bad photo index %d", a.PhotoIdx)
+		}
+		for _, c := range a.Corners {
+			if c.X < 0 || c.X > 1 || c.Y < 0 || c.Y > 1 {
+				t.Fatalf("corner %v outside image", c)
+			}
+		}
+		ctr := a.Center()
+		if ctr.X < 0 || ctr.X > 1 {
+			t.Fatal("center outside image")
+		}
+	}
+}
+
+func TestSimulateWorkersValidation(t *testing.T) {
+	v := glassRoom(t)
+	if _, err := SimulateWorkers(Task{}, v, WorkerOptions{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty task should error")
+	}
+	task, _ := collectTask(t, v, geom.V2(10.5, 5), 11)
+	task.TruthSurfaceID = 99999
+	if _, err := SimulateWorkers(task, v, WorkerOptions{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown truth surface should error")
+	}
+}
+
+func TestMarkedObstacleBoundsCleanInput(t *testing.T) {
+	// Synthetic annotations: 10 workers mark the same quad with small
+	// noise on 4 photos.
+	rng := rand.New(rand.NewSource(4))
+	quad := [4]geom.Vec2{{X: 0.2, Y: 0.7}, {X: 0.8, Y: 0.7}, {X: 0.8, Y: 0.3}, {X: 0.2, Y: 0.3}}
+	var anns []Annotation
+	for wk := 1; wk <= 10; wk++ {
+		for pi := 0; pi < 4; pi++ {
+			var c [4]geom.Vec2
+			for i, q := range quad {
+				c[i] = geom.V2(q.X+rng.NormFloat64()*0.01, q.Y+rng.NormFloat64()*0.01)
+			}
+			anns = append(anns, Annotation{WorkerID: wk, PhotoIdx: pi, Corners: c})
+		}
+	}
+	bounds, err := MarkedObstacleBounds(anns, 4, BoundsConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 {
+		t.Fatalf("objects = %d, want 1", len(bounds))
+	}
+	ob := bounds[0]
+	if len(ob.QuadByPhoto) != 4 {
+		t.Errorf("quads on %d photos, want 4", len(ob.QuadByPhoto))
+	}
+	if ob.Workers != 10 {
+		t.Errorf("workers = %d, want 10", ob.Workers)
+	}
+	// The cleaned quad's corners must sit near the true corners.
+	got := ob.QuadByPhoto[0]
+	for _, q := range quad {
+		best := math.Inf(1)
+		for _, g := range got {
+			if d := g.Dist(q); d < best {
+				best = d
+			}
+		}
+		if best > 0.05 {
+			t.Errorf("no cleaned corner near %v (best %v)", q, best)
+		}
+	}
+}
+
+func TestMarkedObstacleBoundsTwoObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	quadA := [4]geom.Vec2{{X: 0.1, Y: 0.6}, {X: 0.4, Y: 0.6}, {X: 0.4, Y: 0.3}, {X: 0.1, Y: 0.3}}
+	quadB := [4]geom.Vec2{{X: 0.6, Y: 0.6}, {X: 0.9, Y: 0.6}, {X: 0.9, Y: 0.3}, {X: 0.6, Y: 0.3}}
+	var anns []Annotation
+	for wk := 1; wk <= 12; wk++ {
+		src := quadA
+		if wk%2 == 0 {
+			src = quadB
+		}
+		for pi := 0; pi < 4; pi++ {
+			var c [4]geom.Vec2
+			for i, q := range src {
+				c[i] = geom.V2(q.X+rng.NormFloat64()*0.01, q.Y+rng.NormFloat64()*0.01)
+			}
+			anns = append(anns, Annotation{WorkerID: wk, PhotoIdx: pi, Corners: c})
+		}
+	}
+	bounds, err := MarkedObstacleBounds(anns, 4, BoundsConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 2 {
+		t.Fatalf("objects = %d, want 2 (the paper's multi-object case)", len(bounds))
+	}
+}
+
+func TestMarkedObstacleBoundsNoiseRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Two lone scribbles: below CenterMinPts, should yield nothing.
+	anns := []Annotation{
+		{WorkerID: 1, PhotoIdx: 0, Corners: [4]geom.Vec2{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.1}, {X: 0.2, Y: 0.2}, {X: 0.1, Y: 0.2}}},
+		{WorkerID: 2, PhotoIdx: 0, Corners: [4]geom.Vec2{{X: 0.8, Y: 0.8}, {X: 0.9, Y: 0.8}, {X: 0.9, Y: 0.9}, {X: 0.8, Y: 0.9}}},
+	}
+	bounds, err := MarkedObstacleBounds(anns, 4, BoundsConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 0 {
+		t.Errorf("noise annotations produced %d objects", len(bounds))
+	}
+	// Empty input.
+	bounds, err = MarkedObstacleBounds(nil, 4, BoundsConfig{}, rng)
+	if err != nil || bounds != nil {
+		t.Errorf("empty input: %v, %v", bounds, err)
+	}
+	if _, err := MarkedObstacleBounds(nil, 0, BoundsConfig{}, rng); err == nil {
+		t.Error("numPhotos=0 should error")
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	a := [3][3]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
+	b := [3]float64{2, 6, 12}
+	x, ok := solve3(a, b)
+	if !ok {
+		t.Fatal("diagonal system unsolvable")
+	}
+	want := [3]float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// Singular system.
+	sing := [3][3]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}}
+	if _, ok := solve3(sing, b); ok {
+		t.Error("singular system reported solvable")
+	}
+	// A system requiring pivoting.
+	piv := [3][3]float64{{0, 1, 0}, {1, 0, 0}, {0, 0, 1}}
+	x, ok = solve3(piv, [3]float64{5, 7, 9})
+	if !ok || x[0] != 7 || x[1] != 5 || x[2] != 9 {
+		t.Errorf("pivot solve wrong: %v ok=%v", x, ok)
+	}
+}
+
+func TestClosestPointToLines(t *testing.T) {
+	// Three lines through (1, 2, 3) in different directions.
+	target := geom.V3(1, 2, 3)
+	origins := []geom.Vec3{{X: 0, Y: 2, Z: 3}, {X: 1, Y: 0, Z: 3}, {X: 1, Y: 2, Z: 0}}
+	dirs := []geom.Vec3{{X: 1}, {Y: 1}, {Z: 1}}
+	p, ok := closestPointToLines(origins, dirs)
+	if !ok {
+		t.Fatal("unsolvable")
+	}
+	if p.Dist(target) > 1e-9 {
+		t.Errorf("triangulated %v, want %v", p, target)
+	}
+	// Two parallel lines: the normal matrix is singular along the
+	// direction; the solver must not return garbage marked ok with NaNs.
+	par, ok := closestPointToLines(
+		[]geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}},
+		[]geom.Vec3{{X: 1}, {X: 1}},
+	)
+	if ok && (math.IsNaN(par.X) || math.IsInf(par.X, 0)) {
+		t.Error("parallel lines produced NaN with ok=true")
+	}
+}
+
+func TestBilinear3(t *testing.T) {
+	q := [4]geom.Vec3{
+		{X: 0, Y: 0, Z: 0}, {X: 2, Y: 0, Z: 0},
+		{X: 2, Y: 0, Z: 2}, {X: 0, Y: 0, Z: 2},
+	}
+	if got := bilinear3(q, 0, 0); got.Dist(q[0]) > 1e-12 {
+		t.Errorf("corner (0,0) = %v", got)
+	}
+	if got := bilinear3(q, 1, 0); got.Dist(q[1]) > 1e-12 {
+		t.Errorf("corner (1,0) = %v", got)
+	}
+	if got := bilinear3(q, 0.5, 0.5); got.Dist(geom.V3(1, 0, 1)) > 1e-12 {
+		t.Errorf("centre = %v", got)
+	}
+}
+
+// TestCommonMarkQuadOnSurface: for random capture geometries the agreed
+// quad always lies on the target surface plane, within its extent.
+func TestCommonMarkQuadOnSurface(t *testing.T) {
+	v := glassRoom(t)
+	var glass venue.Surface
+	for _, s := range v.FeaturelessSurfaces() {
+		if s.Material == venue.Glass && s.Outer {
+			glass = s
+		}
+	}
+	if glass.ID == 0 {
+		t.Fatal("no outer glass surface")
+	}
+	rng := rand.New(rand.NewSource(55))
+	in := camera.DefaultIntrinsics()
+	found := 0
+	for trial := 0; trial < 40; trial++ {
+		// Random photo set facing the wall from random distances.
+		var photos []camera.Photo
+		base := geom.V2(6+rng.Float64()*4.5, 1.5+rng.Float64()*7)
+		aim, _ := glass.Seg.ClosestPoint(base)
+		for i := 0; i < PhotosPerTask; i++ {
+			pos := base.Add(glass.Seg.Dir().Scale((float64(i) - 1.5) * 0.7))
+			if v.Blocked(pos) {
+				pos = base
+			}
+			photos = append(photos, camera.Photo{
+				Pose:       camera.Pose{Pos: pos, Yaw: aim.Sub(pos).Angle()},
+				Intrinsics: in,
+			})
+		}
+		quad, ok := CommonMarkQuad(photos, glass)
+		if !ok {
+			continue
+		}
+		found++
+		for ci, c := range quad {
+			if d := glass.Seg.DistToPoint(c.XY()); d > 1e-6 {
+				t.Fatalf("trial %d corner %d off the surface by %v", trial, ci, d)
+			}
+			if c.Z < 0 || c.Z > glass.Top {
+				t.Fatalf("trial %d corner %d z=%v outside [0,%v]", trial, ci, c.Z, glass.Top)
+			}
+		}
+		// The quad's horizontal edges are parallel to the surface.
+		if quad[0].Z != quad[1].Z || quad[2].Z != quad[3].Z {
+			t.Fatal("quad edges not horizontal")
+		}
+	}
+	if found < 10 {
+		t.Fatalf("only %d/40 trials produced a markable quad", found)
+	}
+}
+
+// TestVisibleRangeWithinSurface: visible ranges are always within the
+// surface extent and non-degenerate when reported.
+func TestVisibleRangeWithinSurface(t *testing.T) {
+	v := glassRoom(t)
+	surf := v.FeaturelessSurfaces()[0]
+	rng := rand.New(rand.NewSource(56))
+	in := camera.DefaultIntrinsics()
+	for trial := 0; trial < 60; trial++ {
+		pos := geom.V2(1+rng.Float64()*10, 1+rng.Float64()*8)
+		photo := camera.Photo{
+			Pose:       camera.Pose{Pos: pos, Yaw: rng.Float64() * 2 * math.Pi},
+			Intrinsics: in,
+		}
+		lo, hi, ok := VisibleRange(photo, surf)
+		if !ok {
+			continue
+		}
+		if lo < -1e-9 || hi > surf.Seg.Len()+1e-9 || hi <= lo {
+			t.Fatalf("visible range [%v,%v] invalid for surface length %v", lo, hi, surf.Seg.Len())
+		}
+	}
+}

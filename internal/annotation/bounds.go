@@ -1,0 +1,240 @@
+package annotation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"snaptask/internal/cluster"
+	"snaptask/internal/geom"
+	"snaptask/internal/imaging"
+)
+
+// BoundsConfig tunes Algorithm 5.
+type BoundsConfig struct {
+	// CenterEps is the DBSCAN radius (image units) for grouping
+	// annotation centres into distinct objects. Defaults to 0.10.
+	CenterEps float64
+	// CenterMinPts is the DBSCAN density threshold; annotations marked
+	// by fewer workers are treated as noise. Defaults to 3.
+	CenterMinPts int
+	// CornerEps is the DBSCAN radius for pinpointing each corner from a
+	// k-means cluster of marks. Defaults to 0.06.
+	CornerEps float64
+}
+
+func (c BoundsConfig) withDefaults() BoundsConfig {
+	if c.CenterEps == 0 {
+		c.CenterEps = 0.10
+	}
+	if c.CenterMinPts == 0 {
+		c.CenterMinPts = 3
+	}
+	if c.CornerEps == 0 {
+		c.CornerEps = 0.06
+	}
+	return c
+}
+
+// ObjectBounds holds the cleaned per-photo corner quads of one distinct
+// marked object.
+type ObjectBounds struct {
+	// Object is the cluster index assigned by Algorithm 5.
+	Object int
+	// QuadByPhoto maps photo index → the object's cleaned corner quad in
+	// that photo. Photos where the object was not reliably annotated are
+	// absent.
+	QuadByPhoto map[int]imaging.Quad
+	// Workers is the number of workers whose annotations supported this
+	// object.
+	Workers int
+}
+
+// MarkedObstacleBounds implements Algorithm 5 ("Get marked obstacle
+// bounds"): cluster the annotation centres of the photo set's first photo
+// with DBSCAN to find distinct marked objects, gather each object's
+// annotations across all photos, split each object's marks into four
+// corner groups with k-means, and pinpoint each corner with a second
+// DBSCAN pass that discards stray marks.
+func MarkedObstacleBounds(anns []Annotation, numPhotos int, cfg BoundsConfig, rng *rand.Rand) ([]ObjectBounds, error) {
+	if numPhotos <= 0 {
+		return nil, fmt.Errorf("annotation: numPhotos %d must be positive", numPhotos)
+	}
+	cfg = cfg.withDefaults()
+	if len(anns) == 0 {
+		return nil, nil
+	}
+
+	// Lines 3–4: cluster the annotation centres of each photo with DBSCAN
+	// to find the distinct marked objects; the first annotated photo
+	// defines the object identities.
+	type photoCluster struct {
+		centroid geom.Vec2
+		annIdx   []int // indices into anns
+	}
+	clustersByPhoto := make(map[int][]photoCluster)
+	for photo := 0; photo < numPhotos; photo++ {
+		var centers []geom.Vec2
+		var idx []int
+		for i, a := range anns {
+			if a.PhotoIdx == photo {
+				centers = append(centers, a.Center())
+				idx = append(idx, i)
+			}
+		}
+		if len(centers) == 0 {
+			continue
+		}
+		res, err := cluster.DBSCAN(centers, cfg.CenterEps, cfg.CenterMinPts)
+		if err != nil {
+			return nil, fmt.Errorf("annotation: cluster centres: %w", err)
+		}
+		cents := res.Centroids(centers)
+		pcs := make([]photoCluster, res.NumClusters)
+		for k := range pcs {
+			pcs[k].centroid = cents[k]
+		}
+		for i, l := range res.Labels {
+			if l == cluster.Noise {
+				continue
+			}
+			pcs[l].annIdx = append(pcs[l].annIdx, idx[i])
+		}
+		clustersByPhoto[photo] = pcs
+	}
+	firstIdx := -1
+	for photo := 0; photo < numPhotos; photo++ {
+		if len(clustersByPhoto[photo]) > 0 {
+			firstIdx = photo
+			break
+		}
+	}
+	if firstIdx < 0 {
+		return nil, nil
+	}
+	objects := clustersByPhoto[firstIdx]
+
+	// Lines 5–10: collect each object's annotations from the subsequent
+	// photos by matching photo clusters to objects (nearest centroid,
+	// greedily, tolerant of the viewpoint shift between photos).
+	type key struct{ object, photo int }
+	marks := make(map[key][]geom.Vec2)
+	support := make(map[int]map[int]bool) // object → worker set
+	const matchTolerance = 0.35
+	for photo := 0; photo < numPhotos; photo++ {
+		pcs := clustersByPhoto[photo]
+		usedObj := make(map[int]bool)
+		for _, pc := range pcs {
+			obj := -1
+			best := matchTolerance
+			for oi, o := range objects {
+				if usedObj[oi] {
+					continue
+				}
+				if d := o.centroid.Dist(pc.centroid); d < best {
+					obj, best = oi, d
+				}
+			}
+			if obj < 0 {
+				continue
+			}
+			usedObj[obj] = true
+			k := key{obj, photo}
+			for _, ai := range pc.annIdx {
+				a := anns[ai]
+				for _, c := range a.Corners {
+					marks[k] = append(marks[k], c)
+				}
+				if support[obj] == nil {
+					support[obj] = make(map[int]bool)
+				}
+				support[obj][a.WorkerID] = true
+			}
+		}
+	}
+
+	// Lines 11–15: per object and photo, k-means with 4 clusters over the
+	// marks, then DBSCAN inside each cluster to pinpoint the corner.
+	var out []ObjectBounds
+	for obj := range objects {
+		ob := ObjectBounds{
+			Object:      obj,
+			QuadByPhoto: make(map[int]imaging.Quad),
+			Workers:     len(support[obj]),
+		}
+		for photo := 0; photo < numPhotos; photo++ {
+			pts := marks[key{obj, photo}]
+			if len(pts) < 8 { // need at least two workers' worth of corners
+				continue
+			}
+			km, err := cluster.KMeans(pts, 4, rng)
+			if err != nil {
+				continue
+			}
+			var corners [4]geom.Vec2
+			ok := true
+			for ci := 0; ci < 4; ci++ {
+				var members []geom.Vec2
+				for i, l := range km.Labels {
+					if l == ci {
+						members = append(members, pts[i])
+					}
+				}
+				corner, found := pinpointCorner(members, cfg.CornerEps)
+				if !found {
+					ok = false
+					break
+				}
+				corners[ci] = corner
+			}
+			if !ok {
+				continue
+			}
+			ob.QuadByPhoto[photo] = imaging.OrderCorners(corners)
+		}
+		if len(ob.QuadByPhoto) > 0 {
+			out = append(out, ob)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out, nil
+}
+
+// pinpointCorner runs DBSCAN over one corner's marks and returns the
+// centroid of the densest cluster, discarding outlier marks.
+func pinpointCorner(pts []geom.Vec2, eps float64) (geom.Vec2, bool) {
+	if len(pts) == 0 {
+		return geom.Vec2{}, false
+	}
+	if len(pts) == 1 {
+		return pts[0], true
+	}
+	minPts := 2
+	res, err := cluster.DBSCAN(pts, eps, minPts)
+	if err != nil || res.NumClusters == 0 {
+		// No dense cluster: fall back to the plain centroid.
+		var c geom.Vec2
+		for _, p := range pts {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(len(pts))), true
+	}
+	// Pick the largest cluster.
+	best, bestN := 0, 0
+	for k := 0; k < res.NumClusters; k++ {
+		if n := len(res.Cluster(k)); n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return res.Centroids(pts)[best], true
+}
+
+func nearestIndex(centers []geom.Vec2, p geom.Vec2) int {
+	best, bestD := 0, centers[0].Dist2(p)
+	for i := 1; i < len(centers); i++ {
+		if d := centers[i].Dist2(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,190 @@
+package annotation
+
+import (
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/imaging"
+	"snaptask/internal/sfm"
+	"snaptask/internal/venue"
+)
+
+// seedModel registers enough photos of the glass room's textured interior
+// that annotation photos have context to register against.
+func seedModel(t *testing.T, v *venue.Venue, w *camera.World, rng *rand.Rand) *sfm.Model {
+	t.Helper()
+	m := sfm.NewModel(sfm.Config{}, w.Features())
+	var photos []camera.Photo
+	// Sweeps at two spots near the glass wall see both shelves and wall
+	// context.
+	for _, pos := range []geom.Vec2{{X: 9.5, Y: 5}, {X: 7, Y: 5}} {
+		ps, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		photos = append(photos, ps...)
+	}
+	res, err := m.RegisterBatch(photos, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Registered) < 30 {
+		t.Fatalf("seed model too small: %+v", res)
+	}
+	return m
+}
+
+func TestReconstructGlassWallEndToEnd(t *testing.T) {
+	v := glassRoom(t)
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(20)))
+	w := camera.NewWorld(v, feats)
+	rng := rand.New(rand.NewSource(21))
+	model := seedModel(t, v, w, rng)
+
+	pointsBefore := model.NumPoints()
+	artBefore := model.Cloud().CountArtificial()
+	if artBefore != 0 {
+		t.Fatal("model has artificial points before annotation")
+	}
+
+	// Annotation task near the glass wall.
+	task, err := CollectPhotos(w, v, geom.V2(10.5, 5), camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns, err := SimulateWorkers(task, v, WorkerOptions{Workers: 15}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := MarkedObstacleBounds(anns, len(task.Photos), BoundsConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) == 0 {
+		t.Fatal("Algorithm 5 identified no objects")
+	}
+
+	nextID := ArtificialIDBase
+	res, err := Reconstruct(model, w, task, bounds, imaging.TextureDB{}, ReconConfig{}, &nextID, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identified == 0 {
+		t.Fatal("no surfaces identified")
+	}
+	if res.Reconstructed == 0 {
+		t.Fatal("glass wall not reconstructed")
+	}
+	if model.NumPoints() <= pointsBefore {
+		t.Error("model did not gain points")
+	}
+	if model.Cloud().CountArtificial() == 0 {
+		t.Error("no artificial points in the model")
+	}
+
+	// The reconstructed span must lie on the actual glass wall (x = 12).
+	var surf *venue.Surface
+	for _, s := range v.Surfaces() {
+		if s.ID == task.TruthSurfaceID {
+			sc := s
+			surf = &sc
+		}
+	}
+	if surf == nil {
+		t.Fatal("truth surface missing")
+	}
+	found := false
+	for _, sr := range res.Surfaces {
+		span := sr.Span()
+		if surf.Seg.DistToPoint(span.A) < 0.5 && surf.Seg.DistToPoint(span.B) < 0.5 {
+			found = true
+			// Artificial features sit on the wall plane too.
+			for _, f := range sr.Features {
+				if surf.Seg.DistToPoint(f.Pos.XY()) > 0.5 {
+					t.Errorf("artificial feature %v off the wall plane", f.Pos)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no reconstructed span near the true glass wall")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nextID := uint64(0)
+	if _, err := Reconstruct(nil, nil, Task{}, nil, imaging.TextureDB{}, ReconConfig{}, &nextID, rng); err == nil {
+		t.Error("nil model should error")
+	}
+	v := glassRoom(t)
+	feats := v.GenerateFeatures(rng)
+	w := camera.NewWorld(v, feats)
+	m := sfm.NewModel(sfm.Config{}, feats)
+	if _, err := Reconstruct(m, w, Task{}, nil, imaging.TextureDB{}, ReconConfig{}, nil, rng); err == nil {
+		t.Error("nil ID counter should error")
+	}
+	// nextID below the artificial base gets promoted.
+	nextID = 5
+	if _, err := Reconstruct(m, w, Task{}, nil, imaging.TextureDB{}, ReconConfig{}, &nextID, rng); err != nil {
+		t.Fatal(err)
+	}
+	if nextID < ArtificialIDBase {
+		t.Error("ID counter not promoted to the artificial range")
+	}
+}
+
+func TestTriangulateCornersRecoversGeometry(t *testing.T) {
+	// Build two photos looking at a known quad and verify the corner rays
+	// intersect at the truth.
+	in := camera.DefaultIntrinsics()
+	quad3D := [4]geom.Vec3{
+		{X: 12, Y: 4, Z: 0.3}, {X: 12, Y: 6, Z: 0.3},
+		{X: 12, Y: 6, Z: 2.4}, {X: 12, Y: 4, Z: 2.4},
+	}
+	poses := []camera.Pose{
+		{Pos: geom.V2(9, 4.2), Yaw: 0.1},
+		{Pos: geom.V2(9, 5.8), Yaw: -0.1},
+	}
+	ob := ObjectBounds{QuadByPhoto: map[int]imaging.Quad{}}
+	var photos []camera.Photo
+	for pi, pose := range poses {
+		var q imaging.Quad
+		okAll := true
+		for ci, c := range quad3D {
+			u, vv, ok := camera.Project(pose, in, c)
+			if !ok {
+				okAll = false
+				break
+			}
+			q[ci] = geom.V2(u, vv)
+		}
+		if !okAll {
+			t.Fatalf("quad corner not projectable from pose %d", pi)
+		}
+		ob.QuadByPhoto[pi] = q
+		photos = append(photos, camera.Photo{Pose: pose, Intrinsics: in})
+	}
+	got, ok := triangulateCorners(photos, ob, 2)
+	if !ok {
+		t.Fatal("triangulation failed")
+	}
+	for ci := range quad3D {
+		if got[ci].Dist(quad3D[ci]) > 0.01 {
+			t.Errorf("corner %d = %v, want %v", ci, got[ci], quad3D[ci])
+		}
+	}
+}
+
+func TestTriangulateCornersInsufficientViews(t *testing.T) {
+	in := camera.DefaultIntrinsics()
+	ob := ObjectBounds{QuadByPhoto: map[int]imaging.Quad{
+		0: {geom.V2(0.4, 0.6), geom.V2(0.6, 0.6), geom.V2(0.6, 0.4), geom.V2(0.4, 0.4)},
+	}}
+	photos := []camera.Photo{{Pose: camera.Pose{}, Intrinsics: in}}
+	if _, ok := triangulateCorners(photos, ob, 2); ok {
+		t.Error("one view should not triangulate")
+	}
+}

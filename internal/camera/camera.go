@@ -1,0 +1,361 @@
+// Package camera models the smartphone camera SnapTask's participants
+// carry: a pinhole camera at eye height with horizontal/vertical fields of
+// view and a detection range, observing the venue's feature points through
+// 2.5D occlusion ray casting (sight passes over low furniture and through
+// glass, exactly the cases that matter for the paper's library).
+//
+// A Photo records which scene features the frame captured and where they
+// appear in the image — the information a real feature extractor would
+// produce — plus a sharpness score computed from an actually rendered pixel
+// patch, so blur detection downstream runs on real image data.
+package camera
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"snaptask/internal/geom"
+	"snaptask/internal/imaging"
+	"snaptask/internal/venue"
+)
+
+// Intrinsics describes the fixed optical parameters of a device. The zero
+// value is not usable; start from DefaultIntrinsics.
+type Intrinsics struct {
+	// HFOV and VFOV are the horizontal and vertical fields of view in
+	// radians.
+	HFOV, VFOV float64
+	// Range is the maximum distance at which features are detected.
+	Range float64
+	// MinRange is the near limit below which features cannot focus.
+	MinRange float64
+	// EyeHeight is the camera height above the floor in metres.
+	EyeHeight float64
+}
+
+// DefaultIntrinsics returns parameters typical of the smartphones used in
+// the paper's field test (Galaxy S7 / iPhone 7 class).
+func DefaultIntrinsics() Intrinsics {
+	return Intrinsics{
+		HFOV:      65 * math.Pi / 180,
+		VFOV:      50 * math.Pi / 180,
+		Range:     9,
+		MinRange:  0.3,
+		EyeHeight: 1.4,
+	}
+}
+
+// Validate reports whether the intrinsics are usable.
+func (in Intrinsics) Validate() error {
+	if in.HFOV <= 0 || in.HFOV > math.Pi {
+		return fmt.Errorf("camera: HFOV %v out of (0, pi]", in.HFOV)
+	}
+	if in.VFOV <= 0 || in.VFOV > math.Pi {
+		return fmt.Errorf("camera: VFOV %v out of (0, pi]", in.VFOV)
+	}
+	if in.Range <= 0 || in.MinRange < 0 || in.MinRange >= in.Range {
+		return fmt.Errorf("camera: range [%v, %v] invalid", in.MinRange, in.Range)
+	}
+	if in.EyeHeight <= 0 {
+		return fmt.Errorf("camera: eye height %v must be positive", in.EyeHeight)
+	}
+	return nil
+}
+
+// Pose is a camera position and facing direction on the floor plane.
+type Pose struct {
+	Pos geom.Vec2
+	// Yaw is the facing direction in radians (0 = +x, counter-clockwise).
+	Yaw float64
+}
+
+// Dir returns the unit facing vector.
+func (p Pose) Dir() geom.Vec2 { return geom.UnitFromAngle(p.Yaw) }
+
+// Observation is one feature detected in a photo, with its image-plane
+// coordinates (u, v) ∈ [0,1]² (u grows rightward, v downward) and the
+// distance at which it was seen.
+type Observation struct {
+	FeatureID uint64
+	U, V      float64
+	Dist      float64
+}
+
+// Photo is one captured frame.
+type Photo struct {
+	// ID is assigned by the dataset/batch that owns the photo; zero until
+	// then.
+	ID int
+	// Pose is the true capture pose. The simulated SfM pipeline estimates
+	// poses with noise; consumers other than sfm must not read this as an
+	// estimate.
+	Pose Pose
+	// Intrinsics the photo was taken with (the paper reads these from
+	// EXIF metadata).
+	Intrinsics Intrinsics
+	// Obs are the detected features.
+	Obs []Observation
+	// Sharpness is the variance of the Laplacian of the rendered patch;
+	// low values mean motion blur.
+	Sharpness float64
+}
+
+// CaptureOptions tunes a capture.
+type CaptureOptions struct {
+	// DetectProb is the probability that a geometrically visible feature
+	// is actually extracted (sensor noise, lighting). Defaults to 0.92.
+	DetectProb float64
+	// MotionBlurLen simulates camera movement during exposure in pixels
+	// of the rendered patch; 0 means a steady shot. Blur both reduces
+	// Sharpness and destroys feature detections.
+	MotionBlurLen int
+	// PatchSize is the side length of the rendered sharpness patch.
+	// Defaults to 48.
+	PatchSize int
+}
+
+func (o CaptureOptions) withDefaults() CaptureOptions {
+	if o.DetectProb == 0 {
+		o.DetectProb = 0.92
+	}
+	if o.PatchSize == 0 {
+		o.PatchSize = 48
+	}
+	return o
+}
+
+// featureCell is the spatial-hash bucket size for the feature index,
+// chosen close to the default camera range so a capture touches only a few
+// buckets.
+const featureCell = 4.0
+
+// World is the subset of venue geometry a camera interacts with. Features
+// are indexed in a floor-plane spatial hash so captures only examine
+// candidates within camera range.
+type World struct {
+	occluders []venue.Occluder
+	features  []venue.Feature
+	index     map[[2]int][]int
+}
+
+// NewWorld prepares capture state for a venue and its feature set. Extra
+// features (e.g. artificial ones injected by the annotation pipeline) can
+// be added later with AddFeatures.
+func NewWorld(v *venue.Venue, features []venue.Feature) *World {
+	w := &World{
+		occluders: v.Occluders(),
+		features:  append([]venue.Feature(nil), features...),
+		index:     make(map[[2]int][]int),
+	}
+	for i := range w.features {
+		k := featureKey(w.features[i].Pos.XY())
+		w.index[k] = append(w.index[k], i)
+	}
+	return w
+}
+
+func featureKey(p geom.Vec2) [2]int {
+	return [2]int{int(math.Floor(p.X / featureCell)), int(math.Floor(p.Y / featureCell))}
+}
+
+// AddFeatures appends additional world features (artificial texture points).
+func (w *World) AddFeatures(fs []venue.Feature) {
+	for _, f := range fs {
+		w.features = append(w.features, f)
+		k := featureKey(f.Pos.XY())
+		w.index[k] = append(w.index[k], len(w.features)-1)
+	}
+}
+
+// Clone returns an independent copy of the world: annotation pipelines
+// mutate their world by injecting artificial features, so experiments that
+// must not observe each other's reconstructions run on clones.
+func (w *World) Clone() *World {
+	out := &World{
+		occluders: append([]venue.Occluder(nil), w.occluders...),
+		features:  append([]venue.Feature(nil), w.features...),
+		index:     make(map[[2]int][]int, len(w.index)),
+	}
+	for k, v := range w.index {
+		out.index[k] = append([]int(nil), v...)
+	}
+	return out
+}
+
+// candidates calls fn for every feature within range r of pos (plus some
+// slack from bucket granularity).
+func (w *World) candidates(pos geom.Vec2, r float64, fn func(f venue.Feature)) {
+	lo := featureKey(pos.Sub(geom.V2(r, r)))
+	hi := featureKey(pos.Add(geom.V2(r, r)))
+	for x := lo[0]; x <= hi[0]; x++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			for _, i := range w.index[[2]int{x, y}] {
+				fn(w.features[i])
+			}
+		}
+	}
+}
+
+// NumFeatures returns the number of features in the world.
+func (w *World) NumFeatures() int { return len(w.features) }
+
+// Features returns a copy of the world's feature set.
+func (w *World) Features() []venue.Feature {
+	return append([]venue.Feature(nil), w.features...)
+}
+
+// Capture takes a photo from the given pose. rng drives detection noise;
+// identical state produces identical photos.
+func (w *World) Capture(pose Pose, in Intrinsics, opts CaptureOptions, rng *rand.Rand) (Photo, error) {
+	if err := in.Validate(); err != nil {
+		return Photo{}, err
+	}
+	opts = opts.withDefaults()
+
+	photo := Photo{Pose: pose, Intrinsics: in}
+	// Blur reduces the chance a feature is usable at all.
+	detect := opts.DetectProb
+	if opts.MotionBlurLen > 1 {
+		detect /= float64(opts.MotionBlurLen)
+	}
+
+	w.candidates(pose.Pos, in.Range, func(f venue.Feature) {
+		obs, ok := w.observe(pose, in, f)
+		if !ok {
+			return
+		}
+		if rng.Float64() > detect {
+			return
+		}
+		photo.Obs = append(photo.Obs, obs)
+	})
+
+	// Render the sharpness patch from the observed feature IDs and apply
+	// the motion blur, then measure the Laplacian variance as the paper's
+	// quality check would.
+	ids := make([]uint64, len(photo.Obs))
+	for i, o := range photo.Obs {
+		ids[i] = o.FeatureID
+	}
+	patch, err := imaging.RenderFeaturePatch(opts.PatchSize, opts.PatchSize, ids, 128)
+	if err != nil {
+		return Photo{}, fmt.Errorf("camera: render patch: %w", err)
+	}
+	if opts.MotionBlurLen > 1 {
+		patch = patch.MotionBlur(opts.MotionBlurLen)
+	}
+	photo.Sharpness = patch.LaplacianVariance()
+	return photo, nil
+}
+
+// observe tests geometric visibility of one feature and computes its image
+// coordinates.
+func (w *World) observe(pose Pose, in Intrinsics, f venue.Feature) (Observation, bool) {
+	d := f.Pos.XY().Sub(pose.Pos)
+	dist := d.Len()
+	if dist < in.MinRange || dist > in.Range {
+		return Observation{}, false
+	}
+	// Horizontal FOV.
+	hAngle := geom.AngleDiff(pose.Yaw, d.Angle())
+	if math.Abs(hAngle) > in.HFOV/2 {
+		return Observation{}, false
+	}
+	// Vertical FOV.
+	vAngle := math.Atan2(f.Pos.Z-in.EyeHeight, dist)
+	if math.Abs(vAngle) > in.VFOV/2 {
+		return Observation{}, false
+	}
+	// Grazing incidence: surface features seen nearly edge-on are not
+	// extractable.
+	if f.Normal.Len2() > 0 {
+		if math.Abs(d.Norm().Dot(f.Normal)) < 0.15 {
+			return Observation{}, false
+		}
+	}
+	// 2.5D occlusion: the sight line from the eye to the feature must
+	// clear every opaque occluder it crosses.
+	ray := geom.NewRay(pose.Pos, d)
+	for _, occ := range w.occluders {
+		if occ.Transparent {
+			continue
+		}
+		t, hit := ray.IntersectSegment(occ.Seg)
+		if !hit || t <= 1e-9 || t >= dist-1e-6 {
+			continue
+		}
+		sightZ := in.EyeHeight + (f.Pos.Z-in.EyeHeight)*(t/dist)
+		if sightZ < occ.Top {
+			return Observation{}, false
+		}
+	}
+	return Observation{
+		FeatureID: f.ID,
+		U:         geom.Clamp(0.5+hAngle/in.HFOV, 0, 1),
+		V:         geom.Clamp(0.5-vAngle/in.VFOV, 0, 1),
+		Dist:      dist,
+	}, true
+}
+
+// SweepStepDeg is the angular step of a guided 360° capture task: the
+// paper's client takes a photo every 8 degrees.
+const SweepStepDeg = 8
+
+// SweepArmRadius is the distance between the rotation axis (the
+// participant's body) and the phone during a 360° sweep. The offset gives
+// the sweep a real baseline — pure rotation about the optical centre would
+// leave SfM nothing to triangulate from.
+const SweepArmRadius = 0.3
+
+// Sweep performs the guided collection protocol: a full 360° rotation at
+// the given position, capturing one photo every SweepStepDeg degrees
+// (45 photos). The camera is held SweepArmRadius ahead of the rotation
+// centre, as a handheld phone is.
+func (w *World) Sweep(pos geom.Vec2, in Intrinsics, opts CaptureOptions, rng *rand.Rand) ([]Photo, error) {
+	n := 360 / SweepStepDeg
+	photos := make([]Photo, 0, n)
+	for i := 0; i < n; i++ {
+		yaw := float64(i) * SweepStepDeg * math.Pi / 180
+		camPos := pos.Add(geom.UnitFromAngle(yaw).Scale(SweepArmRadius))
+		p, err := w.Capture(Pose{Pos: camPos, Yaw: yaw}, in, opts, rng)
+		if err != nil {
+			return nil, fmt.Errorf("camera: sweep step %d: %w", i, err)
+		}
+		photos = append(photos, p)
+	}
+	return photos, nil
+}
+
+// Project returns the image coordinates (u, v) ∈ [0,1]² of the world point
+// p as seen from the pose, ignoring occlusion. ok is false when the point
+// is outside the view frustum or the usable range. The annotation tool uses
+// this to place worker marks on photos.
+func Project(pose Pose, in Intrinsics, p geom.Vec3) (u, v float64, ok bool) {
+	d := p.XY().Sub(pose.Pos)
+	dist := d.Len()
+	if dist < in.MinRange || dist > in.Range {
+		return 0, 0, false
+	}
+	hAngle := geom.AngleDiff(pose.Yaw, d.Angle())
+	if math.Abs(hAngle) > in.HFOV/2 {
+		return 0, 0, false
+	}
+	vAngle := math.Atan2(p.Z-in.EyeHeight, dist)
+	if math.Abs(vAngle) > in.VFOV/2 {
+		return 0, 0, false
+	}
+	return 0.5 + hAngle/in.HFOV, 0.5 - vAngle/in.VFOV, true
+}
+
+// RayThrough inverts Project: it returns the floor-plane ray leaving the
+// camera through image coordinates (u, v), together with the tangent of the
+// vertical angle (height gain per metre of horizontal travel). The
+// featureless-surface pipeline back-projects annotated corners onto surface
+// planes with it.
+func RayThrough(pose Pose, in Intrinsics, u, v float64) (ray geom.Ray, zPerMetre float64) {
+	hAngle := (u - 0.5) * in.HFOV
+	vAngle := (0.5 - v) * in.VFOV
+	dir := geom.UnitFromAngle(pose.Yaw + hAngle)
+	return geom.NewRay(pose.Pos, dir), math.Tan(vAngle)
+}

@@ -1,0 +1,107 @@
+package camera
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/geom"
+)
+
+func TestProjectCenter(t *testing.T) {
+	in := DefaultIntrinsics()
+	pose := Pose{Pos: geom.V2(0, 0), Yaw: 0}
+	u, v, ok := Project(pose, in, geom.V3(3, 0, in.EyeHeight))
+	if !ok {
+		t.Fatal("central point not projectable")
+	}
+	if math.Abs(u-0.5) > 1e-9 || math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("(u,v) = (%v,%v), want centre", u, v)
+	}
+}
+
+func TestProjectOffCenterDirections(t *testing.T) {
+	in := DefaultIntrinsics()
+	pose := Pose{Pos: geom.V2(0, 0), Yaw: 0}
+	// +y is to the left of a +x view; with u growing rightward the paper's
+	// image convention puts it at... our convention: positive hAngle → u > 0.5.
+	u, _, ok := Project(pose, in, geom.V3(3, 1, in.EyeHeight))
+	if !ok || u <= 0.5 {
+		t.Errorf("u = %v for +y offset, want > 0.5", u)
+	}
+	_, v, ok := Project(pose, in, geom.V3(3, 0, in.EyeHeight+1))
+	if !ok || v >= 0.5 {
+		t.Errorf("v = %v for higher point, want < 0.5", v)
+	}
+}
+
+func TestProjectRejects(t *testing.T) {
+	in := DefaultIntrinsics()
+	pose := Pose{Pos: geom.V2(0, 0), Yaw: 0}
+	cases := []geom.Vec3{
+		{X: -3, Y: 0, Z: 1.4},  // behind
+		{X: 20, Y: 0, Z: 1.4},  // out of range
+		{X: 0.1, Y: 0, Z: 1.4}, // too close
+		{X: 1, Y: 5, Z: 1.4},   // outside HFOV
+		{X: 1, Y: 0, Z: 3.5},   // outside VFOV
+	}
+	for i, p := range cases {
+		if _, _, ok := Project(pose, in, p); ok {
+			t.Errorf("case %d: point %v should not project", i, p)
+		}
+	}
+}
+
+func TestProjectRayThroughRoundTrip(t *testing.T) {
+	in := DefaultIntrinsics()
+	pose := Pose{Pos: geom.V2(2, 3), Yaw: 0.7}
+	targets := []geom.Vec3{
+		{X: 5, Y: 5, Z: 1.0},
+		{X: 4, Y: 6, Z: 2.2},
+		{X: 6, Y: 4.5, Z: 0.5},
+	}
+	for _, target := range targets {
+		u, v, ok := Project(pose, in, target)
+		if !ok {
+			t.Fatalf("target %v not projectable", target)
+		}
+		ray, zPerM := RayThrough(pose, in, u, v)
+		// Walk the ray to the target's horizontal distance; we must
+		// arrive at the target in 3D.
+		dist := target.XY().Dist(pose.Pos)
+		hit := ray.At(dist)
+		if hit.Dist(target.XY()) > 1e-6 {
+			t.Errorf("ray misses target in plan: %v vs %v", hit, target.XY())
+		}
+		z := in.EyeHeight + zPerM*dist
+		if math.Abs(z-target.Z) > 1e-6 {
+			t.Errorf("ray z = %v, want %v", z, target.Z)
+		}
+	}
+}
+
+func TestSweepHasBaseline(t *testing.T) {
+	w := testWorld(t, nil)
+	photos, err := w.Sweep(geom.V2(5, 5), DefaultIntrinsics(), CaptureOptions{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Camera positions must spread around the sweep centre, giving SfM a
+	// triangulation baseline.
+	maxD := 0.0
+	for i := range photos {
+		for j := i + 1; j < len(photos); j++ {
+			if d := photos[i].Pose.Pos.Dist(photos[j].Pose.Pos); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD < SweepArmRadius {
+		t.Errorf("sweep baseline %v too small", maxD)
+	}
+	for _, p := range photos {
+		if d := p.Pose.Pos.Dist(geom.V2(5, 5)); math.Abs(d-SweepArmRadius) > 1e-9 {
+			t.Errorf("camera %v not on the arm circle", p.Pose.Pos)
+		}
+	}
+}

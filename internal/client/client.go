@@ -1,0 +1,274 @@
+// Package client is the mobile-side of SnapTask: a Go client for the
+// backend's HTTP API that plays the role of the paper's Android
+// application — it fetches tasks, performs the capture protocols through a
+// crowd.GuidedWorker, and uploads photos and annotations.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"snaptask/internal/annotation"
+	"snaptask/internal/camera"
+	"snaptask/internal/crowd"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+	"snaptask/internal/server"
+	"snaptask/internal/taskgen"
+	"snaptask/internal/venue"
+)
+
+// Client talks to a SnapTask backend.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the backend at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, hc: httpClient}
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Body: string(body)}
+	}
+	return json.Unmarshal(body, out)
+}
+
+func (c *Client) postJSON(path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: marshal %s: %w", path, err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Body: string(body)}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// APIError is a non-200 backend response.
+type APIError struct {
+	Status int
+	Body   string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: backend returned %d: %s", e.Status, e.Body)
+}
+
+// Task is a fetched assignment.
+type Task struct {
+	ID       int
+	Kind     taskgen.Kind
+	Location geom.Vec2
+	// Seed is the discovery-frontier point (aim hint for annotations).
+	Seed geom.Vec2
+	// Covered is true when the backend has declared the venue complete.
+	Covered bool
+}
+
+// aimPoint returns the capture aim: the seed when known.
+func (t Task) aimPoint() geom.Vec2 {
+	if t.Seed != (geom.Vec2{}) {
+		return t.Seed
+	}
+	return t.Location
+}
+
+// NextTask fetches the next assignment. A Covered task means mapping is
+// done; ok=false means no task is currently pending (try again after other
+// participants upload).
+func (c *Client) NextTask() (Task, bool, error) {
+	var dto server.TaskDTO
+	err := c.getJSON("/v1/task", &dto)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			return Task{}, false, nil
+		}
+		return Task{}, false, err
+	}
+	if dto.Covered {
+		return Task{Covered: true}, true, nil
+	}
+	kind, err := server.TaskKindFromString(dto.Kind)
+	if err != nil {
+		return Task{}, false, err
+	}
+	return Task{
+		ID:       dto.ID,
+		Kind:     kind,
+		Location: geom.V2(dto.X, dto.Y),
+		Seed:     geom.V2(dto.SeedX, dto.SeedY),
+	}, true, nil
+}
+
+// UploadBootstrap sends the initial capture set.
+func (c *Client) UploadBootstrap(photos []camera.Photo) (server.UploadResponse, error) {
+	req := server.UploadRequest{Bootstrap: true}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, server.PhotoToDTO(p))
+	}
+	var resp server.UploadResponse
+	err := c.postJSON("/v1/photos", req, &resp)
+	return resp, err
+}
+
+// UploadPhotos sends a completed photo task's batch.
+func (c *Client) UploadPhotos(task Task, photos []camera.Photo) (server.UploadResponse, error) {
+	req := server.UploadRequest{
+		TaskID: task.ID,
+		LocX:   task.Location.X,
+		LocY:   task.Location.Y,
+		SeedX:  task.Seed.X,
+		SeedY:  task.Seed.Y,
+	}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, server.PhotoToDTO(p))
+	}
+	var resp server.UploadResponse
+	err := c.postJSON("/v1/photos", req, &resp)
+	return resp, err
+}
+
+// UploadAnnotations sends an annotation task's photos and worker marks.
+func (c *Client) UploadAnnotations(task Task, atask annotation.Task, anns []annotation.Annotation) (server.AnnotateResponse, error) {
+	req := server.AnnotateRequest{
+		TaskID: task.ID,
+		LocX:   atask.Location.X,
+		LocY:   atask.Location.Y,
+		SeedX:  task.Seed.X,
+		SeedY:  task.Seed.Y,
+	}
+	for _, p := range atask.Photos {
+		req.Photos = append(req.Photos, server.PhotoToDTO(p))
+	}
+	for _, a := range anns {
+		m := server.AnnotationDTO{WorkerID: a.WorkerID, PhotoIdx: a.PhotoIdx}
+		for i, corner := range a.Corners {
+			m.Corners[i] = [2]float64{corner.X, corner.Y}
+		}
+		req.Marks = append(req.Marks, m)
+	}
+	var resp server.AnnotateResponse
+	err := c.postJSON("/v1/annotations", req, &resp)
+	return resp, err
+}
+
+// Locate asks the backend to localise a photo against the model (the
+// paper's image-based positioning service).
+func (c *Client) Locate(photo camera.Photo) (server.LocateResponse, error) {
+	var resp server.LocateResponse
+	err := c.postJSON("/v1/locate", server.LocateRequest{Photo: server.PhotoToDTO(photo)}, &resp)
+	return resp, err
+}
+
+// Status fetches backend state.
+func (c *Client) Status() (server.StatusResponse, error) {
+	var resp server.StatusResponse
+	err := c.getJSON("/v1/status", &resp)
+	return resp, err
+}
+
+// FetchMap downloads the current floor-plan map.
+func (c *Client) FetchMap() (server.MapResponse, error) {
+	var resp server.MapResponse
+	err := c.getJSON("/v1/map", &resp)
+	return resp, err
+}
+
+// Agent couples the HTTP client with a simulated guided worker: the full
+// mobile app. Run drives the task loop until the backend declares the
+// venue covered or maxTasks is reached.
+type Agent struct {
+	Client  *Client
+	Worker  *crowd.GuidedWorker
+	Venue   *venue.Venue
+	WalkMap *grid.Map
+	// Workers configures simulated annotation workers (the online tool's
+	// crowd).
+	Workers annotation.WorkerOptions
+}
+
+// AgentStats summarises an agent session.
+type AgentStats struct {
+	PhotoTasks      int
+	AnnotationTasks int
+	PhotosUploaded  int
+	Covered         bool
+}
+
+// Run executes tasks until the venue is covered, no tasks remain, or
+// maxTasks have been completed.
+func (a *Agent) Run(maxTasks int, rng *rand.Rand) (AgentStats, error) {
+	var stats AgentStats
+	for i := 0; i < maxTasks; i++ {
+		task, ok, err := a.Client.NextTask()
+		if err != nil {
+			return stats, err
+		}
+		if !ok {
+			return stats, nil // nothing pending for this agent
+		}
+		if task.Covered {
+			stats.Covered = true
+			return stats, nil
+		}
+		switch task.Kind {
+		case taskgen.KindPhoto:
+			res, err := a.Worker.DoPhotoTask(a.WalkMap, task.Location, rng)
+			if err != nil {
+				return stats, err
+			}
+			if _, err := a.Client.UploadPhotos(task, res.Photos); err != nil {
+				return stats, err
+			}
+			stats.PhotoTasks++
+			stats.PhotosUploaded += len(res.Photos)
+		case taskgen.KindAnnotation:
+			atask, err := a.Worker.DoAnnotationTask(a.WalkMap, task.aimPoint(), rng)
+			if err != nil {
+				return stats, err
+			}
+			anns, err := annotation.SimulateWorkers(atask, a.Venue, a.Workers, rng)
+			if err != nil {
+				return stats, err
+			}
+			if _, err := a.Client.UploadAnnotations(task, atask, anns); err != nil {
+				return stats, err
+			}
+			stats.AnnotationTasks++
+			stats.PhotosUploaded += len(atask.Photos)
+		}
+	}
+	return stats, nil
+}

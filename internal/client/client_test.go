@@ -1,0 +1,233 @@
+package client
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"snaptask/internal/geom"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/crowd"
+	"snaptask/internal/server"
+	"snaptask/internal/venue"
+)
+
+// harness spins up a backend over the small room and returns a ready
+// client-side agent.
+func harness(t *testing.T) (*Client, *Agent, *core.System) {
+	t.Helper()
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(1)))
+	w := camera.NewWorld(v, feats)
+	sys, err := core.NewSystem(v, w, core.Config{Margin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(sys, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	gt, err := v.GroundTruthAt(sys.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := New(ts.URL, nil)
+	agent := &Agent{
+		Client: cl,
+		Worker: &crowd.GuidedWorker{
+			World:      w,
+			Venue:      v,
+			Intrinsics: camera.DefaultIntrinsics(),
+			Pos:        v.Entrance(),
+		},
+		Venue:   v,
+		WalkMap: v.WalkMap(gt),
+	}
+	return cl, agent, sys
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	cl, agent, sys := harness(t)
+	rng := rand.New(rand.NewSource(3))
+
+	// No task before bootstrap.
+	_, ok, err := cl.NextTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("task available before bootstrap")
+	}
+
+	// Bootstrap through the wire.
+	boot, err := core.BootstrapCapture(agent.Worker.World, agent.Venue, agent.Worker.Intrinsics, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := cl.UploadBootstrap(boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Registered == 0 {
+		t.Fatalf("bootstrap: %+v", up)
+	}
+
+	// Run the agent until the venue is covered.
+	stats, err := agent.Run(60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Covered {
+		st, _ := cl.Status()
+		t.Fatalf("venue not covered after %d+%d tasks (status %+v)",
+			stats.PhotoTasks, stats.AnnotationTasks, st)
+	}
+	if stats.PhotoTasks == 0 {
+		t.Error("no photo tasks executed")
+	}
+	if !sys.Covered() {
+		t.Error("system state disagrees with wire state")
+	}
+
+	// The map shows walls around the room.
+	m, err := cl.FetchMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range m.Rows {
+		for _, ch := range row {
+			if ch == '#' {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("final map has no obstacles")
+	}
+
+	// Status is coherent.
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Covered || st.PhotosProcessed == 0 || st.Views == 0 {
+		t.Errorf("final status: %+v", st)
+	}
+
+	// Asking for more tasks now reports coverage.
+	task, ok, err := cl.NextTask()
+	if err != nil || !ok || !task.Covered {
+		t.Errorf("post-coverage task fetch: %+v ok=%v err=%v", task, ok, err)
+	}
+}
+
+func TestClientErrorSurfaceing(t *testing.T) {
+	cl := New("http://127.0.0.1:1", nil) // nothing listens here
+	if _, _, err := cl.NextTask(); err == nil {
+		t.Error("unreachable backend should error")
+	}
+	if _, err := cl.Status(); err == nil {
+		t.Error("unreachable backend should error")
+	}
+}
+
+func TestAPIErrorFormatting(t *testing.T) {
+	err := &APIError{Status: 422, Body: `{"error":"x"}`}
+	if err.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+// TestMultiAgentOverHTTP runs two guided agents against one backend: the
+// paper's multi-participant deployment. Agents alternate (each takes what
+// the backend has pending), and the venue must still complete.
+func TestMultiAgentOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long multi-agent test")
+	}
+	cl, agentA, sys := harness(t)
+	rng := rand.New(rand.NewSource(9))
+
+	// A second participant with their own position and behaviour.
+	agentB := &Agent{
+		Client:  cl,
+		Worker:  &crowd.GuidedWorker{World: agentA.Worker.World, Venue: agentA.Venue, Intrinsics: agentA.Worker.Intrinsics, Pos: agentA.Venue.Entrance()},
+		Venue:   agentA.Venue,
+		WalkMap: agentA.WalkMap,
+	}
+
+	boot, err := core.BootstrapCapture(agentA.Worker.World, agentA.Venue, agentA.Worker.Intrinsics, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadBootstrap(boot); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alternate one task at a time until covered.
+	covered := false
+	for i := 0; i < 60 && !covered; i++ {
+		for _, a := range []*Agent{agentA, agentB} {
+			stats, err := a.Run(1, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Covered {
+				covered = true
+				break
+			}
+		}
+	}
+	if !covered {
+		st, _ := cl.Status()
+		t.Fatalf("two agents failed to cover the room: %+v", st)
+	}
+	if !sys.Covered() {
+		t.Error("backend state inconsistent")
+	}
+}
+
+// TestLocateOverHTTP exercises the positioning endpoint.
+func TestLocateOverHTTP(t *testing.T) {
+	cl, agent, _ := harness(t)
+	rng := rand.New(rand.NewSource(10))
+	boot, err := core.BootstrapCapture(agent.Worker.World, agent.Venue, agent.Worker.Intrinsics, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadBootstrap(boot); err != nil {
+		t.Fatal(err)
+	}
+	// A photo near the entrance should localise against the young model.
+	photo, err := agent.Worker.World.Capture(
+		camera.Pose{Pos: agent.Venue.Entrance(), Yaw: 1.2},
+		agent.Worker.Intrinsics, camera.CaptureOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Locate(photo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := geom.V2(resp.X, resp.Y)
+	if est.Dist(agent.Venue.Entrance()) > 1.1 {
+		t.Errorf("localised %.2f m from the true position", est.Dist(agent.Venue.Entrance()))
+	}
+	if resp.Matched < 8 {
+		t.Errorf("matched only %d features", resp.Matched)
+	}
+	// A photo of nothing cannot localise.
+	empty := camera.Photo{}
+	if _, err := cl.Locate(empty); err == nil {
+		t.Error("empty photo localised")
+	}
+}

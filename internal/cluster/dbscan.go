@@ -1,0 +1,240 @@
+// Package cluster implements the two clustering algorithms SnapTask's
+// annotation pipeline (Algorithm 5) relies on: DBSCAN (Ester et al. [21])
+// for grouping worker annotations into distinct marked objects, and
+// k-means (Hartigan & Wong [22]) for splitting an object's annotation
+// points into its four corners.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"snaptask/internal/geom"
+)
+
+// Noise is the label DBSCAN assigns to points that belong to no cluster.
+const Noise = -1
+
+// DBSCANResult holds per-point cluster labels (0..NumClusters-1, or Noise).
+type DBSCANResult struct {
+	Labels      []int
+	NumClusters int
+}
+
+// Cluster returns the indices of the points labelled k.
+func (r DBSCANResult) Cluster(k int) []int {
+	var out []int
+	for i, l := range r.Labels {
+		if l == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Centroids returns the mean position of each cluster, indexed by label.
+func (r DBSCANResult) Centroids(pts []geom.Vec2) []geom.Vec2 {
+	sums := make([]geom.Vec2, r.NumClusters)
+	counts := make([]int, r.NumClusters)
+	for i, l := range r.Labels {
+		if l == Noise {
+			continue
+		}
+		sums[l] = sums[l].Add(pts[i])
+		counts[l]++
+	}
+	out := make([]geom.Vec2, r.NumClusters)
+	for k := range sums {
+		if counts[k] > 0 {
+			out[k] = sums[k].Scale(1 / float64(counts[k]))
+		}
+	}
+	return out
+}
+
+// DBSCAN clusters the 2D points with radius eps and density threshold
+// minPts (the minimum number of points, including the point itself, within
+// eps for a point to be a core point). Cluster labels are assigned in
+// deterministic scan order.
+func DBSCAN(pts []geom.Vec2, eps float64, minPts int) (DBSCANResult, error) {
+	if eps <= 0 {
+		return DBSCANResult{}, fmt.Errorf("cluster: eps %v must be positive", eps)
+	}
+	if minPts < 1 {
+		return DBSCANResult{}, fmt.Errorf("cluster: minPts %d must be >= 1", minPts)
+	}
+	const unvisited = -2
+	labels := make([]int, len(pts))
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	idx := newGrid2(pts, eps)
+	next := 0
+	for i := range pts {
+		if labels[i] != unvisited {
+			continue
+		}
+		neighbors := idx.rangeQuery(pts, i, eps)
+		if len(neighbors) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		c := next
+		next++
+		labels[i] = c
+		// Expand the cluster over density-reachable points.
+		queue := append([]int(nil), neighbors...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = c // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = c
+			jn := idx.rangeQuery(pts, j, eps)
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+	return DBSCANResult{Labels: labels, NumClusters: next}, nil
+}
+
+// grid2 is a uniform spatial hash over 2D points for eps-range queries.
+type grid2 struct {
+	cell  float64
+	cells map[[2]int][]int
+}
+
+func newGrid2(pts []geom.Vec2, cell float64) *grid2 {
+	g := &grid2{cell: cell, cells: make(map[[2]int][]int)}
+	for i, p := range pts {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *grid2) key(p geom.Vec2) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// rangeQuery returns the indices of all points within eps of point i,
+// including i itself, sorted ascending for determinism.
+func (g *grid2) rangeQuery(pts []geom.Vec2, i int, eps float64) []int {
+	center := pts[i]
+	ck := g.key(center)
+	var out []int
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, j := range g.cells[[2]int{ck[0] + dx, ck[1] + dy}] {
+				if center.Dist(pts[j]) <= eps {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// KMeansResult holds the output of KMeans.
+type KMeansResult struct {
+	// Centers are the final cluster centroids.
+	Centers []geom.Vec2
+	// Labels assigns each input point to a centre index.
+	Labels []int
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+}
+
+// KMeans clusters the points into k groups using Lloyd's algorithm with
+// k-means++ seeding. rng drives the seeding; passing the same rng and input
+// yields identical results. It returns an error when k exceeds the number
+// of points or is non-positive.
+func KMeans(pts []geom.Vec2, k int, rng *rand.Rand) (KMeansResult, error) {
+	if k <= 0 {
+		return KMeansResult{}, fmt.Errorf("cluster: k %d must be positive", k)
+	}
+	if len(pts) < k {
+		return KMeansResult{}, fmt.Errorf("cluster: k=%d exceeds %d points", k, len(pts))
+	}
+	centers := seedPlusPlus(pts, k, rng)
+	labels := make([]int, len(pts))
+	const maxIter = 100
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := p.Dist2(ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([]geom.Vec2, k)
+		counts := make([]int, k)
+		for i, p := range pts {
+			sums[labels[i]] = sums[labels[i]].Add(p)
+			counts[labels[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c].Scale(1 / float64(counts[c]))
+			}
+		}
+	}
+	return KMeansResult{Centers: centers, Labels: labels, Iterations: iter}, nil
+}
+
+// seedPlusPlus picks k initial centres with k-means++ (each next centre is
+// sampled proportionally to its squared distance from the nearest chosen
+// centre).
+func seedPlusPlus(pts []geom.Vec2, k int, rng *rand.Rand) []geom.Vec2 {
+	centers := make([]geom.Vec2, 0, k)
+	centers = append(centers, pts[rng.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		var sum float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := p.Dist2(c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum <= 0 {
+			// All remaining points coincide with a centre; duplicate one.
+			centers = append(centers, pts[rng.Intn(len(pts))])
+			continue
+		}
+		r := rng.Float64() * sum
+		acc := 0.0
+		pick := len(pts) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, pts[pick])
+	}
+	return centers
+}

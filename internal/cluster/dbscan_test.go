@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/geom"
+)
+
+// blob generates n points normally distributed around c.
+func blob(rng *rand.Rand, c geom.Vec2, sigma float64, n int) []geom.Vec2 {
+	out := make([]geom.Vec2, n)
+	for i := range out {
+		out[i] = c.Add(geom.V2(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma))
+	}
+	return out
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := append(blob(rng, geom.V2(0, 0), 0.1, 40), blob(rng, geom.V2(5, 5), 0.1, 40)...)
+	res, err := DBSCAN(pts, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	// All points in the first blob share one label, second blob another.
+	l0 := res.Labels[0]
+	for i := 0; i < 40; i++ {
+		if res.Labels[i] != l0 {
+			t.Fatalf("blob 1 split: point %d label %d != %d", i, res.Labels[i], l0)
+		}
+	}
+	l1 := res.Labels[40]
+	if l1 == l0 {
+		t.Fatal("blobs merged")
+	}
+	for i := 40; i < 80; i++ {
+		if res.Labels[i] != l1 {
+			t.Fatalf("blob 2 split at %d", i)
+		}
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := blob(rng, geom.V2(0, 0), 0.05, 30)
+	pts = append(pts, geom.V2(50, 50), geom.V2(-40, 10)) // lone outliers
+	res, err := DBSCAN(pts, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.NumClusters)
+	}
+	if res.Labels[30] != Noise || res.Labels[31] != Noise {
+		t.Errorf("outliers labelled %d, %d, want Noise", res.Labels[30], res.Labels[31])
+	}
+	if got := res.Cluster(0); len(got) != 30 {
+		t.Errorf("cluster 0 size = %d, want 30", len(got))
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 10}, {X: 20}, {X: 30}}
+	res, err := DBSCAN(pts, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Errorf("clusters = %d, want 0", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != Noise {
+			t.Errorf("point %d label %d, want Noise", i, l)
+		}
+	}
+}
+
+func TestDBSCANBorderPoints(t *testing.T) {
+	// A dense core with one border point within eps of a core point but
+	// itself not core.
+	pts := []geom.Vec2{
+		{X: 0, Y: 0}, {X: 0.1, Y: 0}, {X: 0, Y: 0.1}, {X: 0.1, Y: 0.1}, // core
+		{X: 0.5, Y: 0}, // border: 1 core neighbour only
+	}
+	res, err := DBSCAN(pts, 0.45, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.NumClusters)
+	}
+	if res.Labels[4] != 0 {
+		t.Errorf("border point label = %d, want 0", res.Labels[4])
+	}
+}
+
+func TestDBSCANEmptyAndValidation(t *testing.T) {
+	if _, err := DBSCAN(nil, 0, 4); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := DBSCAN(nil, 1, 0); err == nil {
+		t.Error("minPts=0 should error")
+	}
+	res, err := DBSCAN(nil, 1, 3)
+	if err != nil || res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Errorf("empty input: %+v, %v", res, err)
+	}
+}
+
+func TestDBSCANCentroids(t *testing.T) {
+	pts := []geom.Vec2{
+		{X: 0, Y: 0}, {X: 0.2, Y: 0}, {X: 0.1, Y: 0.2},
+		{X: 10, Y: 10}, {X: 10.2, Y: 10}, {X: 10.1, Y: 10.2},
+	}
+	res, err := DBSCAN(pts, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d", res.NumClusters)
+	}
+	cs := res.Centroids(pts)
+	if cs[0].Dist(geom.V2(0.1, 0.0667)) > 0.01 {
+		t.Errorf("centroid 0 = %v", cs[0])
+	}
+	if cs[1].Dist(geom.V2(10.1, 10.0667)) > 0.01 {
+		t.Errorf("centroid 1 = %v", cs[1])
+	}
+}
+
+func TestDBSCANDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := append(blob(rng, geom.V2(0, 0), 0.3, 50), blob(rng, geom.V2(3, 0), 0.3, 50)...)
+	a, _ := DBSCAN(pts, 0.5, 4)
+	b, _ := DBSCAN(pts, 0.5, 4)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("DBSCAN not deterministic")
+		}
+	}
+}
+
+func TestKMeansFourCorners(t *testing.T) {
+	// The annotation use case: noisy marks around 4 corners of a quad.
+	rng := rand.New(rand.NewSource(4))
+	corners := []geom.Vec2{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 3}, {X: 0, Y: 3}}
+	var pts []geom.Vec2
+	for _, c := range corners {
+		pts = append(pts, blob(rng, c, 0.1, 15)...)
+	}
+	res, err := KMeans(pts, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 4 {
+		t.Fatalf("centers = %d", len(res.Centers))
+	}
+	// Each true corner must be close to exactly one centre.
+	for _, c := range corners {
+		best := math.Inf(1)
+		for _, ctr := range res.Centers {
+			if d := c.Dist(ctr); d < best {
+				best = d
+			}
+		}
+		if best > 0.2 {
+			t.Errorf("no centre near corner %v (best %v)", c, best)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := []geom.Vec2{{X: 1}, {X: 2}}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := KMeans(pts, 0, rng); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans(pts, 3, rng); err == nil {
+		t.Error("k > n should error")
+	}
+}
+
+func TestKMeansExactK(t *testing.T) {
+	pts := []geom.Vec2{{X: 1}, {X: 5}, {X: 9}}
+	rng := rand.New(rand.NewSource(6))
+	res, err := KMeans(pts, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k == n every point is its own centre.
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("labels used = %d, want 3", len(seen))
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := []geom.Vec2{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}
+	rng := rand.New(rand.NewSource(7))
+	res, err := KMeans(pts, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Centers {
+		if !c.ApproxEq(geom.V2(1, 1)) {
+			t.Errorf("centre %v, want (1,1)", c)
+		}
+	}
+}
+
+func TestKMeansLabelsMatchNearestCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var pts []geom.Vec2
+	for i := 0; i < 60; i++ {
+		pts = append(pts, geom.V2(rng.Float64()*10, rng.Float64()*10))
+	}
+	res, err := KMeans(pts, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range res.Centers {
+			if d := p.Dist2(ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if res.Labels[i] != best {
+			t.Fatalf("point %d labelled %d but nearest centre is %d", i, res.Labels[i], best)
+		}
+	}
+}

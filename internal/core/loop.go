@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snaptask/internal/annotation"
+	"snaptask/internal/crowd"
+	"snaptask/internal/grid"
+	"snaptask/internal/taskgen"
+)
+
+// Iteration is one completed task in the guided loop, with the state the
+// evaluation snapshots after it (the per-task curves of Figures 10–11).
+type Iteration struct {
+	// Task that was executed.
+	Task taskgen.Task
+	// ArrivedOffset is the distance between the issued task location and
+	// where the worker actually captured (Figure 9's offsets).
+	ArrivedOffset float64
+	// PhotosUsed is the cumulative number of photos processed.
+	PhotosUsed int
+	// CoverageCells is the coverage after the task.
+	CoverageCells int
+	// Annotation carries the reconstruction result for annotation tasks.
+	Annotation *annotation.ReconResult
+	// AnnotationTask carries the photo set of annotation tasks for
+	// later per-task evaluation (Table I).
+	AnnotationTask *annotation.Task
+}
+
+// LoopResult summarises a complete guided field test.
+type LoopResult struct {
+	Iterations []Iteration
+	// Covered reports whether Algorithm 1 declared the venue complete.
+	Covered bool
+	// PhotoTasks and AnnotationTasks count issued tasks (the paper: 11
+	// photo + 6 annotation).
+	PhotoTasks, AnnotationTasks int
+	// TotalPhotos is the number of photos processed including bootstrap.
+	TotalPhotos int
+}
+
+// LoopOptions tunes RunGuidedLoop.
+type LoopOptions struct {
+	// MaxTasks stops the loop after this many executed tasks (safety
+	// bound; 80 by default).
+	MaxTasks int
+	// OnIteration, if set, observes every completed task.
+	OnIteration func(Iteration)
+	// SkipBootstrap resumes an existing session (e.g. one restored with
+	// LoadSystem) instead of capturing the initial model.
+	SkipBootstrap bool
+}
+
+func (o LoopOptions) withDefaults() LoopOptions {
+	if o.MaxTasks == 0 {
+		o.MaxTasks = 80
+	}
+	return o
+}
+
+// RunGuidedLoop executes the full SnapTask field test: bootstrap at the
+// entrance, then the closed task loop with a guided worker until Algorithm
+// 1 declares the venue covered (or the safety bound trips). truthObstacles
+// is the real-world geometry workers walk through.
+func RunGuidedLoop(sys *System, worker *crowd.GuidedWorker, truthObstacles *grid.Map, opts LoopOptions, rng *rand.Rand) (LoopResult, error) {
+	opts = opts.withDefaults()
+	var res LoopResult
+
+	if !opts.SkipBootstrap {
+		boot, err := BootstrapCapture(sys.World(), sys.Venue(), worker.Intrinsics, rng)
+		if err != nil {
+			return res, err
+		}
+		if _, err := sys.ProcessBootstrap(boot, rng); err != nil {
+			return res, err
+		}
+	}
+
+	for i := 0; i < opts.MaxTasks; i++ {
+		if sys.Covered() {
+			break
+		}
+		task, ok := sys.NextTask()
+		if !ok {
+			return res, fmt.Errorf("core: loop stalled — no pending task and venue not covered")
+		}
+		it := Iteration{Task: task}
+		switch task.Kind {
+		case taskgen.KindPhoto:
+			ptr, err := worker.DoPhotoTask(truthObstacles, task.Location, rng)
+			if err != nil {
+				return res, fmt.Errorf("core: photo task %d: %w", task.ID, err)
+			}
+			it.ArrivedOffset = ptr.Arrived.Dist(task.Location)
+			if _, err := sys.ProcessPhotoBatch(task.Location, task.AimPoint(), ptr.Photos, rng); err != nil {
+				return res, err
+			}
+		case taskgen.KindAnnotation:
+			atask, err := worker.DoAnnotationTask(truthObstacles, task.AimPoint(), rng)
+			if err != nil {
+				return res, fmt.Errorf("core: annotation task %d: %w", task.ID, err)
+			}
+			anns, err := annotation.SimulateWorkers(atask, sys.Venue(), sys.cfg.Workers, rng)
+			if err != nil {
+				return res, fmt.Errorf("core: annotation workers: %w", err)
+			}
+			out, err := sys.ProcessAnnotation(atask, task.AimPoint(), anns, rng)
+			if err != nil {
+				return res, err
+			}
+			it.Annotation = &out.Recon
+			it.AnnotationTask = &atask
+			it.ArrivedOffset = atask.Location.Dist(task.Location)
+		default:
+			return res, fmt.Errorf("core: unknown task kind %v", task.Kind)
+		}
+		it.PhotosUsed = sys.PhotosProcessed()
+		it.CoverageCells = sys.Maps().CoverageCells()
+		res.Iterations = append(res.Iterations, it)
+		if opts.OnIteration != nil {
+			opts.OnIteration(it)
+		}
+	}
+
+	res.Covered = sys.Covered()
+	res.PhotoTasks, res.AnnotationTasks = sys.TasksIssued()
+	res.TotalPhotos = sys.PhotosProcessed()
+	return res, nil
+}

@@ -1,0 +1,455 @@
+// Package core assembles SnapTask: the backend system that folds uploaded
+// photo batches into the incremental SfM model, maintains the obstacle /
+// visibility / coverage maps, runs the task-generation algorithms, and
+// drives the featureless-surface annotation pipeline — the complete closed
+// crowdsourcing loop of the paper's Figure 2.
+//
+// The System type is the server-side brain: it consumes photo and
+// annotation batches and produces tasks. RunGuidedLoop couples a System
+// with a simulated guided worker to execute the full field test.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snaptask/internal/annotation"
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+	"snaptask/internal/imaging"
+	"snaptask/internal/mapping"
+	"snaptask/internal/pointcloud"
+	"snaptask/internal/sfm"
+	"snaptask/internal/taskgen"
+	"snaptask/internal/venue"
+)
+
+// Config bundles the tunables of every stage. Zero-valued fields take the
+// paper's defaults throughout.
+type Config struct {
+	// Res is the map grid resolution in metres (0.15 in the paper,
+	// adjustable 0.10–0.50).
+	Res float64
+	// Margin is how far (metres) the system's map extends beyond the
+	// venue bounds. A generous margin leaves unknown space beyond glass
+	// walls, which is what drives Algorithm 1 to issue tasks there and
+	// eventually escalate to annotation — the paper's Figure 9 tasks
+	// 1 and 3–6. Defaults to 12.
+	Margin float64
+	// SfM configures the reconstruction pipeline.
+	SfM sfm.Config
+	// Mapping configures Algorithms 2–3.
+	Mapping mapping.Config
+	// TaskGen configures Algorithms 1 and 4.
+	TaskGen taskgen.Config
+	// Workers configures the simulated annotation workforce.
+	Workers annotation.WorkerOptions
+	// Bounds configures Algorithm 5.
+	Bounds annotation.BoundsConfig
+	// Recon configures Algorithm 6.
+	Recon annotation.ReconConfig
+	// SOR configures the statistical outlier filter of Algorithm 1.
+	SOR pointcloud.SOROptions
+	// MinCoverageGrowth is the number of new coverage cells a batch must
+	// add to count as "coverage increased" — pose noise alone adds a few
+	// cells, which must not mask a genuinely stuck location. Defaults
+	// to 30 (≈0.7 m²).
+	MinCoverageGrowth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Res == 0 {
+		c.Res = 0.15
+	}
+	if c.Margin == 0 {
+		c.Margin = 12
+	}
+	if c.MinCoverageGrowth == 0 {
+		c.MinCoverageGrowth = 30
+	}
+	return c
+}
+
+// System is the SnapTask backend state. It is not safe for concurrent use;
+// the HTTP server serialises access through a single owner goroutine.
+type System struct {
+	cfg    Config
+	venue  *venue.Venue
+	world  *camera.World
+	model  *sfm.Model
+	gen    *taskgen.Generator
+	layout *grid.Map
+	maps   *mapping.Maps
+
+	pending      []taskgen.Task
+	covered      bool
+	nextArtID    uint64
+	barrierCells []grid.Cell
+
+	// Counters for the paper's §V-B3 bookkeeping.
+	photoTasksIssued      int
+	annotationTasksIssued int
+	photosProcessed       int
+}
+
+// NewSystem creates a backend for a venue. The world must be built over the
+// same venue; its features are the reconstruction oracle.
+func NewSystem(v *venue.Venue, world *camera.World, cfg Config) (*System, error) {
+	if v == nil || world == nil {
+		return nil, fmt.Errorf("core: nil venue or world")
+	}
+	cfg = cfg.withDefaults()
+	layout, err := grid.NewFromBounds(v.Bounds().Expand(cfg.Margin), cfg.Res)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout: %w", err)
+	}
+	s := &System{
+		cfg:       cfg,
+		venue:     v,
+		world:     world,
+		model:     sfm.NewModel(cfg.SfM, world.Features()),
+		gen:       taskgen.NewGenerator(cfg.TaskGen),
+		layout:    layout,
+		nextArtID: annotation.ArtificialIDBase,
+	}
+	// The entrance is a known boundary: the initial model is anchored
+	// there, so the backend seals the gap in its own maps rather than
+	// issuing tasks through it.
+	for _, seg := range v.EntranceSegments() {
+		layout.RasterizeSegment(seg, func(c grid.Cell) {
+			if layout.InBounds(c) {
+				s.barrierCells = append(s.barrierCells, c)
+			}
+		})
+	}
+	s.maps = &mapping.Maps{
+		Obstacles:  grid.NewLike(layout),
+		Visibility: grid.NewLike(layout),
+		Aspects:    grid.NewLike(layout),
+		Coverage:   grid.NewLike(layout),
+	}
+	s.applyBarrier()
+	return s, nil
+}
+
+// applyBarrier marks entrance-gap cells as boundary in the current maps.
+func (s *System) applyBarrier() {
+	for _, c := range s.barrierCells {
+		if s.maps.Obstacles.At(c) == 0 {
+			s.maps.Obstacles.Set(c, 1)
+		}
+		if s.maps.Coverage.At(c) == 0 {
+			s.maps.Coverage.Set(c, 1)
+		}
+	}
+}
+
+// Venue returns the system's venue.
+func (s *System) Venue() *venue.Venue { return s.venue }
+
+// World returns the capture world (shared with clients in-process).
+func (s *System) World() *camera.World { return s.world }
+
+// Model returns the current SfM model.
+func (s *System) Model() *sfm.Model { return s.model }
+
+// Maps returns the current mapping products.
+func (s *System) Maps() *mapping.Maps { return s.maps }
+
+// Layout returns the shared grid layout.
+func (s *System) Layout() *grid.Map { return s.layout }
+
+// Covered reports whether Algorithm 1 has declared the venue fully
+// covered.
+func (s *System) Covered() bool { return s.covered }
+
+// PhotosProcessed returns the number of photos accepted into batches so
+// far.
+func (s *System) PhotosProcessed() int { return s.photosProcessed }
+
+// TasksIssued returns how many photo and annotation tasks have been
+// generated.
+func (s *System) TasksIssued() (photo, ann int) {
+	return s.photoTasksIssued, s.annotationTasksIssued
+}
+
+// NextTask pops the next pending task. ok is false when none is pending
+// (either the venue is covered or a batch is still awaited).
+func (s *System) NextTask() (taskgen.Task, bool) {
+	if len(s.pending) == 0 {
+		return taskgen.Task{}, false
+	}
+	t := s.pending[0]
+	s.pending = s.pending[1:]
+	return t, true
+}
+
+// PendingTasks returns a copy of the pending task queue.
+func (s *System) PendingTasks() []taskgen.Task {
+	return append([]taskgen.Task(nil), s.pending...)
+}
+
+// rebuildMaps runs Algorithm 1 lines 2–5: SOR filter, obstacle map,
+// visibility map, coverage.
+func (s *System) rebuildMaps() error {
+	cloud, _, err := pointcloud.StatisticalOutlierRemoval(s.model.Cloud(), s.cfg.SOR)
+	if err != nil {
+		return fmt.Errorf("core: SOR: %w", err)
+	}
+	var views []mapping.View
+	for _, v := range s.model.Views() {
+		views = append(views, mapping.View{Pose: v.Pose, Intrinsics: v.Intrinsics})
+	}
+	maps, err := mapping.Build(cloud, views, s.layout, s.cfg.Mapping)
+	if err != nil {
+		return fmt.Errorf("core: maps: %w", err)
+	}
+	s.maps = maps
+	s.applyBarrier()
+	return nil
+}
+
+// effectiveVisibility folds aspect coverage into the visibility counts fed
+// to Algorithm 4: a cell viewed from fewer than two quadrants is clamped
+// below COVERED_VIEW_TOLERANCE so it stays "unvisited" — the paper demands
+// that "all aspects of the area are covered by camera views", and sweeps
+// from a second direction are how that happens.
+func (s *System) effectiveVisibility() *grid.Map {
+	out := s.maps.Visibility.Clone()
+	tol := s.gen.Config().CoveredViewTolerance
+	out.Each(func(c grid.Cell, v int) {
+		if v >= tol && popcountAspects(s.maps.Aspects.At(c)) < mapping.MinAspects {
+			out.Set(c, tol-1)
+		}
+	})
+	return out
+}
+
+func popcountAspects(mask int) int {
+	n := 0
+	for b := 0; b < 4; b++ {
+		if mask&(1<<b) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// step feeds Algorithm 1's decision stage and queues the produced tasks.
+func (s *System) step(in taskgen.StepInput) (taskgen.StepOutput, error) {
+	in.Obstacles = s.maps.Obstacles
+	in.Visibility = s.effectiveVisibility()
+	in.Start = s.venue.Entrance()
+	out, err := s.gen.Step(in)
+	if err != nil {
+		return out, fmt.Errorf("core: task generation: %w", err)
+	}
+	if out.VenueCovered {
+		s.covered = true
+	}
+	for _, t := range out.Tasks {
+		switch t.Kind {
+		case taskgen.KindPhoto:
+			s.photoTasksIssued++
+		case taskgen.KindAnnotation:
+			s.annotationTasksIssued++
+		}
+	}
+	s.pending = append(s.pending, out.Tasks...)
+	return out, nil
+}
+
+// BatchOutcome reports one processed photo batch.
+type BatchOutcome struct {
+	Batch             sfm.BatchResult
+	CoverageCells     int
+	CoverageIncreased bool
+	TasksIssued       []taskgen.Task
+	VenueCovered      bool
+}
+
+// ProcessBootstrap ingests the initial capture set (the paper's 2-minute
+// video plus geo-calibration photos at the entrance), builds the initial
+// model and issues the first task.
+func (s *System) ProcessBootstrap(photos []camera.Photo, rng *rand.Rand) (BatchOutcome, error) {
+	if s.model.NumViews() > 0 {
+		return BatchOutcome{}, fmt.Errorf("core: bootstrap on a non-empty model")
+	}
+	batch, err := s.model.RegisterBatch(photos, rng)
+	if err != nil {
+		return BatchOutcome{}, fmt.Errorf("core: bootstrap register: %w", err)
+	}
+	if len(batch.Registered) == 0 {
+		return BatchOutcome{}, fmt.Errorf("core: bootstrap photos failed to seed a model")
+	}
+	s.photosProcessed += len(photos)
+	if err := s.rebuildMaps(); err != nil {
+		return BatchOutcome{}, err
+	}
+	out, err := s.step(taskgen.StepInput{Bootstrap: true})
+	if err != nil {
+		return BatchOutcome{}, err
+	}
+	return BatchOutcome{
+		Batch:             batch,
+		CoverageCells:     s.maps.CoverageCells(),
+		CoverageIncreased: true,
+		TasksIssued:       out.Tasks,
+		VenueCovered:      out.VenueCovered,
+	}, nil
+}
+
+// ProcessPhotoBatch ingests the photos of a completed photo task: the full
+// Algorithm 1 iteration. taskSeed is the task's discovery-frontier point
+// (pass taskLoc when unknown).
+func (s *System) ProcessPhotoBatch(taskLoc, taskSeed geom.Vec2, photos []camera.Photo, rng *rand.Rand) (BatchOutcome, error) {
+	if len(photos) == 0 {
+		return BatchOutcome{}, fmt.Errorf("core: empty photo batch")
+	}
+	before := s.progressCells()
+	batch, err := s.model.RegisterBatch(photos, rng)
+	if err != nil {
+		return BatchOutcome{}, fmt.Errorf("core: register batch: %w", err)
+	}
+	s.photosProcessed += len(photos)
+	if err := s.rebuildMaps(); err != nil {
+		return BatchOutcome{}, err
+	}
+	after := s.progressCells()
+	grew := after >= before+s.growthThreshold(before)
+
+	out, err := s.step(taskgen.StepInput{
+		BatchRegistered:   len(batch.Registered) > 0,
+		CoverageIncreased: grew,
+		BatchSharpness:    medianSharpness(photos),
+		TaskLocation:      taskLoc,
+		TaskSeed:          taskSeed,
+	})
+	if err != nil {
+		return BatchOutcome{}, err
+	}
+	return BatchOutcome{
+		Batch:             batch,
+		CoverageCells:     after,
+		CoverageIncreased: grew,
+		TasksIssued:       out.Tasks,
+		VenueCovered:      out.VenueCovered,
+	}, nil
+}
+
+// AnnotationOutcome reports one processed annotation task.
+type AnnotationOutcome struct {
+	Recon         annotation.ReconResult
+	CoverageCells int
+	TasksIssued   []taskgen.Task
+	VenueCovered  bool
+}
+
+// ProcessAnnotation runs Algorithms 5 and 6 over the collected photo set
+// and worker annotations, folds the reconstructed featureless surfaces into
+// the model and continues the task loop. taskSeed is the originating
+// task's discovery point (pass the task location when unknown).
+func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, anns []annotation.Annotation, rng *rand.Rand) (AnnotationOutcome, error) {
+	if len(task.Photos) == 0 {
+		return AnnotationOutcome{}, fmt.Errorf("core: annotation task without photos")
+	}
+	before := s.progressCells()
+	bounds, err := annotation.MarkedObstacleBounds(anns, len(task.Photos), s.cfg.Bounds, rng)
+	if err != nil {
+		return AnnotationOutcome{}, fmt.Errorf("core: bounds: %w", err)
+	}
+	recon, err := annotation.Reconstruct(s.model, s.world, task, bounds, imaging.TextureDB{}, s.cfg.Recon, &s.nextArtID, rng)
+	if err != nil {
+		return AnnotationOutcome{}, fmt.Errorf("core: reconstruct: %w", err)
+	}
+	s.photosProcessed += len(task.Photos)
+	if err := s.rebuildMaps(); err != nil {
+		return AnnotationOutcome{}, err
+	}
+	after := s.progressCells()
+
+	out, err := s.step(taskgen.StepInput{
+		BatchRegistered:   recon.Reconstructed > 0,
+		CoverageIncreased: after >= before+s.growthThreshold(before),
+		BatchSharpness:    medianSharpness(task.Photos),
+		TaskLocation:      task.Location,
+		TaskSeed:          taskSeed,
+		AnnotationFailed:  recon.Identified == 0,
+	})
+	if err != nil {
+		return AnnotationOutcome{}, err
+	}
+	return AnnotationOutcome{
+		Recon:         recon,
+		CoverageCells: after,
+		TasksIssued:   out.Tasks,
+		VenueCovered:  out.VenueCovered,
+	}, nil
+}
+
+// progressCells measures mapping progress for the coverage-increased test:
+// aspect-complete coverage, so a sweep that completes the viewing aspects
+// of already-seen cells counts as productive (it is — the paper requires
+// all aspects covered) and does not get misread as a stuck location.
+func (s *System) progressCells() int {
+	return s.maps.AspectCoverage().CountPositive()
+}
+
+// growthThreshold returns how many new coverage cells a batch must add to
+// count as progress. It scales with the current coverage because pose
+// noise inflates the visibility union a little with every added view.
+func (s *System) growthThreshold(before int) int {
+	t := s.cfg.MinCoverageGrowth
+	if rel := before / 200; rel > t {
+		t = rel
+	}
+	return t
+}
+
+// medianSharpness returns the median Laplacian variance of a batch — the
+// quality signal checkPhotoQuality inspects.
+func medianSharpness(photos []camera.Photo) float64 {
+	if len(photos) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(photos))
+	for i, p := range photos {
+		vals[i] = p.Sharpness
+	}
+	// Insertion sort; batches are small.
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}
+
+// BootstrapCapture produces the paper's initial data collection: a 360°
+// sweep standing just inside the entrance (the video frames) plus a short
+// line of geo-calibration photos.
+func BootstrapCapture(world *camera.World, v *venue.Venue, in camera.Intrinsics, rng *rand.Rand) ([]camera.Photo, error) {
+	photos, err := world.Sweep(v.Entrance(), in, camera.CaptureOptions{}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap sweep: %w", err)
+	}
+	// Geo-calibration line: 39 photos stepping into the venue.
+	dirIn := geom.Vec2{}
+	b := v.Bounds()
+	center := b.Center()
+	dirIn = center.Sub(v.Entrance()).Norm()
+	for i := 0; i < 39; i++ {
+		pos := v.Entrance().Add(dirIn.Scale(0.05 * float64(i)))
+		if v.Blocked(pos) {
+			break
+		}
+		yaw := dirIn.Angle() + float64(i%5-2)*0.15
+		p, err := world.Capture(camera.Pose{Pos: pos, Yaw: yaw}, in, camera.CaptureOptions{}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: geo-calibration photo %d: %w", i, err)
+		}
+		photos = append(photos, p)
+	}
+	return photos, nil
+}

@@ -1,0 +1,303 @@
+// Package crowd models the three data-collection behaviours the paper
+// compares: opportunistic crowdsourcing (participants go about their daily
+// activities with a chest-carried recording device), unguided participatory
+// crowdsourcing (participants shoot arbitrary photos, clustered around
+// social hotspots), and guided participatory crowdsourcing (SnapTask
+// workers navigating to assigned task locations and performing 360°
+// sweeps). Movement follows the venue's real geometry via A* paths, and
+// hotspot bias follows the observation the paper cites that "people tend to
+// move around particular places and do not mimic arbitrary movement".
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snaptask/internal/annotation"
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+	"snaptask/internal/nav"
+	"snaptask/internal/venue"
+)
+
+// OpportunisticOptions tunes the opportunistic collection model.
+type OpportunisticOptions struct {
+	// Participants carrying recording devices (10 in the paper).
+	Participants int
+	// TripsPerParticipant is how many recorded activity trips each makes
+	// (the paper collected 20 videos from 10 participants).
+	TripsPerParticipant int
+	// FPS is the video frame rate. Defaults to 12.
+	FPS float64
+	// WalkSpeed in m/s. Defaults to 1.2.
+	WalkSpeed float64
+}
+
+func (o OpportunisticOptions) withDefaults() OpportunisticOptions {
+	if o.Participants == 0 {
+		o.Participants = 10
+	}
+	if o.TripsPerParticipant == 0 {
+		o.TripsPerParticipant = 3
+	}
+	if o.FPS == 0 {
+		o.FPS = 12
+	}
+	if o.WalkSpeed == 0 {
+		o.WalkSpeed = 1.2
+	}
+	return o
+}
+
+// Video is one recorded trip: the raw frames plus the walked path.
+type Video struct {
+	Frames []camera.Photo
+	Path   nav.Path
+}
+
+// Opportunistic simulates the paper's opportunistic dataset: each
+// participant walks between social hotspots on their daily business while
+// the device records video. Frames are captured facing the walking
+// direction with motion blur that varies with gait.
+func Opportunistic(w *camera.World, v *venue.Venue, truthObstacles *grid.Map, in camera.Intrinsics, opts OpportunisticOptions, rng *rand.Rand) ([]Video, error) {
+	if truthObstacles == nil {
+		return nil, fmt.Errorf("crowd: nil obstacle map")
+	}
+	opts = opts.withDefaults()
+	hotspots := v.Hotspots()
+	if len(hotspots) < 2 {
+		return nil, fmt.Errorf("crowd: venue needs at least 2 hotspots")
+	}
+
+	var videos []Video
+	for p := 0; p < opts.Participants; p++ {
+		pos := v.Entrance()
+		for trip := 0; trip < opts.TripsPerParticipant; trip++ {
+			goal := hotspots[rng.Intn(len(hotspots))]
+			if goal.Dist(pos) < 1 {
+				goal = hotspots[rng.Intn(len(hotspots))]
+			}
+			path, err := nav.PlanPath(truthObstacles, pos, goal)
+			if err != nil {
+				continue // unreachable hotspot; skip the trip
+			}
+			video := Video{Path: path}
+			step := opts.WalkSpeed / opts.FPS
+			walked := walkFrames(w, path, in, step, rng)
+			video.Frames = walked
+			if len(video.Frames) > 0 {
+				videos = append(videos, video)
+			}
+			pos = path[len(path)-1]
+		}
+	}
+	if len(videos) == 0 {
+		return nil, fmt.Errorf("crowd: no opportunistic videos produced")
+	}
+	return videos, nil
+}
+
+// walkFrames captures frames every `step` metres along the path, facing the
+// walking direction, with gait-dependent motion blur.
+func walkFrames(w *camera.World, path nav.Path, in camera.Intrinsics, step float64, rng *rand.Rand) []camera.Photo {
+	var frames []camera.Photo
+	if len(path) < 2 {
+		return nil
+	}
+	for seg := 1; seg < len(path); seg++ {
+		a, b := path[seg-1], path[seg]
+		segLen := a.Dist(b)
+		if segLen < 1e-9 {
+			continue
+		}
+		dir := b.Sub(a).Norm()
+		yaw := dir.Angle()
+		for d := 0.0; d < segLen; d += step {
+			pos := a.Add(dir.Scale(d))
+			blur := 0
+			// Walking shake: most frames slightly blurred, some badly.
+			switch r := rng.Float64(); {
+			case r < 0.25:
+				blur = 0
+			case r < 0.8:
+				blur = 2 + rng.Intn(4)
+			default:
+				blur = 8 + rng.Intn(8)
+			}
+			photo, err := w.Capture(camera.Pose{Pos: pos, Yaw: yaw}, in,
+				camera.CaptureOptions{MotionBlurLen: blur}, rng)
+			if err != nil {
+				continue
+			}
+			frames = append(frames, photo)
+		}
+	}
+	return frames
+}
+
+// ExtractSharpest implements the paper's sliding-window frame extraction:
+// split the frame sequence into consecutive windows and keep only the
+// sharpest frame of each window, "to prevent blurry samples from being
+// added to the dataset".
+func ExtractSharpest(frames []camera.Photo, window int) []camera.Photo {
+	if window <= 1 {
+		return append([]camera.Photo(nil), frames...)
+	}
+	var out []camera.Photo
+	for start := 0; start < len(frames); start += window {
+		end := start + window
+		if end > len(frames) {
+			end = len(frames)
+		}
+		best := start
+		for i := start + 1; i < end; i++ {
+			if frames[i].Sharpness > frames[best].Sharpness {
+				best = i
+			}
+		}
+		out = append(out, frames[best])
+	}
+	return out
+}
+
+// UnguidedOptions tunes the unguided participatory model.
+type UnguidedOptions struct {
+	// Participants taking photos (10 in the paper).
+	Participants int
+	// PhotosEach is photos per participant (100 in the paper).
+	PhotosEach int
+	// HotspotSigma is the spread (metres) of photo positions around
+	// hotspots. Defaults to 2.0.
+	HotspotSigma float64
+	// BlurProb is the chance a photo is badly blurred. Defaults to 0.1.
+	BlurProb float64
+	// SharpnessThreshold filters blurry photos afterwards, as the paper
+	// does with the variation of the Laplacian. Defaults to 40.
+	SharpnessThreshold float64
+}
+
+func (o UnguidedOptions) withDefaults() UnguidedOptions {
+	if o.Participants == 0 {
+		o.Participants = 10
+	}
+	if o.PhotosEach == 0 {
+		o.PhotosEach = 100
+	}
+	if o.HotspotSigma == 0 {
+		o.HotspotSigma = 1.5
+	}
+	if o.BlurProb == 0 {
+		o.BlurProb = 0.1
+	}
+	if o.SharpnessThreshold == 0 {
+		o.SharpnessThreshold = 150
+	}
+	return o
+}
+
+// Unguided simulates the unguided participatory dataset: arbitrary photos
+// from hotspot-biased positions with random orientations, blur-filtered as
+// the paper filters with the variation of the Laplacian.
+func Unguided(w *camera.World, v *venue.Venue, in camera.Intrinsics, opts UnguidedOptions, rng *rand.Rand) ([]camera.Photo, error) {
+	opts = opts.withDefaults()
+	hotspots := v.Hotspots()
+	if len(hotspots) == 0 {
+		return nil, fmt.Errorf("crowd: venue has no hotspots")
+	}
+	var kept []camera.Photo
+	for p := 0; p < opts.Participants; p++ {
+		for i := 0; i < opts.PhotosEach; i++ {
+			pos, ok := sampleNearHotspot(v, hotspots, opts.HotspotSigma, rng)
+			if !ok {
+				continue
+			}
+			blur := 0
+			if rng.Float64() < opts.BlurProb {
+				blur = 8 + rng.Intn(10)
+			}
+			photo, err := w.Capture(camera.Pose{Pos: pos, Yaw: rng.Float64() * 2 * 3.141592653589793}, in,
+				camera.CaptureOptions{MotionBlurLen: blur}, rng)
+			if err != nil {
+				return nil, fmt.Errorf("crowd: unguided capture: %w", err)
+			}
+			if photo.Sharpness >= opts.SharpnessThreshold {
+				kept = append(kept, photo)
+			}
+		}
+	}
+	return kept, nil
+}
+
+// sampleNearHotspot draws an unblocked position near a random hotspot.
+func sampleNearHotspot(v *venue.Venue, hotspots []geom.Vec2, sigma float64, rng *rand.Rand) (geom.Vec2, bool) {
+	for attempt := 0; attempt < 40; attempt++ {
+		h := hotspots[rng.Intn(len(hotspots))]
+		pos := h.Add(geom.V2(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma))
+		if !v.Blocked(pos) {
+			return pos, true
+		}
+	}
+	return geom.Vec2{}, false
+}
+
+// GuidedWorker is a SnapTask participant who accepts tasks, navigates to
+// them with the AR navigation substrate and performs the capture protocol.
+type GuidedWorker struct {
+	World      *camera.World
+	Venue      *venue.Venue
+	Intrinsics camera.Intrinsics
+	// Pos is the worker's current position, updated after every task.
+	Pos geom.Vec2
+	// BlurProb is the chance an entire sweep comes out blurred (a
+	// careless worker), exercising Algorithm 1's retry branch. Defaults
+	// to 0.
+	BlurProb float64
+}
+
+// PhotoTaskResult reports a completed photo-collection task.
+type PhotoTaskResult struct {
+	Photos []camera.Photo
+	// Arrived is where the sweep actually happened (task location plus
+	// navigation error — the paper's Figure 9 offsets).
+	Arrived geom.Vec2
+	// Walked is the navigation path taken.
+	Walked nav.Path
+}
+
+// DoPhotoTask navigates to the task location over the worker's current
+// knowledge of the world (the true obstacle map — people see where they
+// walk) and performs the 360°/8° sweep.
+func (gw *GuidedWorker) DoPhotoTask(truthObstacles *grid.Map, loc geom.Vec2, rng *rand.Rand) (PhotoTaskResult, error) {
+	path, arrived, err := nav.Navigate(truthObstacles, gw.Pos, loc, rng)
+	if err != nil {
+		return PhotoTaskResult{}, fmt.Errorf("crowd: navigate to %v: %w", loc, err)
+	}
+	opts := camera.CaptureOptions{}
+	if gw.BlurProb > 0 && rng.Float64() < gw.BlurProb {
+		opts.MotionBlurLen = 18
+	}
+	photos, err := gw.World.Sweep(arrived, gw.Intrinsics, opts, rng)
+	if err != nil {
+		return PhotoTaskResult{}, fmt.Errorf("crowd: sweep: %w", err)
+	}
+	gw.Pos = arrived
+	return PhotoTaskResult{Photos: photos, Arrived: arrived, Walked: path}, nil
+}
+
+// DoAnnotationTask navigates to the task location and takes the photo set
+// of the featureless surface nearest to the ISSUED location (the spot the
+// system kept failing at — possibly beyond a glass wall), standing at the
+// closest reachable position.
+func (gw *GuidedWorker) DoAnnotationTask(truthObstacles *grid.Map, loc geom.Vec2, rng *rand.Rand) (annotation.Task, error) {
+	_, arrived, err := nav.Navigate(truthObstacles, gw.Pos, loc, rng)
+	if err != nil {
+		return annotation.Task{}, fmt.Errorf("crowd: navigate to %v: %w", loc, err)
+	}
+	gw.Pos = arrived
+	task, err := annotation.CollectPhotos(gw.World, gw.Venue, loc, gw.Intrinsics, rng)
+	if err != nil {
+		return annotation.Task{}, fmt.Errorf("crowd: annotation photos: %w", err)
+	}
+	return task, nil
+}

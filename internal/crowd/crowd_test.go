@@ -1,0 +1,225 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+	"snaptask/internal/venue"
+)
+
+// libWorld builds the library with features, world and ground truth.
+func libWorld(t *testing.T) (*venue.Venue, *camera.World, *grid.Map) {
+	t.Helper()
+	v, err := venue.Library()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(100)))
+	w := camera.NewWorld(v, feats)
+	gt, err := v.GroundTruth(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, w, gt.Obstacles
+}
+
+func TestOpportunistic(t *testing.T) {
+	v, w, obstacles := libWorld(t)
+	rng := rand.New(rand.NewSource(1))
+	videos, err := Opportunistic(w, v, obstacles, camera.DefaultIntrinsics(),
+		OpportunisticOptions{Participants: 3, TripsPerParticipant: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(videos) < 3 {
+		t.Fatalf("videos = %d", len(videos))
+	}
+	for _, vid := range videos {
+		if len(vid.Frames) == 0 {
+			t.Fatal("empty video")
+		}
+		if vid.Path.Length() == 0 {
+			t.Fatal("video without path")
+		}
+		// Frames must be on walkable ground.
+		for _, f := range vid.Frames {
+			if !v.Inside(f.Pose.Pos) {
+				t.Fatalf("frame outside venue at %v", f.Pose.Pos)
+			}
+		}
+	}
+	// Frame spacing ≈ walkSpeed/fps = 0.1 m.
+	f := videos[0].Frames
+	if len(f) > 2 {
+		d := f[0].Pose.Pos.Dist(f[1].Pose.Pos)
+		if d > 0.3 {
+			t.Errorf("frame spacing %v too coarse", d)
+		}
+	}
+}
+
+func TestOpportunisticValidation(t *testing.T) {
+	v, w, _ := libWorld(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Opportunistic(w, v, nil, camera.DefaultIntrinsics(), OpportunisticOptions{}, rng); err == nil {
+		t.Error("nil obstacles should error")
+	}
+}
+
+func TestExtractSharpest(t *testing.T) {
+	frames := make([]camera.Photo, 10)
+	for i := range frames {
+		frames[i].ID = i + 1
+		frames[i].Sharpness = float64(i % 5)
+	}
+	out := ExtractSharpest(frames, 5)
+	if len(out) != 2 {
+		t.Fatalf("extracted %d, want 2", len(out))
+	}
+	// Sharpest of each window has Sharpness 4 (IDs 5 and 10).
+	if out[0].ID != 5 || out[1].ID != 10 {
+		t.Errorf("extracted IDs %d, %d", out[0].ID, out[1].ID)
+	}
+	// Window 1 or less: identity copy.
+	same := ExtractSharpest(frames, 1)
+	if len(same) != 10 {
+		t.Error("window 1 should keep all")
+	}
+	// Partial final window.
+	out = ExtractSharpest(frames[:7], 5)
+	if len(out) != 2 {
+		t.Errorf("partial window output = %d", len(out))
+	}
+	if got := ExtractSharpest(nil, 5); len(got) != 0 {
+		t.Error("empty input should be empty")
+	}
+}
+
+func TestUnguided(t *testing.T) {
+	v, w, _ := libWorld(t)
+	rng := rand.New(rand.NewSource(3))
+	photos, err := Unguided(w, v, camera.DefaultIntrinsics(),
+		UnguidedOptions{Participants: 3, PhotosEach: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(photos) < 50 || len(photos) > 90 {
+		t.Fatalf("kept %d of 90 photos; blur filter should drop ~10%%", len(photos))
+	}
+	// All kept photos are sharp and from unblocked spots.
+	for _, p := range photos {
+		if p.Sharpness < 150 {
+			t.Error("blurry photo kept")
+		}
+		if v.Blocked(p.Pose.Pos) {
+			t.Errorf("photo from blocked position %v", p.Pose.Pos)
+		}
+	}
+	// Hotspot bias: most photos within 4 m of some hotspot.
+	near := 0
+	for _, p := range photos {
+		for _, h := range v.Hotspots() {
+			if p.Pose.Pos.Dist(h) < 4 {
+				near++
+				break
+			}
+		}
+	}
+	if float64(near) < 0.9*float64(len(photos)) {
+		t.Errorf("only %d/%d photos near hotspots", near, len(photos))
+	}
+}
+
+func TestGuidedWorkerPhotoTask(t *testing.T) {
+	v, w, obstacles := libWorld(t)
+	rng := rand.New(rand.NewSource(4))
+	gw := &GuidedWorker{
+		World:      w,
+		Venue:      v,
+		Intrinsics: camera.DefaultIntrinsics(),
+		Pos:        v.Entrance(),
+	}
+	loc := geom.V2(12.8, 6.5) // open floor between shelves and workstations
+	res, err := gw.DoPhotoTask(obstacles, loc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Photos) != 45 {
+		t.Fatalf("sweep photos = %d, want 45", len(res.Photos))
+	}
+	// The achieved position is near the task location (≤1 m nav error +
+	// goal-cell snapping).
+	if res.Arrived.Dist(loc) > 1.6 {
+		t.Errorf("arrived %v, %.2f m from task", res.Arrived, res.Arrived.Dist(loc))
+	}
+	if gw.Pos != res.Arrived {
+		t.Error("worker position not updated")
+	}
+	if res.Walked.Length() == 0 {
+		t.Error("no walk recorded")
+	}
+}
+
+func TestGuidedWorkerBlurry(t *testing.T) {
+	v, w, obstacles := libWorld(t)
+	rng := rand.New(rand.NewSource(5))
+	gw := &GuidedWorker{
+		World:      w,
+		Venue:      v,
+		Intrinsics: camera.DefaultIntrinsics(),
+		Pos:        v.Entrance(),
+		BlurProb:   1.0,
+	}
+	res, err := gw.DoPhotoTask(obstacles, geom.V2(12.8, 6.5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharpCount := 0
+	for _, p := range res.Photos {
+		if p.Sharpness >= 150 {
+			sharpCount++
+		}
+	}
+	if sharpCount > len(res.Photos)/2 {
+		t.Errorf("blurred sweep still has %d sharp photos", sharpCount)
+	}
+}
+
+func TestGuidedWorkerAnnotationTask(t *testing.T) {
+	v, w, obstacles := libWorld(t)
+	rng := rand.New(rand.NewSource(6))
+	gw := &GuidedWorker{
+		World:      w,
+		Venue:      v,
+		Intrinsics: camera.DefaultIntrinsics(),
+		Pos:        v.Entrance(),
+	}
+	// Near the east glass wall.
+	task, err := gw.DoAnnotationTask(obstacles, geom.V2(23, 4.5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Photos) == 0 {
+		t.Fatal("no annotation photos")
+	}
+	if task.TruthSurfaceID == 0 {
+		t.Error("truth surface missing")
+	}
+}
+
+func TestGuidedWorkerUnreachable(t *testing.T) {
+	v, w, obstacles := libWorld(t)
+	rng := rand.New(rand.NewSource(7))
+	gw := &GuidedWorker{
+		World:      w,
+		Venue:      v,
+		Intrinsics: camera.DefaultIntrinsics(),
+		Pos:        geom.V2(-50, -50), // outside the map
+	}
+	if _, err := gw.DoPhotoTask(obstacles, geom.V2(5, 5), rng); err == nil {
+		t.Error("navigation from outside the map should error")
+	}
+}

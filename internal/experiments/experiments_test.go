@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"testing"
+
+	"snaptask/internal/core"
+	"snaptask/internal/metrics"
+	"snaptask/internal/taskgen"
+	"snaptask/internal/venue"
+)
+
+func smallSetup(t *testing.T) *Setup {
+	t.Helper()
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := NewSetup(v, 1, core.Config{Margin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return setup
+}
+
+func TestNewLibrarySetup(t *testing.T) {
+	setup, err := NewLibrarySetup(1, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.Venue.Name() != "aalto-library" {
+		t.Errorf("venue = %q", setup.Venue.Name())
+	}
+	if setup.TruthCov.CountPositive() == 0 {
+		t.Error("empty truth coverage")
+	}
+	if !setup.Layout.SameLayout(setup.GT.Obstacles) {
+		t.Error("ground truth not on the system layout")
+	}
+	if setup.WalkMap.CountPositive() <= setup.GT.Obstacles.CountPositive() {
+		t.Error("walk map should block outside cells too")
+	}
+}
+
+func TestBuildUnguidedDeterministicAndCapped(t *testing.T) {
+	setup := smallSetup(t)
+	a, err := setup.BuildUnguided(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := setup.BuildUnguided(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic dataset: %d vs %d", len(a), len(b))
+	}
+	capped, err := setup.BuildUnguided(5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 50 {
+		t.Errorf("cap ignored: %d", len(capped))
+	}
+}
+
+func TestBuildOpportunistic(t *testing.T) {
+	setup := smallSetup(t)
+	photos, paths, err := setup.BuildOpportunistic(6, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(photos) == 0 || len(paths) == 0 {
+		t.Fatalf("dataset empty: %d photos, %d paths", len(photos), len(paths))
+	}
+	// Extraction with a bigger window keeps fewer frames.
+	wide, _, err := setup.BuildOpportunistic(6, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide) >= len(photos) {
+		t.Errorf("window 60 kept %d >= window 15 kept %d", len(wide), len(photos))
+	}
+}
+
+func TestEvaluateIncremental(t *testing.T) {
+	setup := smallSetup(t)
+	photos, err := setup.BuildUnguided(7, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := setup.EvaluateIncremental(photos, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 3 {
+		t.Fatalf("curve points = %d, want 3", len(res.Curve))
+	}
+	// Photos axis is cumulative.
+	if res.Curve[0].Photos != 40 || res.Curve[2].Photos != 120 {
+		t.Errorf("photo axis wrong: %+v", res.Curve)
+	}
+	// Coverage cannot decrease as photos accumulate (monotone model).
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].CoveragePct < res.Curve[i-1].CoveragePct-3 {
+			t.Errorf("coverage dropped sharply: %+v", res.Curve)
+		}
+	}
+	if res.FinalMaps == nil || res.DatasetSize != 120 {
+		t.Error("result incomplete")
+	}
+	if _, err := setup.EvaluateIncremental(photos, 0, 8); err == nil {
+		t.Error("chunk 0 should error")
+	}
+}
+
+func TestEvaluateIncrementalEmptyDataset(t *testing.T) {
+	setup := smallSetup(t)
+	res, err := setup.EvaluateIncremental(nil, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 1 || res.FinalMaps == nil {
+		t.Errorf("empty dataset should yield the bare initial model: %+v", res.Curve)
+	}
+}
+
+func TestRunGuidedSmall(t *testing.T) {
+	setup := smallSetup(t)
+	res, err := setup.RunGuided(10, GuidedOptions{MaxTasks: 50, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatalf("not covered in %d tasks", len(res.Loop.Iterations))
+	}
+	if len(res.Curve) != len(res.Loop.Iterations) {
+		t.Errorf("curve/iteration mismatch: %d vs %d", len(res.Curve), len(res.Loop.Iterations))
+	}
+	if len(res.Marks) != len(res.Curve) {
+		t.Error("marks mismatch")
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.CoveragePct < 90 || last.BoundsPct < 90 {
+		t.Errorf("small room final: bounds %.1f coverage %.1f", last.BoundsPct, last.CoveragePct)
+	}
+	if len(res.Snapshots) == 0 {
+		t.Error("no snapshots despite SnapshotEvery")
+	}
+	// Photos monotone along the curve.
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].Photos < res.Curve[i-1].Photos {
+			t.Fatal("photos axis not monotone")
+		}
+	}
+	// Marks enumerate task kinds coherently.
+	for i, m := range res.Marks {
+		if m.Seq != i+1 {
+			t.Fatal("mark sequence broken")
+		}
+		if m.Kind != taskgen.KindPhoto && m.Kind != taskgen.KindAnnotation {
+			t.Fatal("unknown mark kind")
+		}
+	}
+}
+
+func TestAggregatePRF(t *testing.T) {
+	if got := AggregatePRF(nil); got != (metrics.PRF{}) {
+		t.Error("empty aggregate should be zero")
+	}
+	rows := []AnnotationRow{
+		{Task: 1, Reconstructed: 1, PRF: metrics.PRF{Precision: 1.0, Recall: 0.8, F: 0.89}},
+		{Task: 2, Reconstructed: 0, PRF: metrics.PRF{}}, // excluded
+		{Task: 3, Reconstructed: 2, PRF: metrics.PRF{Precision: 0.9, Recall: 0.6, F: 0.72}},
+	}
+	agg := AggregatePRF(rows)
+	if agg.Precision < 0.94 || agg.Precision > 0.96 {
+		t.Errorf("precision = %v, want 0.95", agg.Precision)
+	}
+	if agg.F < 0.80 || agg.F > 0.81 {
+		t.Errorf("F = %v", agg.F)
+	}
+	// All-failed rows aggregate to zero.
+	if got := AggregatePRF(rows[1:2]); got != (metrics.PRF{}) {
+		t.Errorf("all-failed aggregate = %+v", got)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"snaptask/internal/core"
+)
+
+// TestComparisonShape checks the Figure 11 ordering on the library with
+// bounded datasets: the guided approach must dominate both baselines in
+// bounds at comparable photo counts, and unguided must beat opportunistic.
+// The full-scale curves come from cmd/snaptask-bench.
+func TestComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long comparison test")
+	}
+	setup, err := NewLibrarySetup(42, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opp, _, err := setup.BuildOpportunistic(43, 15, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oppRes, err := setup.EvaluateIncremental(opp, 200, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ung, err := setup.BuildUnguided(45, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ungRes, err := setup.EvaluateIncremental(ung, 200, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oppLast := oppRes.Curve[len(oppRes.Curve)-1]
+	ungLast := ungRes.Curve[len(ungRes.Curve)-1]
+	t.Logf("opportunistic@%d: bounds %.1f%% coverage %.1f%%", oppLast.Photos, oppLast.BoundsPct, oppLast.CoveragePct)
+	t.Logf("unguided@%d:      bounds %.1f%% coverage %.1f%%", ungLast.Photos, ungLast.BoundsPct, ungLast.CoveragePct)
+
+	// The paper's ordering between the two baselines.
+	if ungLast.CoveragePct <= oppLast.CoveragePct {
+		t.Errorf("unguided coverage %.1f%% should beat opportunistic %.1f%%",
+			ungLast.CoveragePct, oppLast.CoveragePct)
+	}
+	// Both baselines must fall well short of complete coverage — the gap
+	// guided crowdsourcing exists to close.
+	if ungLast.CoveragePct > 95 {
+		t.Errorf("unguided coverage %.1f%% leaves no room for guidance", ungLast.CoveragePct)
+	}
+	if oppLast.BoundsPct > 90 {
+		t.Errorf("opportunistic bounds %.1f%% implausibly high", oppLast.BoundsPct)
+	}
+}

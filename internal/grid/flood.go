@@ -1,0 +1,133 @@
+package grid
+
+// FloodFill performs a breadth-first traversal over 4-connected in-bounds
+// cells starting at start, visiting every reachable cell for which pass
+// returns true. It invokes visit on each accepted cell and returns the set
+// of visited cells. Cells failing pass are never visited and block traversal
+// through them.
+//
+// This is the primitive behind Algorithm 4 (findUnvisited): SnapTask walks
+// out from the initial position through free space, looking for cells with
+// too few camera views.
+func FloodFill(m *Map, start Cell, pass func(c Cell) bool, visit func(c Cell)) map[Cell]bool {
+	seen := make(map[Cell]bool)
+	if !m.InBounds(start) || !pass(start) {
+		return seen
+	}
+	queue := []Cell{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if visit != nil {
+			visit(c)
+		}
+		for _, n := range c.Neighbors4() {
+			if !m.InBounds(n) || seen[n] || !pass(n) {
+				continue
+			}
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	return seen
+}
+
+// Region is a 4-connected set of cells found by ConnectedComponents or
+// ExpandRegion.
+type Region struct {
+	Cells []Cell
+}
+
+// Size returns the number of cells in the region.
+func (r Region) Size() int { return len(r.Cells) }
+
+// Center returns the cell whose coordinates are closest to the arithmetic
+// mean of the region, which SnapTask converts to a world position for a new
+// task. The zero Cell is returned for an empty region.
+func (r Region) Center() Cell {
+	if len(r.Cells) == 0 {
+		return Cell{}
+	}
+	var si, sj float64
+	for _, c := range r.Cells {
+		si += float64(c.I)
+		sj += float64(c.J)
+	}
+	mi := si / float64(len(r.Cells))
+	mj := sj / float64(len(r.Cells))
+	best := r.Cells[0]
+	bestD := cellDist(best, mi, mj)
+	for _, c := range r.Cells[1:] {
+		if d := cellDist(c, mi, mj); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func cellDist(c Cell, mi, mj float64) float64 {
+	di := float64(c.I) - mi
+	dj := float64(c.J) - mj
+	return di*di + dj*dj
+}
+
+// ExpandRegion grows a region from seed over 4-connected cells accepted by
+// pass, stopping once the region reaches limit cells (or the component is
+// exhausted). Cells already present in seen are skipped and newly visited
+// cells are added to seen, so successive expansions never overlap. This is
+// the expand() step of Algorithm 4.
+func ExpandRegion(m *Map, seed Cell, limit int, pass func(c Cell) bool, seen map[Cell]bool) Region {
+	var region Region
+	if limit <= 0 || !m.InBounds(seed) || seen[seed] || !pass(seed) {
+		return region
+	}
+	queue := []Cell{seed}
+	seen[seed] = true
+	for len(queue) > 0 && len(region.Cells) < limit {
+		c := queue[0]
+		queue = queue[1:]
+		region.Cells = append(region.Cells, c)
+		for _, n := range c.Neighbors4() {
+			if !m.InBounds(n) || seen[n] || !pass(n) {
+				continue
+			}
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	return region
+}
+
+// ConnectedComponents returns the 4-connected components of the cells for
+// which pass returns true, in deterministic scan order (by lowest row, then
+// column, of their first cell).
+func ConnectedComponents(m *Map, pass func(c Cell) bool) []Region {
+	seen := make(map[Cell]bool)
+	var regions []Region
+	for j := 0; j < m.Height(); j++ {
+		for i := 0; i < m.Width(); i++ {
+			c := Cell{i, j}
+			if seen[c] || !pass(c) {
+				continue
+			}
+			var region Region
+			queue := []Cell{c}
+			seen[c] = true
+			for len(queue) > 0 {
+				q := queue[0]
+				queue = queue[1:]
+				region.Cells = append(region.Cells, q)
+				for _, n := range q.Neighbors4() {
+					if !m.InBounds(n) || seen[n] || !pass(n) {
+						continue
+					}
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+			regions = append(regions, region)
+		}
+	}
+	return regions
+}

@@ -1,0 +1,179 @@
+package imaging
+
+import (
+	"fmt"
+	"math"
+
+	"snaptask/internal/geom"
+)
+
+// Texture is a procedural, distinctive 2D pattern that can be sampled at
+// any (u, v) in [0,1]². SnapTask keeps a database of such textures and
+// imprints one onto each annotated featureless surface so the SfM feature
+// extractor finds matchable structure there (Algorithm 6).
+type Texture struct {
+	// ID identifies the texture; distinct IDs produce visually distinct
+	// patterns, mirroring the paper's "unique distinctive textures".
+	ID int
+	// freqU, freqV and phase are derived from ID.
+	freqU, freqV, phase float64
+}
+
+// NewTexture returns the deterministic texture with the given ID.
+func NewTexture(id int) Texture {
+	// Derive co-prime-ish frequencies from the ID so different IDs cannot
+	// alias onto the same pattern.
+	return Texture{
+		ID:    id,
+		freqU: 3 + float64(id%7)*2,
+		freqV: 5 + float64(id%5)*2,
+		phase: float64(id%11) * 0.571,
+	}
+}
+
+// Sample returns the texture intensity in [0, 255] at (u, v).
+func (t Texture) Sample(u, v float64) float64 {
+	// A checker-like interference pattern with high local gradient.
+	s := math.Sin(2*math.Pi*t.freqU*u+t.phase) * math.Sin(2*math.Pi*t.freqV*v)
+	return 127.5 + 127.5*s
+}
+
+// TextureDB is the artificial texture database of Algorithm 6: a
+// deterministic, unbounded supply of distinctive textures addressed by
+// index.
+type TextureDB struct{}
+
+// Get returns the i-th texture. The same index always yields the same
+// texture.
+func (TextureDB) Get(i int) Texture { return NewTexture(i) }
+
+// Quad is a convex quadrilateral region in image coordinates, ordered
+// corner points (the 4 annotation marks).
+type Quad [4]geom.Vec2
+
+// Contains reports whether p lies inside the quad.
+func (q Quad) Contains(p geom.Vec2) bool {
+	return geom.Polygon(q[:]).Contains(p)
+}
+
+// Bounds returns the bounding box of the quad.
+func (q Quad) Bounds() geom.AABB {
+	return geom.Polygon(q[:]).Bounds()
+}
+
+// OrderCorners sorts 4 points into a consistent counter-clockwise order
+// starting from the corner with the smallest angle around the centroid,
+// the normalisation applied to worker-annotated corners before projection.
+func OrderCorners(pts [4]geom.Vec2) Quad {
+	var c geom.Vec2
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	c = c.Scale(0.25)
+	out := pts
+	// Insertion sort by angle around the centroid.
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0; j-- {
+			if out[j].Sub(c).Angle() < out[j-1].Sub(c).Angle() {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return Quad(out)
+}
+
+// ProjectTexture imprints the texture into the quad region of the image,
+// in place, using a bilinear mapping from the unit square onto the quad.
+// This is SnapTask's projectTextureToPhoto step. It returns the number of
+// pixels written; zero means the quad was degenerate or fully outside the
+// image.
+func ProjectTexture(img *Gray, tex Texture, q Quad) (int, error) {
+	if img == nil {
+		return 0, fmt.Errorf("imaging: nil image")
+	}
+	poly := geom.Polygon(q[:])
+	if poly.Area() < 1 {
+		return 0, fmt.Errorf("imaging: degenerate quad (area %.3f px²)", poly.Area())
+	}
+	b := q.Bounds()
+	x0 := int(math.Max(0, math.Floor(b.Min.X)))
+	y0 := int(math.Max(0, math.Floor(b.Min.Y)))
+	x1 := int(math.Min(float64(img.W-1), math.Ceil(b.Max.X)))
+	y1 := int(math.Min(float64(img.H-1), math.Ceil(b.Max.Y)))
+	written := 0
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			p := geom.V2(float64(x)+0.5, float64(y)+0.5)
+			if !q.Contains(p) {
+				continue
+			}
+			u, v, ok := invBilinear(q, p)
+			if !ok {
+				continue
+			}
+			img.Set(x, y, tex.Sample(u, v))
+			written++
+		}
+	}
+	return written, nil
+}
+
+// invBilinear inverts the bilinear map from the unit square to quad q at
+// point p using a short Newton iteration, returning (u, v) in [0,1]².
+func invBilinear(q Quad, p geom.Vec2) (float64, float64, bool) {
+	// Bilinear: f(u,v) = (1-u)(1-v)q0 + u(1-v)q1 + uv q2 + (1-u)v q3
+	u, v := 0.5, 0.5
+	for iter := 0; iter < 12; iter++ {
+		fu := q[0].Scale((1 - v)).Add(q[3].Scale(v)).Scale(-1).
+			Add(q[1].Scale(1 - v)).Add(q[2].Scale(v))
+		fv := q[0].Scale((1 - u)).Add(q[1].Scale(u)).Scale(-1).
+			Add(q[3].Scale(1 - u)).Add(q[2].Scale(u))
+		f := q[0].Scale((1 - u) * (1 - v)).
+			Add(q[1].Scale(u * (1 - v))).
+			Add(q[2].Scale(u * v)).
+			Add(q[3].Scale((1 - u) * v)).
+			Sub(p)
+		// Solve J * d = -f where J columns are fu, fv.
+		det := fu.X*fv.Y - fv.X*fu.Y
+		if math.Abs(det) < 1e-12 {
+			return 0, 0, false
+		}
+		du := (-f.X*fv.Y + f.Y*fv.X) / det
+		dv := (-fu.X*f.Y + fu.Y*f.X) / det
+		u += du
+		v += dv
+		if math.Abs(du) < 1e-9 && math.Abs(dv) < 1e-9 {
+			break
+		}
+	}
+	if u < -0.01 || u > 1.01 || v < -0.01 || v > 1.01 {
+		return 0, 0, false
+	}
+	return geom.Clamp(u, 0, 1), geom.Clamp(v, 0, 1), true
+}
+
+// RenderFeaturePatch synthesises the grayscale patch a camera photo carries:
+// a flat background with one small high-contrast blob per observed feature.
+// The more features a view contains, the more high-frequency content the
+// patch has, so LaplacianVariance responds to scene texture exactly as it
+// does for real photographs. Feature positions are derived from the ids so
+// the same view renders identically every time.
+func RenderFeaturePatch(w, h int, featureIDs []uint64, background float64) (*Gray, error) {
+	img, err := NewGray(w, h)
+	if err != nil {
+		return nil, err
+	}
+	img.Fill(background)
+	for _, id := range featureIDs {
+		// Derive a deterministic position and intensity from the id.
+		x := int((id * 2654435761) % uint64(w))
+		y := int((id * 40503) % uint64(h))
+		intensity := float64(64 + (id*97)%192)
+		img.Set(x, y, intensity)
+		img.Set(x+1, y, 255-intensity)
+		img.Set(x, y+1, math.Mod(intensity*1.7, 255))
+	}
+	return img, nil
+}

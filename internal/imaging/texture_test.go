@@ -1,0 +1,214 @@
+package imaging
+
+import (
+	"testing"
+
+	"snaptask/internal/geom"
+)
+
+func TestTextureDeterministicAndDistinct(t *testing.T) {
+	db := TextureDB{}
+	a1 := db.Get(3)
+	a2 := db.Get(3)
+	b := db.Get(4)
+	for _, uv := range [][2]float64{{0.1, 0.2}, {0.5, 0.5}, {0.9, 0.7}} {
+		if a1.Sample(uv[0], uv[1]) != a2.Sample(uv[0], uv[1]) {
+			t.Fatal("same texture ID sampled differently")
+		}
+	}
+	// Distinct IDs must differ somewhere.
+	diff := false
+	for u := 0.05; u < 1; u += 0.1 {
+		for v := 0.05; v < 1; v += 0.1 {
+			if a1.Sample(u, v) != b.Sample(u, v) {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("textures 3 and 4 are identical")
+	}
+}
+
+func TestTextureSampleRange(t *testing.T) {
+	tex := NewTexture(7)
+	for u := 0.0; u <= 1; u += 0.05 {
+		for v := 0.0; v <= 1; v += 0.05 {
+			s := tex.Sample(u, v)
+			if s < 0 || s > 255 {
+				t.Fatalf("sample out of range: %v", s)
+			}
+		}
+	}
+}
+
+func TestOrderCorners(t *testing.T) {
+	// Shuffled corners of a rectangle must come back in CCW order.
+	in := [4]geom.Vec2{{X: 10, Y: 0}, {X: 0, Y: 0}, {X: 10, Y: 5}, {X: 0, Y: 5}}
+	q := OrderCorners(in)
+	// Verify counter-clockwise: the polygon's signed area is positive.
+	var area float64
+	for i := 0; i < 4; i++ {
+		area += q[i].Cross(q[(i+1)%4])
+	}
+	if area <= 0 {
+		t.Errorf("corners not CCW: %v", q)
+	}
+	// All inputs present.
+	for _, p := range in {
+		found := false
+		for _, o := range q {
+			if o == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("corner %v lost", p)
+		}
+	}
+}
+
+func TestProjectTexture(t *testing.T) {
+	img := mustGray(t, 64, 64)
+	img.Fill(128) // featureless
+	before := img.LaplacianVariance()
+	q := Quad{geom.V2(10, 10), geom.V2(50, 12), geom.V2(48, 44), geom.V2(12, 40)}
+	n, err := ProjectTexture(img, NewTexture(1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no pixels written")
+	}
+	after := img.LaplacianVariance()
+	if after <= before {
+		t.Errorf("imprint did not add texture energy: before=%v after=%v", before, after)
+	}
+	// Pixels outside the quad must be untouched.
+	if img.At(2, 2) != 128 || img.At(60, 60) != 128 {
+		t.Error("texture leaked outside the quad")
+	}
+	// Pixels well inside must be textured (not uniformly 128 anymore).
+	changed := 0
+	for y := 20; y < 35; y++ {
+		for x := 20; x < 40; x++ {
+			if img.At(x, y) != 128 {
+				changed++
+			}
+		}
+	}
+	if changed < 100 {
+		t.Errorf("interior barely textured: %d changed pixels", changed)
+	}
+}
+
+func TestProjectTextureErrors(t *testing.T) {
+	if _, err := ProjectTexture(nil, NewTexture(0), Quad{}); err == nil {
+		t.Error("nil image should error")
+	}
+	img := mustGray(t, 16, 16)
+	degenerate := Quad{geom.V2(1, 1), geom.V2(1, 1), geom.V2(1, 1), geom.V2(1, 1)}
+	if _, err := ProjectTexture(img, NewTexture(0), degenerate); err == nil {
+		t.Error("degenerate quad should error")
+	}
+}
+
+func TestProjectTextureClipped(t *testing.T) {
+	img := mustGray(t, 20, 20)
+	img.Fill(100)
+	// Quad mostly outside the image.
+	q := Quad{geom.V2(15, 15), geom.V2(40, 15), geom.V2(40, 40), geom.V2(15, 40)}
+	n, err := ProjectTexture(img, NewTexture(2), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n > 5*5 {
+		t.Errorf("clipped imprint wrote %d pixels, want 1..25", n)
+	}
+}
+
+func TestRenderFeaturePatch(t *testing.T) {
+	// More features → more Laplacian energy; zero features → flat image.
+	empty, err := RenderFeaturePatch(48, 48, nil, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.LaplacianVariance() != 0 {
+		t.Error("featureless patch should be flat")
+	}
+	few, _ := RenderFeaturePatch(48, 48, []uint64{1, 2, 3}, 128)
+	many64 := make([]uint64, 200)
+	for i := range many64 {
+		many64[i] = uint64(i + 1)
+	}
+	many, _ := RenderFeaturePatch(48, 48, many64, 128)
+	if !(many.LaplacianVariance() > few.LaplacianVariance()) {
+		t.Errorf("feature count should increase variance: few=%v many=%v",
+			few.LaplacianVariance(), many.LaplacianVariance())
+	}
+	// Deterministic.
+	again, _ := RenderFeaturePatch(48, 48, []uint64{1, 2, 3}, 128)
+	for i := range few.Pix {
+		if few.Pix[i] != again.Pix[i] {
+			t.Fatal("patch rendering not deterministic")
+		}
+	}
+	if _, err := RenderFeaturePatch(0, 10, nil, 0); err == nil {
+		t.Error("invalid dimensions should error")
+	}
+}
+
+func TestQuadContains(t *testing.T) {
+	q := Quad{geom.V2(0, 0), geom.V2(10, 0), geom.V2(10, 10), geom.V2(0, 10)}
+	if !q.Contains(geom.V2(5, 5)) {
+		t.Error("centre should be inside")
+	}
+	if q.Contains(geom.V2(15, 5)) {
+		t.Error("outside point contained")
+	}
+	b := q.Bounds()
+	if !b.Min.ApproxEq(geom.V2(0, 0)) || !b.Max.ApproxEq(geom.V2(10, 10)) {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+// TestInvBilinearRoundTrip: mapping the unit square through a convex quad
+// and back recovers (u, v), via ProjectTexture's inverse solver exercised
+// through OrderCorners-normalised quads.
+func TestInvBilinearRoundTrip(t *testing.T) {
+	q := Quad{geom.V2(5, 40), geom.V2(55, 44), geom.V2(52, 10), geom.V2(8, 6)}
+	for u := 0.1; u < 1; u += 0.2 {
+		for v := 0.1; v < 1; v += 0.2 {
+			// Forward bilinear.
+			bottom := q[0].Lerp(q[1], u)
+			top := q[3].Lerp(q[2], u)
+			p := bottom.Lerp(top, v)
+			gu, gv, ok := invBilinear(q, p)
+			if !ok {
+				t.Fatalf("inverse failed at (%v,%v)", u, v)
+			}
+			if d := (geom.Vec2{X: gu - u, Y: gv - v}).Len(); d > 1e-6 {
+				t.Fatalf("round trip error %v at (%v,%v)", d, u, v)
+			}
+		}
+	}
+}
+
+// TestProjectTextureDeterministic: the same inputs paint identical pixels.
+func TestProjectTextureDeterministic(t *testing.T) {
+	mk := func() *Gray {
+		img := mustGray(t, 48, 48)
+		img.Fill(100)
+		q := Quad{geom.V2(8, 8), geom.V2(40, 10), geom.V2(38, 36), geom.V2(10, 34)}
+		if _, err := ProjectTexture(img, NewTexture(5), q); err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	a, b := mk(), mk()
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("texture projection not deterministic")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package incentive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snaptask/internal/annotation"
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/crowd"
+	"snaptask/internal/grid"
+	"snaptask/internal/taskgen"
+)
+
+// cameraIntrinsics returns the device optics participants carry.
+func cameraIntrinsics() camera.Intrinsics { return camera.DefaultIntrinsics() }
+
+// CampaignResult summarises an incentivised mapping campaign.
+type CampaignResult struct {
+	// TasksCompleted counts executed tasks by kind.
+	PhotoTasks, AnnotationTasks int
+	// TasksDropped counts tasks nobody affordable could take.
+	TasksDropped int
+	// Spent is the total incentive paid.
+	Spent float64
+	// Covered reports whether the venue completed within budget.
+	Covered bool
+	// PerParticipant is the number of tasks each participant executed.
+	PerParticipant map[int]int
+}
+
+// RunCampaign runs the guided mapping loop with location-based participant
+// selection under a budget: every generated task goes to the
+// best-QoI-per-cost affordable participant near it; participants move to
+// where their last task took them; unreliable participants produce blurred
+// sweeps that trigger the backend's retry path. The campaign ends when the
+// venue is covered, the budget cannot afford any assignment, or maxTasks
+// trips.
+func RunCampaign(
+	sys *core.System,
+	pool []Participant,
+	campaign *Campaign,
+	walkMap *grid.Map,
+	maxTasks int,
+	rng *rand.Rand,
+) (CampaignResult, error) {
+	res := CampaignResult{PerParticipant: make(map[int]int)}
+	if sys == nil || campaign == nil || walkMap == nil {
+		return res, fmt.Errorf("incentive: nil system, campaign or walk map")
+	}
+	if len(pool) == 0 {
+		return res, fmt.Errorf("incentive: empty participant pool")
+	}
+	for _, p := range pool {
+		if err := p.Validate(); err != nil {
+			return res, err
+		}
+	}
+	if maxTasks <= 0 {
+		maxTasks = 200
+	}
+
+	// Each participant gets a worker avatar tracking their position.
+	workers := make(map[int]*crowd.GuidedWorker, len(pool))
+	positions := make(map[int]int, len(pool)) // participant → pool index
+	for i, p := range pool {
+		workers[p.ID] = &crowd.GuidedWorker{
+			World:      sys.World(),
+			Venue:      sys.Venue(),
+			Intrinsics: cameraIntrinsics(),
+			Pos:        p.Pos,
+		}
+		positions[p.ID] = i
+	}
+
+	// Bootstrap by the overall cheapest participant (the paper's authors
+	// did it themselves; here it is an assignment like any other).
+	boot, err := core.BootstrapCapture(sys.World(), sys.Venue(), cameraIntrinsics(), rng)
+	if err != nil {
+		return res, err
+	}
+	if _, err := sys.ProcessBootstrap(boot, rng); err != nil {
+		return res, err
+	}
+
+	for i := 0; i < maxTasks; i++ {
+		if sys.Covered() {
+			break
+		}
+		task, ok := sys.NextTask()
+		if !ok {
+			return res, fmt.Errorf("incentive: loop stalled — no pending task and venue not covered")
+		}
+		a, ok := SelectParticipant(task, pool, nil, campaign.Remaining())
+		if !ok {
+			// Out of budget for this task: the campaign ends here.
+			res.TasksDropped++
+			break
+		}
+		if err := campaign.Pay(a); err != nil {
+			return res, err
+		}
+		res.Spent = campaign.Spent()
+		res.PerParticipant[a.ParticipantID]++
+		worker := workers[a.ParticipantID]
+		// Careless captures are the complement of reliability.
+		worker.BlurProb = 1 - pool[positions[a.ParticipantID]].Reliability
+
+		switch task.Kind {
+		case taskgen.KindPhoto:
+			ptr, err := worker.DoPhotoTask(walkMap, task.Location, rng)
+			if err != nil {
+				return res, fmt.Errorf("incentive: photo task %d: %w", task.ID, err)
+			}
+			if _, err := sys.ProcessPhotoBatch(task.Location, task.AimPoint(), ptr.Photos, rng); err != nil {
+				return res, err
+			}
+			res.PhotoTasks++
+		case taskgen.KindAnnotation:
+			atask, err := worker.DoAnnotationTask(walkMap, task.AimPoint(), rng)
+			if err != nil {
+				return res, fmt.Errorf("incentive: annotation task %d: %w", task.ID, err)
+			}
+			anns, err := annotation.SimulateWorkers(atask, sys.Venue(), annotation.WorkerOptions{}, rng)
+			if err != nil {
+				return res, err
+			}
+			if _, err := sys.ProcessAnnotation(atask, task.AimPoint(), anns, rng); err != nil {
+				return res, err
+			}
+			res.AnnotationTasks++
+		}
+		// The participant is now at the task site.
+		pool[positions[a.ParticipantID]].Pos = worker.Pos
+	}
+	res.Covered = sys.Covered()
+	return res, nil
+}

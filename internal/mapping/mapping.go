@@ -1,0 +1,270 @@
+// Package mapping implements SnapTask's Algorithms 2 and 3: converting an
+// SfM model into the 2D obstacles map (point cloud → OctoMap → up-axis merge
+// → threshold) and the visibility map (per-camera field-of-view ray casting
+// clipped by obstacles), plus the model-coverage union of Algorithm 1
+// line 5.
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+	"snaptask/internal/octomap"
+	"snaptask/internal/pointcloud"
+)
+
+// Config tunes map construction. Zero fields take paper defaults.
+type Config struct {
+	// ObstacleThreshold is the minimum number of 3D points in a merged
+	// OctoMap column for the cell to count as an obstacle
+	// (OBSTACLE_THRESHOLD = 4 in the paper).
+	ObstacleThreshold int
+	// MinZ and MaxZ bound the height band merged along the up axis;
+	// points outside (floor noise, ceiling) are ignored. Defaults:
+	// 0.05–2.6 m.
+	MinZ, MaxZ float64
+	// RayStep is the angular step of visibility ray casting in radians.
+	// Defaults to a step fine enough that adjacent rays are under one
+	// cell apart at maximum range.
+	RayStep float64
+}
+
+func (c Config) withDefaults(res float64, maxRange float64) Config {
+	if c.ObstacleThreshold == 0 {
+		c.ObstacleThreshold = 4
+	}
+	if c.MinZ == 0 && c.MaxZ == 0 {
+		c.MinZ, c.MaxZ = 0.05, 2.6
+	}
+	if c.RayStep == 0 {
+		c.RayStep = 0.8 * res / maxRange
+	}
+	return c
+}
+
+// View is the camera information the visibility map needs from a
+// registered SfM view.
+type View struct {
+	Pose       camera.Pose
+	Intrinsics camera.Intrinsics
+}
+
+// Maps bundles the products of a mapping pass.
+type Maps struct {
+	// Obstacles holds per-cell merged point counts where they exceed the
+	// obstacle threshold (Algorithm 2's output).
+	Obstacles *grid.Map
+	// Visibility counts, per cell, the number of camera views covering
+	// it (Algorithm 3's output).
+	Visibility *grid.Map
+	// Aspects holds, per cell, a 4-bit mask of the quadrants the cell has
+	// been viewed from — the paper's aspect coverage (Figure 4): "it is
+	// required that all aspects of the area are covered by camera views".
+	Aspects *grid.Map
+	// Coverage is the union of obstacles and visibility (Algorithm 1
+	// line 5).
+	Coverage *grid.Map
+}
+
+// CoverageCells returns the number of covered cells.
+func (m *Maps) CoverageCells() int { return m.Coverage.CountPositive() }
+
+// MinAspects is how many distinct viewing quadrants a free cell needs for
+// the evaluation's aspect-complete coverage.
+const MinAspects = 2
+
+// AspectCoverage returns the aspect-complete coverage map: a cell counts
+// when it is an obstacle or has been viewed from at least MinAspects
+// distinct quadrants. This is the quantity the paper's ground-truth
+// comparison measures; single-direction drive-by glances do not complete
+// an area.
+func (m *Maps) AspectCoverage() *grid.Map {
+	out := grid.NewLike(m.Coverage)
+	out.Each(func(c grid.Cell, _ int) {
+		if m.Obstacles.At(c) > 0 || popcount4(m.Aspects.At(c)) >= MinAspects {
+			out.Set(c, 1)
+		}
+	})
+	return out
+}
+
+func popcount4(mask int) int {
+	n := 0
+	for b := 0; b < 4; b++ {
+		if mask&(1<<b) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Build runs Algorithms 2 and 3 over a filtered cloud and its registered
+// views, producing maps with the same layout as the template (typically the
+// venue ground-truth layout, so results are directly comparable).
+func Build(cloud *pointcloud.Cloud, views []View, layout *grid.Map, cfg Config) (*Maps, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("mapping: nil layout")
+	}
+	maxRange := 1.0
+	for _, v := range views {
+		if v.Intrinsics.Range > maxRange {
+			maxRange = v.Intrinsics.Range
+		}
+	}
+	cfg = cfg.withDefaults(layout.Res(), maxRange)
+
+	obstacles, err := ObstaclesMap(cloud, layout, cfg)
+	if err != nil {
+		return nil, err
+	}
+	visibility, aspects, err := VisibilityMap(views, obstacles, cfg)
+	if err != nil {
+		return nil, err
+	}
+	coverage, err := obstacles.Union(visibility)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: coverage union: %w", err)
+	}
+	return &Maps{Obstacles: obstacles, Visibility: visibility, Aspects: aspects, Coverage: coverage}, nil
+}
+
+// ObstaclesMap implements Algorithm 2 (calculateObstaclesMap): insert the
+// cloud into an OctoMap at the layout resolution, merge cells along the up
+// axis within the configured height band, and keep columns with at least
+// ObstacleThreshold points.
+func ObstaclesMap(cloud *pointcloud.Cloud, layout *grid.Map, cfg Config) (*grid.Map, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("mapping: nil layout")
+	}
+	cfg = cfg.withDefaults(layout.Res(), 1)
+	out := grid.NewLike(layout)
+	if cloud == nil || cloud.Len() == 0 {
+		return out, nil
+	}
+
+	// Size the octree to cover the layout bounds plus slack for stray
+	// points, and align its voxel grid exactly with the layout cells so a
+	// merged column maps one-to-one onto a map cell (misalignment would
+	// alias two columns into one cell and leave pinholes in walls).
+	b := layout.Bounds()
+	side := math.Max(b.Width(), b.Height()) + 20
+	depth := 1
+	for layout.Res()*float64(int(1)<<depth) < side && depth < 21 {
+		depth++
+	}
+	size := layout.Res() * float64(int(1)<<depth)
+	center := layout.Origin().Add(geom.V2(size/2, size/2)).Lift(0)
+	tree, err := octomap.New(center, layout.Res(), depth)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: octree: %w", err)
+	}
+	cloud.Each(func(p pointcloud.Point) {
+		tree.Insert(p.Pos)
+	})
+
+	for _, col := range tree.MergeUp(cfg.MinZ, cfg.MaxZ) {
+		if col.Points < cfg.ObstacleThreshold {
+			continue
+		}
+		cell := out.CellOf(tree.WorldXY(col.X, col.Y))
+		if out.InBounds(cell) {
+			out.Add(cell, col.Points)
+		}
+	}
+	return out, nil
+}
+
+// VisibilityMap implements Algorithm 3 (calculateVisibilityMap): for each
+// registered camera it computes the field-of-view area clipped by the
+// obstacles map. It returns the per-cell camera counts plus the per-cell
+// quadrant mask of viewing directions (aspect coverage, Figure 4).
+func VisibilityMap(views []View, obstacles *grid.Map, cfg Config) (*grid.Map, *grid.Map, error) {
+	if obstacles == nil {
+		return nil, nil, fmt.Errorf("mapping: nil obstacles map")
+	}
+	out := grid.NewLike(obstacles)
+	aspects := grid.NewLike(obstacles)
+	for _, v := range views {
+		in := v.Intrinsics
+		if in.Range <= 0 || in.HFOV <= 0 {
+			return nil, nil, fmt.Errorf("mapping: view with invalid intrinsics %+v", in)
+		}
+		step := cfg.RayStep
+		if step <= 0 {
+			step = 0.8 * obstacles.Res() / in.Range
+		}
+		covered := make(map[grid.Cell]bool)
+		// Always include the camera's own cell, seen from every side.
+		if own := out.CellOf(v.Pose.Pos); out.InBounds(own) {
+			covered[own] = true
+			aspects.Set(own, 0xF)
+		}
+		for a := -in.HFOV / 2; a <= in.HFOV/2; a += step {
+			dir := geom.UnitFromAngle(v.Pose.Yaw + a)
+			end := v.Pose.Pos.Add(dir.Scale(in.Range))
+			blocked := false
+			obstacles.RasterizeSegment(geom.Seg(v.Pose.Pos, end), func(c grid.Cell) {
+				if blocked || !out.InBounds(c) {
+					blocked = true
+					return
+				}
+				if obstacles.At(c) > 0 {
+					// The obstacle cell itself is seen, then the ray stops.
+					covered[c] = true
+					blocked = true
+					return
+				}
+				covered[c] = true
+			})
+		}
+		for c := range covered {
+			out.Add(c, 1)
+			aspects.Set(c, aspects.At(c)|quadrantBit(v.Pose.Pos, out.CenterOf(c)))
+		}
+	}
+	return out, aspects, nil
+}
+
+// quadrantBit returns the bit for the quadrant the cell is viewed from:
+// the direction camera→cell binned into E/N/W/S quarters.
+func quadrantBit(camera, cell geom.Vec2) int {
+	d := cell.Sub(camera)
+	if d.Len2() < 1e-12 {
+		return 0xF
+	}
+	angle := d.Angle() // (-pi, pi]
+	switch {
+	case angle > -math.Pi/4 && angle <= math.Pi/4:
+		return 1 << 0 // viewed heading east
+	case angle > math.Pi/4 && angle <= 3*math.Pi/4:
+		return 1 << 1 // north
+	case angle > -3*math.Pi/4 && angle <= -math.Pi/4:
+		return 1 << 3 // south
+	default:
+		return 1 << 2 // west
+	}
+}
+
+// Coverage returns the union of an obstacles and a visibility map; exposed
+// separately for callers that build the maps independently.
+func Coverage(obstacles, visibility *grid.Map) (*grid.Map, error) {
+	u, err := obstacles.Union(visibility)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: coverage union: %w", err)
+	}
+	return u, nil
+}
+
+// ViewsFromSfM adapts any slice with camera pose and intrinsics into
+// mapping views. It is a small helper so packages need not depend on sfm
+// directly; the core orchestrator performs the conversion.
+func ViewsFromSfM(poses []camera.Pose, intr camera.Intrinsics) []View {
+	out := make([]View, len(poses))
+	for i, p := range poses {
+		out[i] = View{Pose: p, Intrinsics: intr}
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+	"snaptask/internal/pointcloud"
+)
+
+func layout10(t *testing.T) *grid.Map {
+	t.Helper()
+	m, err := grid.New(geom.V2(0, 0), 0.15, 70, 70) // 10.5 x 10.5 m
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// wallCloud builds a dense point wall along y=5 from x=2..8 with `per`
+// points per 15 cm cell (z spread 0.3..2.0).
+func wallCloud(per int) *pointcloud.Cloud {
+	c := pointcloud.NewCloud(nil)
+	id := uint64(0)
+	for x := 2.0; x < 8.0; x += 0.15 {
+		for k := 0; k < per; k++ {
+			id++
+			z := 0.3 + 1.7*float64(k)/float64(per)
+			c.Add(pointcloud.Point{
+				Pos:       geom.V3(x+0.01, 5.05, z),
+				FeatureID: id,
+				Views:     3,
+			})
+		}
+	}
+	return c
+}
+
+func TestObstaclesMapThreshold(t *testing.T) {
+	layout := layout10(t)
+	dense := wallCloud(6)
+	m, err := ObstaclesMap(dense, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CountPositive() == 0 {
+		t.Fatal("dense wall produced no obstacle cells")
+	}
+	// A cell in the middle of the wall must be marked.
+	if m.At(m.CellOf(geom.V2(5, 5.05))) == 0 {
+		t.Error("wall centre cell not an obstacle")
+	}
+	// Empty floor is not.
+	if m.At(m.CellOf(geom.V2(5, 2))) != 0 {
+		t.Error("open floor marked as obstacle")
+	}
+
+	// Sparse cloud (below OBSTACLE_THRESHOLD=4 per column) yields nothing.
+	sparse := wallCloud(2)
+	m2, err := ObstaclesMap(sparse, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.CountPositive(); got != 0 {
+		t.Errorf("sparse wall produced %d obstacle cells, want 0", got)
+	}
+	// With threshold 1 the sparse wall appears.
+	m3, err := ObstaclesMap(sparse, layout, Config{ObstacleThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.CountPositive() == 0 {
+		t.Error("threshold 1 should keep sparse wall")
+	}
+}
+
+func TestObstaclesMapHeightBand(t *testing.T) {
+	layout := layout10(t)
+	c := pointcloud.NewCloud(nil)
+	for i := 0; i < 10; i++ {
+		// Ceiling points at z=2.9 must be excluded by the default band.
+		c.Add(pointcloud.Point{Pos: geom.V3(5, 5, 2.9), FeatureID: uint64(i + 1)})
+	}
+	m, err := ObstaclesMap(c, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CountPositive() != 0 {
+		t.Error("ceiling points registered as obstacles")
+	}
+	// Custom band including them.
+	m2, err := ObstaclesMap(c, layout, Config{MinZ: 0.05, MaxZ: 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.CountPositive() == 0 {
+		t.Error("custom band should include ceiling points")
+	}
+}
+
+func TestObstaclesMapEmptyAndNil(t *testing.T) {
+	layout := layout10(t)
+	m, err := ObstaclesMap(pointcloud.NewCloud(nil), layout, Config{})
+	if err != nil || m.CountPositive() != 0 {
+		t.Errorf("empty cloud: %v, %d cells", err, m.CountPositive())
+	}
+	if _, err := ObstaclesMap(nil, layout, Config{}); err != nil {
+		t.Errorf("nil cloud should act as empty, got %v", err)
+	}
+	if _, err := ObstaclesMap(pointcloud.NewCloud(nil), nil, Config{}); err == nil {
+		t.Error("nil layout should error")
+	}
+}
+
+func TestObstaclesMapIgnoresFarPoints(t *testing.T) {
+	layout := layout10(t)
+	c := pointcloud.NewCloud(nil)
+	for i := 0; i < 10; i++ {
+		c.Add(pointcloud.Point{Pos: geom.V3(500, 500, 1), FeatureID: uint64(i + 1)})
+	}
+	m, err := ObstaclesMap(c, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CountPositive() != 0 {
+		t.Error("far points leaked into the map")
+	}
+}
+
+func TestVisibilityMapOpenFloor(t *testing.T) {
+	layout := layout10(t)
+	obstacles := grid.NewLike(layout)
+	views := []View{{
+		Pose:       camera.Pose{Pos: geom.V2(5, 2), Yaw: math.Pi / 2},
+		Intrinsics: camera.DefaultIntrinsics(),
+	}}
+	vis, aspects, err := VisibilityMap(views, obstacles, Config{})
+	_ = aspects
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straight ahead is visible.
+	if vis.At(vis.CellOf(geom.V2(5, 6))) == 0 {
+		t.Error("cell dead ahead not visible")
+	}
+	// Behind the camera is not.
+	if vis.At(vis.CellOf(geom.V2(5, 0.5))) != 0 {
+		t.Error("cell behind camera visible")
+	}
+	// Beyond range (9 m) is not.
+	if vis.At(vis.CellOf(geom.V2(5, 11.5))) != 0 {
+		t.Error("cell beyond range visible (also out of map)")
+	}
+	// Far off-axis is not.
+	if vis.At(vis.CellOf(geom.V2(0.5, 2))) != 0 {
+		t.Error("cell at 90° off-axis visible")
+	}
+}
+
+func TestVisibilityMapBlockedByObstacle(t *testing.T) {
+	layout := layout10(t)
+	obstacles := grid.NewLike(layout)
+	// A wall across y=5, x=3..7.
+	for x := 3.0; x < 7.0; x += 0.1 {
+		obstacles.Set(obstacles.CellOf(geom.V2(x, 5)), 10)
+	}
+	views := []View{{
+		Pose:       camera.Pose{Pos: geom.V2(5, 2), Yaw: math.Pi / 2},
+		Intrinsics: camera.DefaultIntrinsics(),
+	}}
+	vis, aspects, err := VisibilityMap(views, obstacles, Config{})
+	_ = aspects
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In front of the wall: visible.
+	if vis.At(vis.CellOf(geom.V2(5, 4))) == 0 {
+		t.Error("cell before the wall not visible")
+	}
+	// The wall cell itself is seen (aspect coverage of the near side).
+	if vis.At(vis.CellOf(geom.V2(5, 5))) == 0 {
+		t.Error("wall cell itself should be covered")
+	}
+	// Behind the wall: shadowed.
+	if vis.At(vis.CellOf(geom.V2(5, 6.5))) != 0 {
+		t.Error("cell behind the wall visible")
+	}
+}
+
+func TestVisibilityMapCountsCameras(t *testing.T) {
+	layout := layout10(t)
+	obstacles := grid.NewLike(layout)
+	in := camera.DefaultIntrinsics()
+	views := []View{
+		{Pose: camera.Pose{Pos: geom.V2(5, 2), Yaw: math.Pi / 2}, Intrinsics: in},
+		{Pose: camera.Pose{Pos: geom.V2(5, 8), Yaw: -math.Pi / 2}, Intrinsics: in},
+		{Pose: camera.Pose{Pos: geom.V2(2, 5), Yaw: 0}, Intrinsics: in},
+	}
+	vis, aspects, err := VisibilityMap(views, obstacles, Config{})
+	_ = aspects
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := vis.At(vis.CellOf(geom.V2(5, 5)))
+	if center != 3 {
+		t.Errorf("centre covered by %d cameras, want 3", center)
+	}
+}
+
+func TestVisibilityMapValidation(t *testing.T) {
+	if _, _, err := VisibilityMap(nil, nil, Config{}); err == nil {
+		t.Error("nil obstacles should error")
+	}
+	layout := layout10(t)
+	bad := []View{{Pose: camera.Pose{}, Intrinsics: camera.Intrinsics{}}}
+	if _, _, err := VisibilityMap(bad, grid.NewLike(layout), Config{}); err == nil {
+		t.Error("invalid intrinsics should error")
+	}
+}
+
+func TestBuildEndToEnd(t *testing.T) {
+	layout := layout10(t)
+	cloud := wallCloud(6)
+	in := camera.DefaultIntrinsics()
+	views := []View{
+		{Pose: camera.Pose{Pos: geom.V2(5, 2), Yaw: math.Pi / 2}, Intrinsics: in},
+	}
+	maps, err := Build(cloud, views, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maps.Obstacles.CountPositive() == 0 {
+		t.Error("no obstacles")
+	}
+	if maps.Visibility.CountPositive() == 0 {
+		t.Error("no visibility")
+	}
+	// Coverage is the union: at least as big as either.
+	cc := maps.CoverageCells()
+	if cc < maps.Obstacles.CountPositive() || cc < maps.Visibility.CountPositive() {
+		t.Error("coverage smaller than a component")
+	}
+	// The wall shadows the area behind it.
+	if maps.Visibility.At(maps.Visibility.CellOf(geom.V2(5, 7))) != 0 {
+		t.Error("area behind reconstructed wall should be shadowed")
+	}
+	if _, err := Build(cloud, views, nil, Config{}); err == nil {
+		t.Error("nil layout should error")
+	}
+}
+
+func TestCoverageHelper(t *testing.T) {
+	layout := layout10(t)
+	a := grid.NewLike(layout)
+	b := grid.NewLike(layout)
+	a.Set(grid.Cell{I: 1, J: 1}, 5)
+	b.Set(grid.Cell{I: 2, J: 2}, 1)
+	u, err := Coverage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.CountPositive() != 2 {
+		t.Errorf("union cells = %d", u.CountPositive())
+	}
+	other, _ := grid.New(geom.V2(0, 0), 0.15, 5, 5)
+	if _, err := Coverage(a, other); err == nil {
+		t.Error("mismatched layouts should error")
+	}
+}
+
+func TestViewsFromSfM(t *testing.T) {
+	in := camera.DefaultIntrinsics()
+	poses := []camera.Pose{{Pos: geom.V2(1, 1)}, {Pos: geom.V2(2, 2)}}
+	views := ViewsFromSfM(poses, in)
+	if len(views) != 2 || views[1].Pose.Pos != poses[1].Pos {
+		t.Error("conversion wrong")
+	}
+}
+
+// Property: visibility is monotone — adding a camera never reduces any
+// cell's count.
+func TestVisibilityMonotone(t *testing.T) {
+	layout := layout10(t)
+	obstacles := grid.NewLike(layout)
+	rng := rand.New(rand.NewSource(12))
+	in := camera.DefaultIntrinsics()
+	var views []View
+	prev := grid.NewLike(layout)
+	for i := 0; i < 5; i++ {
+		views = append(views, View{
+			Pose:       camera.Pose{Pos: geom.V2(1+rng.Float64()*8, 1+rng.Float64()*8), Yaw: rng.Float64() * 2 * math.Pi},
+			Intrinsics: in,
+		})
+		vis, aspects, err := VisibilityMap(views, obstacles, Config{})
+		_ = aspects
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := false
+		vis.Each(func(c grid.Cell, v int) {
+			if v < prev.At(c) {
+				bad = true
+			}
+		})
+		if bad {
+			t.Fatalf("adding camera %d reduced visibility somewhere", i)
+		}
+		prev = vis
+	}
+}
+
+func TestAspectCoverage(t *testing.T) {
+	layout := layout10(t)
+	obstacles := grid.NewLike(layout)
+	in := camera.DefaultIntrinsics()
+	// One camera looking east: covered cells have a single aspect.
+	views := []View{{Pose: camera.Pose{Pos: geom.V2(2, 5), Yaw: 0}, Intrinsics: in}}
+	maps, err := Build(pointcloud.NewCloud(nil), views, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := maps.Aspects.CellOf(geom.V2(6, 5))
+	if got := popcount4(maps.Aspects.At(target)); got != 1 {
+		t.Errorf("single view aspects = %d, want 1", got)
+	}
+	ac := maps.AspectCoverage()
+	if ac.At(target) != 0 {
+		t.Error("single-aspect cell must not count as aspect-covered")
+	}
+	// The camera's own cell is covered from all sides.
+	own := maps.Aspects.CellOf(geom.V2(2, 5))
+	if popcount4(maps.Aspects.At(own)) != 4 {
+		t.Error("own cell should have all aspects")
+	}
+	if ac.At(own) == 0 {
+		t.Error("own cell must be aspect-covered")
+	}
+
+	// Add an opposing camera: the middle cell now has two aspects.
+	views = append(views, View{Pose: camera.Pose{Pos: geom.V2(10, 5), Yaw: 3.14159}, Intrinsics: in})
+	maps, err = Build(pointcloud.NewCloud(nil), views, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := popcount4(maps.Aspects.At(target)); got != 2 {
+		t.Errorf("two opposing views aspects = %d, want 2", got)
+	}
+	if maps.AspectCoverage().At(target) == 0 {
+		t.Error("two-aspect cell must be aspect-covered")
+	}
+	_ = obstacles
+}
+
+func TestAspectCoverageCountsObstacles(t *testing.T) {
+	layout := layout10(t)
+	maps, err := Build(wallCloud(6), nil, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := maps.AspectCoverage()
+	if ac.At(ac.CellOf(geom.V2(5, 5.05))) == 0 {
+		t.Error("obstacle cells always count as covered")
+	}
+}
+
+func TestQuadrantBit(t *testing.T) {
+	cam := geom.V2(0, 0)
+	tests := []struct {
+		cell geom.Vec2
+		want int
+	}{
+		{geom.V2(1, 0), 1 << 0},  // east
+		{geom.V2(0, 1), 1 << 1},  // north
+		{geom.V2(-1, 0), 1 << 2}, // west
+		{geom.V2(0, -1), 1 << 3}, // south
+	}
+	for _, tt := range tests {
+		if got := quadrantBit(cam, tt.cell); got != tt.want {
+			t.Errorf("quadrantBit(->%v) = %b, want %b", tt.cell, got, tt.want)
+		}
+	}
+	if got := quadrantBit(cam, cam); got != 0xF {
+		t.Errorf("zero offset = %b, want all bits", got)
+	}
+}
+
+func TestPopcount4(t *testing.T) {
+	tests := []struct{ mask, want int }{
+		{0, 0}, {1, 1}, {0xF, 4}, {0b1010, 2}, {0b0111, 3},
+	}
+	for _, tt := range tests {
+		if got := popcount4(tt.mask); got != tt.want {
+			t.Errorf("popcount4(%b) = %d, want %d", tt.mask, got, tt.want)
+		}
+	}
+}

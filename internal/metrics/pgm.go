@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"fmt"
+
+	"snaptask/internal/grid"
+)
+
+// Pixel intensities of the PGM map rendering.
+const (
+	pgmUnknown  = 255 // white, like the paper's figures
+	pgmVisible  = 180 // light grey (green in the paper)
+	pgmObstacle = 0   // black
+	pgmOutside  = 230 // faint grey outside the ground-truth area
+)
+
+// WritePGM renders the obstacle/visibility pair as a binary PGM (P5) image,
+// north-up, one pixel per cell — a drop-in way to look at any map with a
+// stock image viewer and the raster twin of the paper's Figure 12 panels.
+// truthCoverage is optional; when given, cells outside it render faintly.
+func WritePGM(obstacles, visibility, truthCoverage *grid.Map) ([]byte, error) {
+	if obstacles == nil || visibility == nil {
+		return nil, fmt.Errorf("metrics: nil map")
+	}
+	if !obstacles.SameLayout(visibility) {
+		return nil, fmt.Errorf("metrics: layouts differ")
+	}
+	w, h := obstacles.Width(), obstacles.Height()
+	header := fmt.Sprintf("P5\n%d %d\n255\n", w, h)
+	out := make([]byte, 0, len(header)+w*h)
+	out = append(out, header...)
+	for j := h - 1; j >= 0; j-- {
+		for i := 0; i < w; i++ {
+			c := grid.Cell{I: i, J: j}
+			var v byte
+			switch {
+			case truthCoverage != nil && truthCoverage.At(c) == 0:
+				v = pgmOutside
+			case obstacles.At(c) > 0:
+				v = pgmObstacle
+			case visibility.At(c) > 0:
+				v = pgmVisible
+			default:
+				v = pgmUnknown
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,242 @@
+// Package nav provides the indoor positioning and navigation substrate
+// SnapTask reuses from the authors' earlier systems (iMoon [13] and
+// SeeNav [14]): image-based localisation against the SfM model and grid A*
+// path planning over the obstacle map, with the ≤ 1 m positioning error the
+// paper reports. Guided participants use it to reach task locations, which
+// produces the offset between issued and executed task positions visible in
+// the paper's Figure 9.
+package nav
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+)
+
+// PositioningError is the worst-case localisation error of the AR
+// navigation substrate ("up to 1 meter positioning error").
+const PositioningError = 1.0
+
+// Localize estimates the position of a freshly taken photo by matching its
+// features against the registered views of the model — the image-based
+// localisation of iMoon. It returns the estimated position and true
+// (simulation) position error. Localisation fails when the photo shares too
+// few features with the model.
+func Localize(photo camera.Photo, modelFeatures map[uint64]bool, truePos geom.Vec2, rng *rand.Rand) (geom.Vec2, error) {
+	shared := 0
+	for _, o := range photo.Obs {
+		if modelFeatures[o.FeatureID] {
+			shared++
+		}
+	}
+	if shared < 8 {
+		return geom.Vec2{}, fmt.Errorf("nav: localisation failed, only %d features matched", shared)
+	}
+	// Error shrinks with match count but never exceeds the documented
+	// bound.
+	scale := PositioningError / (1 + float64(shared)/20)
+	angle := rng.Float64() * 2 * math.Pi
+	r := rng.Float64() * scale
+	return truePos.Add(geom.UnitFromAngle(angle).Scale(r)), nil
+}
+
+// Path is a sequence of world waypoints from start to goal.
+type Path []geom.Vec2
+
+// Length returns the total length of the path in metres.
+func (p Path) Length() float64 {
+	var sum float64
+	for i := 1; i < len(p); i++ {
+		sum += p[i].Dist(p[i-1])
+	}
+	return sum
+}
+
+// PlanPath runs A* over the free cells of the obstacle map from start to
+// goal, returning a world-space waypoint path. Cells with positive obstacle
+// values are blocked. When the goal cell itself is blocked or unknown (a
+// task issued inside an undiscovered obstacle — the paper's Figure 9 case),
+// the plan targets the nearest free cell instead.
+func PlanPath(obstacles *grid.Map, start, goal geom.Vec2) (Path, error) {
+	if obstacles == nil {
+		return nil, fmt.Errorf("nav: nil obstacle map")
+	}
+	startC := obstacles.CellOf(start)
+	goalC := obstacles.CellOf(goal)
+	if !obstacles.InBounds(startC) {
+		return nil, fmt.Errorf("nav: start %v outside the map", start)
+	}
+	if obstacles.At(startC) > 0 {
+		// Stand-in for being slightly inside a wall footprint; shift to a
+		// free neighbour.
+		free, ok := nearestFreeCell(obstacles, startC)
+		if !ok {
+			return nil, fmt.Errorf("nav: start %v is inside an obstacle", start)
+		}
+		startC = free
+	}
+	if !obstacles.InBounds(goalC) || obstacles.At(goalC) > 0 {
+		// Clamp far-out goals to the map edge first so the spiral search
+		// starts near the reachable area.
+		goalC.I = clampInt(goalC.I, 0, obstacles.Width()-1)
+		goalC.J = clampInt(goalC.J, 0, obstacles.Height()-1)
+		if obstacles.At(goalC) == 0 {
+			// The clamped cell is already free.
+		} else if free, ok := nearestFreeCell(obstacles, goalC); ok {
+			goalC = free
+		} else {
+			return nil, fmt.Errorf("nav: no free cell near goal %v", goal)
+		}
+	}
+	cameFrom, found := astar(obstacles, startC, goalC)
+	if !found {
+		return nil, fmt.Errorf("nav: no path from %v to %v", start, goal)
+	}
+
+	// Reconstruct and convert to world space.
+	var cells []grid.Cell
+	for c := goalC; ; {
+		cells = append(cells, c)
+		prev, ok := cameFrom[c]
+		if !ok {
+			break
+		}
+		c = prev
+	}
+	path := make(Path, 0, len(cells)+1)
+	for i := len(cells) - 1; i >= 0; i-- {
+		path = append(path, obstacles.CenterOf(cells[i]))
+	}
+	return path, nil
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// nearestFreeCell spirals outward to find the closest free in-bounds cell.
+func nearestFreeCell(m *grid.Map, c grid.Cell) (grid.Cell, bool) {
+	maxR := m.Width() + m.Height()
+	for r := 1; r <= maxR; r++ {
+		for di := -r; di <= r; di++ {
+			for _, dj := range []int{-r, r} {
+				n := grid.Cell{I: c.I + di, J: c.J + dj}
+				if m.InBounds(n) && m.At(n) == 0 {
+					return n, true
+				}
+			}
+		}
+		for dj := -r + 1; dj < r; dj++ {
+			for _, di := range []int{-r, r} {
+				n := grid.Cell{I: c.I + di, J: c.J + dj}
+				if m.InBounds(n) && m.At(n) == 0 {
+					return n, true
+				}
+			}
+		}
+	}
+	return grid.Cell{}, false
+}
+
+type pqItem struct {
+	cell grid.Cell
+	f    float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// astar searches 8-connected free cells with an octile-distance heuristic.
+func astar(m *grid.Map, start, goal grid.Cell) (map[grid.Cell]grid.Cell, bool) {
+	h := func(c grid.Cell) float64 {
+		dx := math.Abs(float64(c.I - goal.I))
+		dy := math.Abs(float64(c.J - goal.J))
+		return math.Max(dx, dy) + (math.Sqrt2-1)*math.Min(dx, dy)
+	}
+	open := &pq{}
+	heap.Init(open)
+	heap.Push(open, &pqItem{cell: start, f: h(start)})
+	gScore := map[grid.Cell]float64{start: 0}
+	cameFrom := make(map[grid.Cell]grid.Cell)
+	closed := make(map[grid.Cell]bool)
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*pqItem)
+		c := cur.cell
+		if c == goal {
+			return cameFrom, true
+		}
+		if closed[c] {
+			continue
+		}
+		closed[c] = true
+		for _, n := range c.Neighbors8() {
+			if !m.InBounds(n) || m.At(n) > 0 || closed[n] {
+				continue
+			}
+			// Disallow diagonal corner-cutting through obstacles.
+			if n.I != c.I && n.J != c.J {
+				if m.At(grid.Cell{I: c.I, J: n.J}) > 0 || m.At(grid.Cell{I: n.I, J: c.J}) > 0 {
+					continue
+				}
+			}
+			step := 1.0
+			if n.I != c.I && n.J != c.J {
+				step = math.Sqrt2
+			}
+			g := gScore[c] + step
+			if old, ok := gScore[n]; ok && g >= old {
+				continue
+			}
+			gScore[n] = g
+			cameFrom[n] = c
+			heap.Push(open, &pqItem{cell: n, f: g + h(n)})
+		}
+	}
+	return nil, false
+}
+
+// Navigate simulates a guided participant walking the planned path to a
+// task location: the path is followed waypoint by waypoint and the arrival
+// position carries the positioning error of the AR navigation system. It
+// returns the walked path and the achieved position.
+func Navigate(obstacles *grid.Map, start, goal geom.Vec2, rng *rand.Rand) (Path, geom.Vec2, error) {
+	path, err := PlanPath(obstacles, start, goal)
+	if err != nil {
+		return nil, geom.Vec2{}, err
+	}
+	end := path[len(path)-1]
+	angle := rng.Float64() * 2 * math.Pi
+	r := rng.Float64() * PositioningError
+	arrived := end.Add(geom.UnitFromAngle(angle).Scale(r))
+	// Never end up inside an obstacle cell: workers "simply start a task
+	// as close to that place as possible".
+	if c := obstacles.CellOf(arrived); !obstacles.InBounds(c) || obstacles.At(c) > 0 {
+		arrived = end
+	}
+	return path, arrived, nil
+}

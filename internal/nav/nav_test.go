@@ -1,0 +1,226 @@
+package nav
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+)
+
+// openMap returns an empty 20x20 map at 0.5 m resolution.
+func openMap(t *testing.T) *grid.Map {
+	t.Helper()
+	m, err := grid.New(geom.V2(0, 0), 0.5, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// walledMap returns a map with a vertical wall at x≈5 with a gap at the top.
+func walledMap(t *testing.T) *grid.Map {
+	t.Helper()
+	m := openMap(t)
+	for j := 0; j < 16; j++ {
+		m.Set(grid.Cell{I: 10, J: j}, 1)
+	}
+	return m
+}
+
+func TestPlanPathStraight(t *testing.T) {
+	m := openMap(t)
+	p, err := PlanPath(m, geom.V2(1, 1), geom.V2(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) < 2 {
+		t.Fatal("path too short")
+	}
+	// Straight-line distance is 7; grid path should be close.
+	if p.Length() > 8 {
+		t.Errorf("path length %v too long for straight corridor", p.Length())
+	}
+	if p[0].Dist(geom.V2(1, 1)) > 0.5 || p[len(p)-1].Dist(geom.V2(8, 1)) > 0.5 {
+		t.Error("endpoints wrong")
+	}
+}
+
+func TestPlanPathAroundWall(t *testing.T) {
+	m := walledMap(t)
+	p, err := PlanPath(m, geom.V2(2, 2), geom.V2(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must detour through the gap at the top (j >= 16 → y >= 8).
+	maxY := 0.0
+	for _, w := range p {
+		if w.Y > maxY {
+			maxY = w.Y
+		}
+	}
+	if maxY < 7.5 {
+		t.Errorf("path did not detour through the gap (maxY %v)", maxY)
+	}
+	// No waypoint on an obstacle.
+	for _, w := range p {
+		if m.At(m.CellOf(w)) > 0 {
+			t.Errorf("waypoint %v on obstacle", w)
+		}
+	}
+}
+
+func TestPlanPathNoRoute(t *testing.T) {
+	m := openMap(t)
+	// Seal the full column.
+	for j := 0; j < 20; j++ {
+		m.Set(grid.Cell{I: 10, J: j}, 1)
+	}
+	if _, err := PlanPath(m, geom.V2(2, 2), geom.V2(8, 2)); err == nil {
+		t.Error("sealed map should fail")
+	}
+}
+
+func TestPlanPathGoalInsideObstacle(t *testing.T) {
+	m := openMap(t)
+	// 3x3 obstacle block around (5, 5).
+	for i := 9; i <= 11; i++ {
+		for j := 9; j <= 11; j++ {
+			m.Set(grid.Cell{I: i, J: j}, 1)
+		}
+	}
+	p, err := PlanPath(m, geom.V2(1, 1), geom.V2(5.25, 5.25))
+	if err != nil {
+		t.Fatalf("goal in obstacle should retarget, got %v", err)
+	}
+	end := p[len(p)-1]
+	if m.At(m.CellOf(end)) > 0 {
+		t.Error("path ends inside the obstacle")
+	}
+	if end.Dist(geom.V2(5.25, 5.25)) > 1.5 {
+		t.Errorf("retargeted end %v too far from goal", end)
+	}
+}
+
+func TestPlanPathValidation(t *testing.T) {
+	if _, err := PlanPath(nil, geom.Vec2{}, geom.Vec2{}); err == nil {
+		t.Error("nil map should error")
+	}
+	m := openMap(t)
+	if _, err := PlanPath(m, geom.V2(-5, -5), geom.V2(1, 1)); err == nil {
+		t.Error("start outside map should error")
+	}
+	// Goal outside the map: retargets to nearest free cell inside.
+	if _, err := PlanPath(m, geom.V2(1, 1), geom.V2(50, 50)); err != nil {
+		t.Errorf("out-of-map goal should retarget: %v", err)
+	}
+}
+
+func TestPlanPathNoCornerCutting(t *testing.T) {
+	m := openMap(t)
+	// Two diagonal obstacle cells forming a corner at (5,5)-(6,6).
+	m.Set(grid.Cell{I: 10, J: 10}, 1)
+	m.Set(grid.Cell{I: 11, J: 11}, 1)
+	p, err := PlanPath(m, geom.V2(4.75, 5.75), geom.V2(5.75, 4.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diagonal between the two blocked cells passes through the
+	// corner; A* must route around instead of squeezing through.
+	for i := 1; i < len(p); i++ {
+		a, b := m.CellOf(p[i-1]), m.CellOf(p[i])
+		if a.I != b.I && a.J != b.J {
+			if m.At(grid.Cell{I: a.I, J: b.J}) > 0 || m.At(grid.Cell{I: b.I, J: a.J}) > 0 {
+				t.Fatalf("corner cut between %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestNavigateArrivalError(t *testing.T) {
+	m := openMap(t)
+	rng := rand.New(rand.NewSource(1))
+	goal := geom.V2(8, 8)
+	for i := 0; i < 50; i++ {
+		_, arrived, err := Navigate(m, geom.V2(1, 1), goal, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The achieved position must respect the paper's ≤1 m error bound
+		// (relative to the snapped goal cell centre).
+		if d := arrived.Dist(m.CenterOf(m.CellOf(goal))); d > PositioningError+0.5 {
+			t.Errorf("arrival error %v exceeds bound", d)
+		}
+		if c := m.CellOf(arrived); m.At(c) > 0 {
+			t.Error("arrived inside an obstacle")
+		}
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	p := Path{geom.V2(0, 0), geom.V2(3, 0), geom.V2(3, 4)}
+	if math.Abs(p.Length()-7) > 1e-9 {
+		t.Errorf("length = %v, want 7", p.Length())
+	}
+	if (Path{}).Length() != 0 || (Path{geom.V2(1, 1)}).Length() != 0 {
+		t.Error("degenerate paths should have zero length")
+	}
+}
+
+func TestLocalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	modelFeatures := map[uint64]bool{}
+	for i := uint64(1); i <= 100; i++ {
+		modelFeatures[i] = true
+	}
+	photo := camera.Photo{}
+	for i := uint64(1); i <= 40; i++ {
+		photo.Obs = append(photo.Obs, camera.Observation{FeatureID: i})
+	}
+	truePos := geom.V2(5, 5)
+	for i := 0; i < 30; i++ {
+		est, err := Localize(photo, modelFeatures, truePos, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Dist(truePos) > PositioningError {
+			t.Errorf("localisation error %v exceeds 1 m", est.Dist(truePos))
+		}
+	}
+	// Too few matches: fails.
+	weak := camera.Photo{Obs: []camera.Observation{{FeatureID: 1}, {FeatureID: 2}}}
+	if _, err := Localize(weak, modelFeatures, truePos, rng); err == nil {
+		t.Error("weak photo should fail to localise")
+	}
+	// Unknown features: fails.
+	stranger := camera.Photo{}
+	for i := uint64(1000); i < 1040; i++ {
+		stranger.Obs = append(stranger.Obs, camera.Observation{FeatureID: i})
+	}
+	if _, err := Localize(stranger, modelFeatures, truePos, rng); err == nil {
+		t.Error("unmatched photo should fail to localise")
+	}
+}
+
+func TestNearestFreeCell(t *testing.T) {
+	m := openMap(t)
+	for i := 8; i <= 12; i++ {
+		for j := 8; j <= 12; j++ {
+			m.Set(grid.Cell{I: i, J: j}, 1)
+		}
+	}
+	free, ok := nearestFreeCell(m, grid.Cell{I: 10, J: 10})
+	if !ok {
+		t.Fatal("no free cell found")
+	}
+	if m.At(free) != 0 {
+		t.Error("returned cell not free")
+	}
+	// Fully blocked map.
+	m.Fill(1)
+	if _, ok := nearestFreeCell(m, grid.Cell{I: 10, J: 10}); ok {
+		t.Error("fully blocked map should fail")
+	}
+}

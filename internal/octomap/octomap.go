@@ -1,0 +1,258 @@
+// Package octomap implements an octree-based 3D occupancy map in the spirit
+// of Hornung et al.'s OctoMap [18], which SnapTask's Algorithm 2 uses to
+// turn an SfM point cloud into an obstacles map: points are inserted into
+// leaf voxels, the tree is collapsed along the up axis, and columns with at
+// least OBSTACLE_THRESHOLD points become obstacle cells.
+//
+// The implementation stores an explicit octree (so coarse queries and
+// pruning behave like the real library) rather than a flat hash, and
+// supports occupancy counting per leaf voxel.
+package octomap
+
+import (
+	"fmt"
+	"math"
+
+	"snaptask/internal/geom"
+)
+
+// Tree is an octree occupancy map with a fixed voxel resolution and maximum
+// depth. The tree root covers a cube of side res*2^depth centred at the
+// origin given at construction. The zero value is not usable; construct
+// with New.
+type Tree struct {
+	res    float64
+	depth  int
+	center geom.Vec3
+	root   *node
+	count  int
+}
+
+type node struct {
+	children [8]*node
+	// points counts point insertions in this subtree; for leaves it is the
+	// per-voxel occupancy count.
+	points int
+}
+
+// New returns an empty octree with the given leaf resolution (metres) and
+// depth (levels below the root). A depth of d gives a cube of side
+// res*2^d. Typical SnapTask use: res 0.15, depth 10 → ~150 m cube.
+func New(center geom.Vec3, res float64, depth int) (*Tree, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("octomap: resolution %v must be positive", res)
+	}
+	if depth < 1 || depth > 21 {
+		return nil, fmt.Errorf("octomap: depth %d out of range [1,21]", depth)
+	}
+	return &Tree{res: res, depth: depth, center: center, root: &node{}}, nil
+}
+
+// Res returns the leaf voxel resolution.
+func (t *Tree) Res() float64 { return t.res }
+
+// Depth returns the tree depth.
+func (t *Tree) Depth() int { return t.depth }
+
+// Size returns the side length of the root cube.
+func (t *Tree) Size() float64 { return t.res * float64(int(1)<<t.depth) }
+
+// NumPoints returns the total number of inserted points (excluding ones
+// that fell outside the root cube).
+func (t *Tree) NumPoints() int { return t.count }
+
+// Insert adds a point observation to the voxel containing p. Points outside
+// the root cube are ignored and reported by the return value.
+func (t *Tree) Insert(p geom.Vec3) bool {
+	half := t.Size() / 2
+	rel := p.Sub(t.center)
+	if math.Abs(rel.X) >= half || math.Abs(rel.Y) >= half || math.Abs(rel.Z) >= half {
+		return false
+	}
+	n := t.root
+	lo := geom.Vec3{X: -half, Y: -half, Z: -half}
+	size := t.Size()
+	for d := 0; d < t.depth; d++ {
+		n.points++
+		size /= 2
+		oct := 0
+		if rel.X >= lo.X+size {
+			oct |= 1
+			lo.X += size
+		}
+		if rel.Y >= lo.Y+size {
+			oct |= 2
+			lo.Y += size
+		}
+		if rel.Z >= lo.Z+size {
+			oct |= 4
+			lo.Z += size
+		}
+		if n.children[oct] == nil {
+			n.children[oct] = &node{}
+		}
+		n = n.children[oct]
+	}
+	n.points++
+	t.count++
+	return true
+}
+
+// VoxelKey identifies a leaf voxel by its integer coordinates, where the
+// voxel spans [K*res, (K+1)*res) in each axis relative to the root cube's
+// minimum corner.
+type VoxelKey struct {
+	X, Y, Z int
+}
+
+// Voxel is an occupied leaf voxel with its occupancy count.
+type Voxel struct {
+	Key    VoxelKey
+	Center geom.Vec3
+	Points int
+}
+
+// Leaves returns all occupied leaf voxels in deterministic (Z-order
+// traversal) order.
+func (t *Tree) Leaves() []Voxel {
+	var out []Voxel
+	half := t.Size() / 2
+	min := t.center.Add(geom.Vec3{X: -half, Y: -half, Z: -half})
+	var walk func(n *node, d int, kx, ky, kz int)
+	walk = func(n *node, d int, kx, ky, kz int) {
+		if n == nil || n.points == 0 {
+			return
+		}
+		if d == t.depth {
+			out = append(out, Voxel{
+				Key: VoxelKey{kx, ky, kz},
+				Center: min.Add(geom.Vec3{
+					X: (float64(kx) + 0.5) * t.res,
+					Y: (float64(ky) + 0.5) * t.res,
+					Z: (float64(kz) + 0.5) * t.res,
+				}),
+				Points: n.points,
+			})
+			return
+		}
+		for oct := 0; oct < 8; oct++ {
+			cx, cy, cz := kx*2, ky*2, kz*2
+			if oct&1 != 0 {
+				cx++
+			}
+			if oct&2 != 0 {
+				cy++
+			}
+			if oct&4 != 0 {
+				cz++
+			}
+			walk(n.children[oct], d+1, cx, cy, cz)
+		}
+	}
+	walk(t.root, 0, 0, 0, 0)
+	return out
+}
+
+// Column identifies a vertical stack of voxels by its floor-plane key.
+type Column struct {
+	X, Y int
+	// Points is the total occupancy merged along the up axis.
+	Points int
+	// MinZ and MaxZ are the lowest and highest occupied voxel layers.
+	MinZ, MaxZ int
+}
+
+// MergeUp collapses the tree along the up-pointing (z) axis, as Algorithm 2
+// line 3 requires, returning one Column per occupied floor-plane cell. Only
+// voxels whose centre height lies in [minZ, maxZ] (metres, in world
+// coordinates) are merged; the paper's indoor pipeline limits this to the
+// venue height so ceiling points do not register as floor obstacles.
+func (t *Tree) MergeUp(minZ, maxZ float64) []Column {
+	cols := make(map[[2]int]*Column)
+	var order [][2]int
+	for _, v := range t.Leaves() {
+		if v.Center.Z < minZ || v.Center.Z > maxZ {
+			continue
+		}
+		key := [2]int{v.Key.X, v.Key.Y}
+		c, ok := cols[key]
+		if !ok {
+			c = &Column{X: v.Key.X, Y: v.Key.Y, MinZ: v.Key.Z, MaxZ: v.Key.Z}
+			cols[key] = c
+			order = append(order, key)
+		}
+		c.Points += v.Points
+		if v.Key.Z < c.MinZ {
+			c.MinZ = v.Key.Z
+		}
+		if v.Key.Z > c.MaxZ {
+			c.MaxZ = v.Key.Z
+		}
+	}
+	out := make([]Column, 0, len(order))
+	for _, key := range order {
+		out = append(out, *cols[key])
+	}
+	return out
+}
+
+// WorldXY returns the floor-plane world coordinate of the centre of a
+// column cell.
+func (t *Tree) WorldXY(x, y int) geom.Vec2 {
+	half := t.Size() / 2
+	return geom.Vec2{
+		X: t.center.X - half + (float64(x)+0.5)*t.res,
+		Y: t.center.Y - half + (float64(y)+0.5)*t.res,
+	}
+}
+
+// OccupancyAt returns the number of points in the leaf voxel containing p,
+// or 0 when p is outside the root cube or the voxel is empty.
+func (t *Tree) OccupancyAt(p geom.Vec3) int {
+	half := t.Size() / 2
+	rel := p.Sub(t.center)
+	if math.Abs(rel.X) >= half || math.Abs(rel.Y) >= half || math.Abs(rel.Z) >= half {
+		return 0
+	}
+	n := t.root
+	lo := geom.Vec3{X: -half, Y: -half, Z: -half}
+	size := t.Size()
+	for d := 0; d < t.depth; d++ {
+		size /= 2
+		oct := 0
+		if rel.X >= lo.X+size {
+			oct |= 1
+			lo.X += size
+		}
+		if rel.Y >= lo.Y+size {
+			oct |= 2
+			lo.Y += size
+		}
+		if rel.Z >= lo.Z+size {
+			oct |= 4
+			lo.Z += size
+		}
+		if n.children[oct] == nil {
+			return 0
+		}
+		n = n.children[oct]
+	}
+	return n.points
+}
+
+// NumNodes returns the number of allocated octree nodes, a measure of the
+// tree's sparsity used by the ablation benchmarks.
+func (t *Tree) NumNodes() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		total := 1
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(t.root)
+}

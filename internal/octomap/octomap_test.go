@@ -1,0 +1,227 @@
+package octomap
+
+import (
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/geom"
+)
+
+func mustTree(t *testing.T, res float64, depth int) *Tree {
+	t.Helper()
+	tr, err := New(geom.V3(0, 0, 0), res, depth)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		res     float64
+		depth   int
+		wantErr bool
+	}{
+		{"ok", 0.15, 10, false},
+		{"zero-res", 0, 10, true},
+		{"neg-res", -1, 10, true},
+		{"depth-0", 0.15, 0, true},
+		{"depth-too-big", 0.15, 22, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(geom.V3(0, 0, 0), tt.res, tt.depth)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSize(t *testing.T) {
+	tr := mustTree(t, 0.5, 4)
+	if tr.Size() != 8 {
+		t.Errorf("Size = %v, want 8", tr.Size())
+	}
+	if tr.Res() != 0.5 || tr.Depth() != 4 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestInsertAndOccupancy(t *testing.T) {
+	tr := mustTree(t, 1, 4) // 16 m cube centred at origin
+	p := geom.V3(0.5, 0.5, 0.5)
+	if !tr.Insert(p) {
+		t.Fatal("insert inside cube failed")
+	}
+	if !tr.Insert(p) {
+		t.Fatal("second insert failed")
+	}
+	if got := tr.OccupancyAt(p); got != 2 {
+		t.Errorf("occupancy = %d, want 2", got)
+	}
+	// Same voxel, different point.
+	if got := tr.OccupancyAt(geom.V3(0.9, 0.1, 0.3)); got != 2 {
+		t.Errorf("same-voxel occupancy = %d, want 2", got)
+	}
+	// Different voxel.
+	if got := tr.OccupancyAt(geom.V3(1.5, 0.5, 0.5)); got != 0 {
+		t.Errorf("empty voxel occupancy = %d, want 0", got)
+	}
+	if tr.NumPoints() != 2 {
+		t.Errorf("NumPoints = %d", tr.NumPoints())
+	}
+}
+
+func TestInsertOutside(t *testing.T) {
+	tr := mustTree(t, 1, 2) // 4 m cube: [-2,2)
+	outside := []geom.Vec3{
+		{X: 2.5}, {Y: -2.5}, {Z: 3}, {X: 2, Y: 0, Z: 0}, // boundary is exclusive
+	}
+	for _, p := range outside {
+		if tr.Insert(p) {
+			t.Errorf("Insert(%v) accepted an out-of-cube point", p)
+		}
+	}
+	if tr.NumPoints() != 0 {
+		t.Error("outside inserts must not count")
+	}
+	if tr.OccupancyAt(geom.V3(5, 5, 5)) != 0 {
+		t.Error("outside occupancy must read 0")
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	tr := mustTree(t, 0.25, 6)
+	p := geom.V3(-1.3, -0.7, -2.1)
+	tr.Insert(p)
+	if got := tr.OccupancyAt(p); got != 1 {
+		t.Errorf("occupancy at negative coords = %d", got)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	tr := mustTree(t, 1, 3)
+	tr.Insert(geom.V3(0.5, 0.5, 0.5))
+	tr.Insert(geom.V3(0.5, 0.5, 0.5))
+	tr.Insert(geom.V3(-1.5, 0.5, 0.5))
+	leaves := tr.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d, want 2", len(leaves))
+	}
+	total := 0
+	for _, v := range leaves {
+		total += v.Points
+		// The voxel centre must contain its occupancy.
+		if got := tr.OccupancyAt(v.Center); got != v.Points {
+			t.Errorf("centre of %v occupancy %d != %d", v.Key, got, v.Points)
+		}
+	}
+	if total != 3 {
+		t.Errorf("total leaf points = %d, want 3", total)
+	}
+}
+
+func TestMergeUp(t *testing.T) {
+	tr := mustTree(t, 1, 4)
+	// A vertical stack of 3 voxels at the same (x, y).
+	for z := 0; z < 3; z++ {
+		tr.Insert(geom.V3(0.5, 0.5, float64(z)+0.5))
+		tr.Insert(geom.V3(0.5, 0.5, float64(z)+0.5))
+	}
+	// A single voxel elsewhere.
+	tr.Insert(geom.V3(3.5, -2.5, 0.5))
+
+	cols := tr.MergeUp(-10, 10)
+	if len(cols) != 2 {
+		t.Fatalf("columns = %d, want 2", len(cols))
+	}
+	var stack *Column
+	for i := range cols {
+		if cols[i].Points == 6 {
+			stack = &cols[i]
+		}
+	}
+	if stack == nil {
+		t.Fatal("stacked column not merged to 6 points")
+	}
+	if stack.MaxZ-stack.MinZ != 2 {
+		t.Errorf("stack z extent = %d..%d", stack.MinZ, stack.MaxZ)
+	}
+
+	// Height filtering: exclude everything above z=1.
+	cols = tr.MergeUp(0, 1)
+	for _, c := range cols {
+		if c.Points > 4 {
+			t.Errorf("height filter failed, column has %d points", c.Points)
+		}
+	}
+
+	// WorldXY round trip: the column coordinate maps back near (0.5, 0.5).
+	cols = tr.MergeUp(-10, 10)
+	for _, c := range cols {
+		if c.Points != 6 {
+			continue
+		}
+		w := tr.WorldXY(c.X, c.Y)
+		if w.Dist(geom.V2(0.5, 0.5)) > 0.51 {
+			t.Errorf("WorldXY = %v, want near (0.5,0.5)", w)
+		}
+	}
+}
+
+func TestMergeUpEmpty(t *testing.T) {
+	tr := mustTree(t, 1, 3)
+	if cols := tr.MergeUp(-10, 10); len(cols) != 0 {
+		t.Errorf("empty tree merged to %d columns", len(cols))
+	}
+}
+
+func TestNumNodesSparsity(t *testing.T) {
+	tr := mustTree(t, 0.15, 8)
+	base := tr.NumNodes()
+	if base != 1 {
+		t.Fatalf("empty tree has %d nodes", base)
+	}
+	tr.Insert(geom.V3(1, 1, 1))
+	one := tr.NumNodes()
+	if one != 1+8 {
+		t.Errorf("single insert allocated %d nodes, want 9 (path of depth 8)", one)
+	}
+	// Inserting into the same voxel must not allocate more nodes.
+	tr.Insert(geom.V3(1.01, 1.01, 1.01))
+	if tr.NumNodes() != one && tr.OccupancyAt(geom.V3(1, 1, 1)) < 1 {
+		t.Error("same-voxel insert changed structure unexpectedly")
+	}
+}
+
+func TestManyRandomInsertsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := mustTree(t, 0.15, 10)
+	n := 2000
+	inserted := 0
+	for i := 0; i < n; i++ {
+		p := geom.V3(rng.Float64()*40-20, rng.Float64()*40-20, rng.Float64()*4)
+		if tr.Insert(p) {
+			inserted++
+		}
+	}
+	if inserted != n {
+		t.Fatalf("inserted %d of %d in-range points", inserted, n)
+	}
+	var leafTotal int
+	for _, v := range tr.Leaves() {
+		leafTotal += v.Points
+	}
+	if leafTotal != n {
+		t.Errorf("leaf total %d != inserted %d", leafTotal, n)
+	}
+	var colTotal int
+	for _, c := range tr.MergeUp(-100, 100) {
+		colTotal += c.Points
+	}
+	if colTotal != n {
+		t.Errorf("column total %d != inserted %d", colTotal, n)
+	}
+}

@@ -1,0 +1,295 @@
+// Package pointcloud provides the 3D point-cloud container produced by the
+// SfM pipeline, a grid-accelerated k-nearest-neighbour index, and the
+// statistical outlier removal (SOR) filter SnapTask applies to every freshly
+// reconstructed model (Algorithm 1, line 2). The filter follows the classic
+// PCL formulation: compute each point's mean distance to its k nearest
+// neighbours, then discard points whose mean distance exceeds the global
+// mean by more than stddevMul standard deviations.
+package pointcloud
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"snaptask/internal/geom"
+)
+
+// Point is one reconstructed 3D point. Source tags where it came from so the
+// featureless-surface pipeline can separate artificially textured points
+// from natural ones later, as the paper notes ("since we use distinctive
+// colors, it is easy to locate the artificial points later on").
+type Point struct {
+	Pos geom.Vec3
+	// FeatureID is the identifier of the scene feature this point
+	// reconstructs, 0 for synthetic/outlier points.
+	FeatureID uint64
+	// Views is the number of registered camera views observing the point.
+	Views int
+	// Artificial marks points reconstructed from imprinted textures on
+	// annotated featureless surfaces.
+	Artificial bool
+}
+
+// Cloud is an ordered collection of points. The zero value is an empty,
+// usable cloud. Cloud is not safe for concurrent mutation.
+type Cloud struct {
+	pts []Point
+}
+
+// NewCloud returns a cloud initialised with the given points (copied).
+func NewCloud(pts []Point) *Cloud {
+	c := &Cloud{pts: make([]Point, len(pts))}
+	copy(c.pts, pts)
+	return c
+}
+
+// Len returns the number of points.
+func (c *Cloud) Len() int { return len(c.pts) }
+
+// At returns the i-th point.
+func (c *Cloud) At(i int) Point { return c.pts[i] }
+
+// Add appends a point.
+func (c *Cloud) Add(p Point) { c.pts = append(c.pts, p) }
+
+// Points returns a copy of the underlying points.
+func (c *Cloud) Points() []Point {
+	out := make([]Point, len(c.pts))
+	copy(out, c.pts)
+	return out
+}
+
+// Each calls fn for every point in order.
+func (c *Cloud) Each(fn func(p Point)) {
+	for _, p := range c.pts {
+		fn(p)
+	}
+}
+
+// Clone returns a deep copy of the cloud.
+func (c *Cloud) Clone() *Cloud { return NewCloud(c.pts) }
+
+// Merge appends all points of o to c.
+func (c *Cloud) Merge(o *Cloud) {
+	c.pts = append(c.pts, o.pts...)
+}
+
+// Bounds2D returns the floor-plane bounding box of the cloud.
+func (c *Cloud) Bounds2D() geom.AABB {
+	b := geom.EmptyAABB()
+	for _, p := range c.pts {
+		b = b.AddPoint(p.Pos.XY())
+	}
+	return b
+}
+
+// CountArtificial returns how many points carry the Artificial mark.
+func (c *Cloud) CountArtificial() int {
+	n := 0
+	for _, p := range c.pts {
+		if p.Artificial {
+			n++
+		}
+	}
+	return n
+}
+
+// knnIndex is a uniform-grid spatial hash over the points of a cloud used to
+// answer approximate-exact kNN queries in roughly O(k) per query for
+// well-distributed clouds.
+type knnIndex struct {
+	cellSize float64
+	cells    map[[3]int][]int
+	pts      []Point
+}
+
+func newKNNIndex(pts []Point, cellSize float64) *knnIndex {
+	idx := &knnIndex{
+		cellSize: cellSize,
+		cells:    make(map[[3]int][]int, len(pts)/2+1),
+		pts:      pts,
+	}
+	for i, p := range pts {
+		k := idx.key(p.Pos)
+		idx.cells[k] = append(idx.cells[k], i)
+	}
+	return idx
+}
+
+func (idx *knnIndex) key(p geom.Vec3) [3]int {
+	return [3]int{
+		int(math.Floor(p.X / idx.cellSize)),
+		int(math.Floor(p.Y / idx.cellSize)),
+		int(math.Floor(p.Z / idx.cellSize)),
+	}
+}
+
+// nearest returns the distances to the k nearest neighbours of point i
+// (excluding itself), expanding the search ring until enough neighbours are
+// guaranteed exact.
+func (idx *knnIndex) nearest(i, k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	center := idx.pts[i].Pos
+	ck := idx.key(center)
+	var dists []float64
+	for ring := 0; ; ring++ {
+		// Once the search shell is larger than the number of occupied
+		// cells, scanning every point directly is cheaper than walking
+		// empty shells (isolated outliers would otherwise force huge
+		// ring expansions).
+		if shell := 2*ring + 1; shell*shell*shell > 4*len(idx.cells)+64 {
+			return idx.brute(i, k)
+		}
+		// Collect all points in cells on the Chebyshev shell of radius
+		// `ring` around the query cell.
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				for dz := -ring; dz <= ring; dz++ {
+					if maxAbs3(dx, dy, dz) != ring {
+						continue // only the new shell
+					}
+					key := [3]int{ck[0] + dx, ck[1] + dy, ck[2] + dz}
+					for _, j := range idx.cells[key] {
+						if j == i {
+							continue
+						}
+						dists = append(dists, center.Dist(idx.pts[j].Pos))
+					}
+				}
+			}
+		}
+		if len(dists) >= k {
+			sort.Float64s(dists)
+			// After sweeping rings 0..ring, every point within
+			// Euclidean distance (ring-1)*cellSize of the query is
+			// guaranteed to have been found, so the result is exact
+			// once the k-th distance falls inside that radius.
+			if dists[k-1] <= float64(ring-1)*idx.cellSize {
+				return dists[:k]
+			}
+		}
+		// Terminate once the whole cloud has been swept.
+		if len(dists) == len(idx.pts)-1 {
+			sort.Float64s(dists)
+			if len(dists) > k {
+				return dists[:k]
+			}
+			return dists
+		}
+	}
+}
+
+// brute returns the exact k nearest distances by scanning every point.
+func (idx *knnIndex) brute(i, k int) []float64 {
+	dists := make([]float64, 0, len(idx.pts)-1)
+	center := idx.pts[i].Pos
+	for j := range idx.pts {
+		if j == i {
+			continue
+		}
+		dists = append(dists, center.Dist(idx.pts[j].Pos))
+	}
+	sort.Float64s(dists)
+	if len(dists) > k {
+		dists = dists[:k]
+	}
+	return dists
+}
+
+func maxAbs3(a, b, c int) int {
+	m := a
+	if a < 0 {
+		m = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if c < 0 {
+		c = -c
+	}
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+// SOROptions configures StatisticalOutlierRemoval.
+type SOROptions struct {
+	// K is the number of nearest neighbours examined per point.
+	// Defaults to 8.
+	K int
+	// StdDevMul is the standard-deviation multiplier of the distance
+	// threshold. Defaults to 1.0 (PCL's common setting for sparse
+	// SfM clouds).
+	StdDevMul float64
+	// CellSize is the spatial-hash resolution in metres. Defaults to
+	// 0.5 m, appropriate for room-scale clouds.
+	CellSize float64
+}
+
+func (o SOROptions) withDefaults() SOROptions {
+	if o.K == 0 {
+		o.K = 8
+	}
+	if o.StdDevMul == 0 {
+		o.StdDevMul = 1.0
+	}
+	if o.CellSize == 0 {
+		o.CellSize = 0.5
+	}
+	return o
+}
+
+// StatisticalOutlierRemoval returns a new cloud with statistical outliers
+// removed, along with the number of points discarded. Clouds with at most
+// K+1 points are returned unchanged (no meaningful statistics exist).
+func StatisticalOutlierRemoval(c *Cloud, opts SOROptions) (*Cloud, int, error) {
+	opts = opts.withDefaults()
+	if opts.K < 1 {
+		return nil, 0, fmt.Errorf("pointcloud: SOR K=%d must be >= 1", opts.K)
+	}
+	if opts.StdDevMul < 0 {
+		return nil, 0, fmt.Errorf("pointcloud: SOR StdDevMul=%v must be >= 0", opts.StdDevMul)
+	}
+	n := c.Len()
+	if n <= opts.K+1 {
+		return c.Clone(), 0, nil
+	}
+
+	idx := newKNNIndex(c.pts, opts.CellSize)
+	meanDists := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		ds := idx.nearest(i, opts.K)
+		var s float64
+		for _, d := range ds {
+			s += d
+		}
+		meanDists[i] = s / float64(len(ds))
+		sum += meanDists[i]
+	}
+	mean := sum / float64(n)
+	var varSum float64
+	for _, d := range meanDists {
+		varSum += (d - mean) * (d - mean)
+	}
+	std := math.Sqrt(varSum / float64(n))
+	threshold := mean + opts.StdDevMul*std
+
+	out := &Cloud{pts: make([]Point, 0, n)}
+	removed := 0
+	for i, p := range c.pts {
+		if meanDists[i] <= threshold {
+			out.pts = append(out.pts, p)
+		} else {
+			removed++
+		}
+	}
+	return out, removed, nil
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+)
+
+// TestConcurrentClients hammers the server from several goroutines at once:
+// mixed reads (status, map, task) and batch uploads must interleave without
+// corrupting the model (mutex serialisation) and every response must be a
+// well-formed status code.
+func TestConcurrentClients(t *testing.T) {
+	ts, _, w, v := newTestServer(t)
+	rng := rand.New(rand.NewSource(77))
+
+	// Bootstrap first so uploads are meaningful.
+	photos, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := UploadRequest{Bootstrap: true}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, PhotoToDTO(p))
+	}
+	var up UploadResponse
+	if code := postJSON(t, ts.URL+"/v1/photos", req, &up); code != http.StatusOK {
+		t.Fatalf("bootstrap code %d", code)
+	}
+
+	// Pre-capture distinct sweeps serially (capture itself is not under
+	// test; the server is).
+	var sweeps [][]camera.Photo
+	for i := 0; i < 4; i++ {
+		pos := v.Entrance()
+		pos.X += float64(i) * 0.8
+		pos.Y += 1.5
+		s, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps = append(sweeps, s)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Uploaders.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			upReq := UploadRequest{LocX: 5, LocY: 5}
+			for _, p := range sweeps[i] {
+				upReq.Photos = append(upReq.Photos, PhotoToDTO(p))
+			}
+			var resp UploadResponse
+			if code := postJSONNoFatal(ts.URL+"/v1/photos", upReq, &resp); code != http.StatusOK {
+				errs <- fmt.Errorf("upload %d: code %d", i, code)
+			}
+		}(i)
+	}
+	// Readers.
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				var status StatusResponse
+				if code := getJSONNoFatal(ts.URL+"/v1/status", &status); code != http.StatusOK {
+					errs <- fmt.Errorf("status code %d", code)
+					return
+				}
+				var m MapResponse
+				if code := getJSONNoFatal(ts.URL+"/v1/map", &m); code != http.StatusOK {
+					errs <- fmt.Errorf("map code %d", code)
+					return
+				}
+				if len(m.Rows) != m.Height {
+					errs <- fmt.Errorf("torn map response: %d rows, height %d", len(m.Rows), m.Height)
+					return
+				}
+			}
+		}()
+	}
+	// Task fetchers (may get 200 or 404 depending on interleaving; both
+	// are valid).
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				var task TaskDTO
+				code := getJSONNoFatal(ts.URL+"/v1/task", &task)
+				if code != http.StatusOK && code != http.StatusNotFound {
+					errs <- fmt.Errorf("task code %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The model ends in a consistent state: all four sweeps processed.
+	var status StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &status)
+	want := len(photos) + 4*len(sweeps[0])
+	if status.PhotosProcessed != want {
+		t.Errorf("photos processed = %d, want %d", status.PhotosProcessed, want)
+	}
+}
+
+// getJSONNoFatal / postJSONNoFatal are goroutine-safe variants that report
+// status codes without touching testing.T.
+func getJSONNoFatal(url string, out any) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	decodeInto(resp, out)
+	return resp.StatusCode
+}
+
+func postJSONNoFatal(url string, in, out any) int {
+	payload, err := marshalJSON(in)
+	if err != nil {
+		return -1
+	}
+	resp, err := http.Post(url, "application/json", payload)
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	decodeInto(resp, out)
+	return resp.StatusCode
+}
+
+func decodeInto(resp *http.Response, out any) {
+	if out == nil {
+		return
+	}
+	_ = json.NewDecoder(resp.Body).Decode(out)
+}
+
+func marshalJSON(in any) (*bytes.Reader, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(payload), nil
+}

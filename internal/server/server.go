@@ -1,0 +1,457 @@
+// Package server exposes the SnapTask backend over HTTP: the mobile client
+// requests tasks, uploads photo batches, submits annotations and downloads
+// the current maps — the paper's Figure 2 split between mobile client,
+// online annotation tool and backend server.
+//
+// All model mutations are serialised under one mutex, so concurrent
+// clients are safe and the model sees one linear history — the paper's
+// backend likewise processes one uploaded batch at a time.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+
+	"snaptask/internal/annotation"
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+	"snaptask/internal/metrics"
+	"snaptask/internal/nav"
+	"snaptask/internal/taskgen"
+)
+
+// TaskDTO is the wire form of a crowdsourcing task.
+type TaskDTO struct {
+	ID    int     `json:"id"`
+	Kind  string  `json:"kind"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	SeedX float64 `json:"seedX"`
+	SeedY float64 `json:"seedY"`
+	// Covered is true when no task is available because the venue is
+	// complete.
+	Covered bool `json:"covered"`
+}
+
+// ObservationDTO is one feature observation in an uploaded photo.
+type ObservationDTO struct {
+	FeatureID uint64  `json:"featureId"`
+	U         float64 `json:"u"`
+	V         float64 `json:"v"`
+	Dist      float64 `json:"dist"`
+}
+
+// PhotoDTO is the wire form of one captured photo. Intrinsics mirror the
+// EXIF metadata the paper's backend reads from uploads.
+type PhotoDTO struct {
+	PoseX     float64          `json:"poseX"`
+	PoseY     float64          `json:"poseY"`
+	Yaw       float64          `json:"yaw"`
+	HFOV      float64          `json:"hfov"`
+	VFOV      float64          `json:"vfov"`
+	Range     float64          `json:"range"`
+	MinRange  float64          `json:"minRange"`
+	EyeHeight float64          `json:"eyeHeight"`
+	Sharpness float64          `json:"sharpness"`
+	Obs       []ObservationDTO `json:"obs"`
+}
+
+// UploadRequest is a photo batch upload for a photo task.
+type UploadRequest struct {
+	TaskID    int        `json:"taskId"`
+	Bootstrap bool       `json:"bootstrap"`
+	LocX      float64    `json:"locX"`
+	LocY      float64    `json:"locY"`
+	SeedX     float64    `json:"seedX"`
+	SeedY     float64    `json:"seedY"`
+	Photos    []PhotoDTO `json:"photos"`
+}
+
+// UploadResponse reports the batch outcome.
+type UploadResponse struct {
+	Registered    int  `json:"registered"`
+	Rejected      int  `json:"rejected"`
+	Unregistered  int  `json:"unregistered"`
+	NewPoints     int  `json:"newPoints"`
+	CoverageCells int  `json:"coverageCells"`
+	VenueCovered  bool `json:"venueCovered"`
+}
+
+// AnnotationDTO is one worker's corner marks on one photo.
+type AnnotationDTO struct {
+	WorkerID int           `json:"workerId"`
+	PhotoIdx int           `json:"photoIdx"`
+	Corners  [4][2]float64 `json:"corners"`
+}
+
+// AnnotateRequest submits an annotation task's photos plus the online
+// workers' marks.
+type AnnotateRequest struct {
+	TaskID int             `json:"taskId"`
+	LocX   float64         `json:"locX"`
+	LocY   float64         `json:"locY"`
+	SeedX  float64         `json:"seedX"`
+	SeedY  float64         `json:"seedY"`
+	Photos []PhotoDTO      `json:"photos"`
+	Marks  []AnnotationDTO `json:"marks"`
+}
+
+// AnnotateResponse reports the reconstruction outcome.
+type AnnotateResponse struct {
+	Identified    int  `json:"identified"`
+	Reconstructed int  `json:"reconstructed"`
+	CoverageCells int  `json:"coverageCells"`
+	VenueCovered  bool `json:"venueCovered"`
+}
+
+// MapResponse carries the current 2D map for the client's floor-plan view.
+type MapResponse struct {
+	Width   int     `json:"width"`
+	Height  int     `json:"height"`
+	Res     float64 `json:"res"`
+	OriginX float64 `json:"originX"`
+	OriginY float64 `json:"originY"`
+	// Rows encodes each row as a string: '#' obstacle, '.' visible,
+	// '_' unknown.
+	Rows []string `json:"rows"`
+}
+
+// LocateRequest asks the backend to localise a photo against the current
+// model — the positioning service of the paper's Section III ("serving
+// localization queries").
+type LocateRequest struct {
+	Photo PhotoDTO `json:"photo"`
+}
+
+// LocateResponse returns the estimated position.
+type LocateResponse struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Matched is the number of photo features found in the model.
+	Matched int `json:"matched"`
+}
+
+// StatusResponse summarises backend state.
+type StatusResponse struct {
+	Venue           string `json:"venue"`
+	Views           int    `json:"views"`
+	Points          int    `json:"points"`
+	PhotosProcessed int    `json:"photosProcessed"`
+	PhotoTasks      int    `json:"photoTasks"`
+	AnnotationTasks int    `json:"annotationTasks"`
+	Covered         bool   `json:"covered"`
+	PendingTasks    int    `json:"pendingTasks"`
+}
+
+// Server wraps a core.System behind an http.Handler.
+type Server struct {
+	mu  sync.Mutex
+	sys *core.System
+	rng *rand.Rand
+	mux *http.ServeMux
+}
+
+// New returns a server for the given system. The rng drives all stochastic
+// backend steps and is owned by the server afterwards.
+func New(sys *core.System, rng *rand.Rand) (*Server, error) {
+	if sys == nil || rng == nil {
+		return nil, fmt.Errorf("server: nil system or rng")
+	}
+	s := &Server{sys: sys, rng: rng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/task", s.handleTask)
+	s.mux.HandleFunc("POST /v1/photos", s.handlePhotos)
+	s.mux.HandleFunc("POST /v1/annotations", s.handleAnnotations)
+	s.mux.HandleFunc("GET /v1/map", s.handleMap)
+	s.mux.HandleFunc("GET /v1/map.pgm", s.handleMapPGM)
+	s.mux.HandleFunc("POST /v1/locate", s.handleLocate)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var _ http.Handler = (*Server)(nil)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sys.Covered() {
+		writeJSON(w, http.StatusOK, TaskDTO{Covered: true})
+		return
+	}
+	task, ok := s.sys.NextTask()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no task pending"})
+		return
+	}
+	writeJSON(w, http.StatusOK, TaskDTO{
+		ID:    task.ID,
+		Kind:  task.Kind.String(),
+		X:     task.Location.X,
+		Y:     task.Location.Y,
+		SeedX: task.Seed.X,
+		SeedY: task.Seed.Y,
+	})
+}
+
+func photoFromDTO(d PhotoDTO) camera.Photo {
+	p := camera.Photo{
+		Pose: camera.Pose{Pos: geom.V2(d.PoseX, d.PoseY), Yaw: d.Yaw},
+		Intrinsics: camera.Intrinsics{
+			HFOV: d.HFOV, VFOV: d.VFOV, Range: d.Range,
+			MinRange: d.MinRange, EyeHeight: d.EyeHeight,
+		},
+		Sharpness: d.Sharpness,
+	}
+	for _, o := range d.Obs {
+		p.Obs = append(p.Obs, camera.Observation{
+			FeatureID: o.FeatureID, U: o.U, V: o.V, Dist: o.Dist,
+		})
+	}
+	return p
+}
+
+// PhotoToDTO converts a photo to its wire form; exported for the client.
+func PhotoToDTO(p camera.Photo) PhotoDTO {
+	d := PhotoDTO{
+		PoseX: p.Pose.Pos.X, PoseY: p.Pose.Pos.Y, Yaw: p.Pose.Yaw,
+		HFOV: p.Intrinsics.HFOV, VFOV: p.Intrinsics.VFOV,
+		Range: p.Intrinsics.Range, MinRange: p.Intrinsics.MinRange,
+		EyeHeight: p.Intrinsics.EyeHeight,
+		Sharpness: p.Sharpness,
+	}
+	for _, o := range p.Obs {
+		d.Obs = append(d.Obs, ObservationDTO{
+			FeatureID: o.FeatureID, U: o.U, V: o.V, Dist: o.Dist,
+		})
+	}
+	return d
+}
+
+func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if len(req.Photos) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	photos := make([]camera.Photo, len(req.Photos))
+	for i, d := range req.Photos {
+		photos[i] = photoFromDTO(d)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out core.BatchOutcome
+	var err error
+	if req.Bootstrap {
+		out, err = s.sys.ProcessBootstrap(photos, s.rng)
+	} else {
+		seed := geom.V2(req.SeedX, req.SeedY)
+		if seed == (geom.Vec2{}) {
+			seed = geom.V2(req.LocX, req.LocY)
+		}
+		out, err = s.sys.ProcessPhotoBatch(geom.V2(req.LocX, req.LocY), seed, photos, s.rng)
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UploadResponse{
+		Registered:    len(out.Batch.Registered),
+		Rejected:      len(out.Batch.RejectedBlurry),
+		Unregistered:  len(out.Batch.Unregistered),
+		NewPoints:     out.Batch.NewPoints,
+		CoverageCells: out.CoverageCells,
+		VenueCovered:  out.VenueCovered,
+	})
+}
+
+func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
+	var req AnnotateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if len(req.Photos) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("annotation without photos"))
+		return
+	}
+	task := annotation.Task{Location: geom.V2(req.LocX, req.LocY)}
+	for _, d := range req.Photos {
+		task.Photos = append(task.Photos, photoFromDTO(d))
+	}
+	var anns []annotation.Annotation
+	for _, m := range req.Marks {
+		a := annotation.Annotation{WorkerID: m.WorkerID, PhotoIdx: m.PhotoIdx}
+		for i, c := range m.Corners {
+			a.Corners[i] = geom.V2(c[0], c[1])
+		}
+		anns = append(anns, a)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seed := geom.V2(req.SeedX, req.SeedY)
+	if seed == (geom.Vec2{}) {
+		seed = task.Location
+	}
+	out, err := s.sys.ProcessAnnotation(task, seed, anns, s.rng)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AnnotateResponse{
+		Identified:    out.Recon.Identified,
+		Reconstructed: out.Recon.Reconstructed,
+		CoverageCells: out.CoverageCells,
+		VenueCovered:  out.VenueCovered,
+	})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	maps := s.sys.Maps()
+	obstacles := maps.Obstacles.Clone()
+	visibility := maps.Visibility.Clone()
+	s.mu.Unlock()
+
+	rows := make([]string, 0, obstacles.Height())
+	for j := obstacles.Height() - 1; j >= 0; j-- {
+		row := make([]byte, obstacles.Width())
+		for i := 0; i < obstacles.Width(); i++ {
+			c := grid.Cell{I: i, J: j}
+			switch {
+			case obstacles.At(c) > 0:
+				row[i] = '#'
+			case visibility.At(c) > 0:
+				row[i] = '.'
+			default:
+				row[i] = '_'
+			}
+		}
+		rows = append(rows, string(row))
+	}
+	origin := obstacles.Origin()
+	writeJSON(w, http.StatusOK, MapResponse{
+		Width:   obstacles.Width(),
+		Height:  obstacles.Height(),
+		Res:     obstacles.Res(),
+		OriginX: origin.X,
+		OriginY: origin.Y,
+		Rows:    rows,
+	})
+}
+
+// handleMapPGM serves the current map as a PGM image, viewable directly in
+// any image tool.
+func (s *Server) handleMapPGM(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	maps := s.sys.Maps()
+	obstacles := maps.Obstacles.Clone()
+	visibility := maps.Visibility.Clone()
+	s.mu.Unlock()
+
+	img, err := metrics.WritePGM(obstacles, visibility, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(img)
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	var req LocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	photo := photoFromDTO(req.Photo)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Build the matched-feature set from the model's triangulated points.
+	modelFeatures := make(map[uint64]bool)
+	for _, p := range s.sys.Model().Cloud().Points() {
+		if p.FeatureID != 0 {
+			modelFeatures[p.FeatureID] = true
+		}
+	}
+	matched := 0
+	for _, o := range photo.Obs {
+		if modelFeatures[o.FeatureID] {
+			matched++
+		}
+	}
+	pos, err := nav.Localize(photo, modelFeatures, photo.Pose.Pos, s.rng)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LocateResponse{X: pos.X, Y: pos.Y, Matched: matched})
+}
+
+// handleSnapshot streams the backend's serialised state — the paper's
+// model-and-maps database record — so a new server can resume the session.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.sys.WriteSnapshot(w); err != nil {
+		// Headers are already sent; the truncated stream will fail to
+		// decode on the client, which is the correct failure mode.
+		return
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	photoTasks, annTasks := s.sys.TasksIssued()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Venue:           s.sys.Venue().Name(),
+		Views:           s.sys.Model().NumViews(),
+		Points:          s.sys.Model().NumPoints(),
+		PhotosProcessed: s.sys.PhotosProcessed(),
+		PhotoTasks:      photoTasks,
+		AnnotationTasks: annTasks,
+		Covered:         s.sys.Covered(),
+		PendingTasks:    len(s.sys.PendingTasks()),
+	})
+}
+
+// TaskKindFromString parses a wire task kind.
+func TaskKindFromString(s string) (taskgen.Kind, error) {
+	switch s {
+	case "photo":
+		return taskgen.KindPhoto, nil
+	case "annotation":
+		return taskgen.KindAnnotation, nil
+	default:
+		return 0, fmt.Errorf("server: unknown task kind %q", s)
+	}
+}

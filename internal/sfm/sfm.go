@@ -1,0 +1,435 @@
+// Package sfm simulates the incremental Structure-from-Motion pipeline
+// SnapTask's backend runs (the paper uses OpenMVG). The simulation
+// reproduces the behavioural contract the system depends on rather than the
+// numerics of bundle adjustment:
+//
+//   - photos register into a model only when they share enough matched
+//     features with already-registered views (or, for a fresh model, when a
+//     seed pair with enough mutual matches exists);
+//   - a scene feature becomes a 3D point only when at least MinViewsForPoint
+//     registered views observe it with a sufficient triangulation baseline —
+//     the reason the paper sets COVERED_VIEW_TOLERANCE to 3;
+//   - featureless surfaces yield no features, hence no points;
+//   - reconstructed positions and camera poses carry noise, and occasional
+//     spurious outlier points appear, exercising the statistical outlier
+//     filter of Algorithm 1;
+//   - blurry photos (low Laplacian variance) contribute nothing.
+//
+// The feature-position oracle (the world's true feature locations) plays
+// the role that epipolar geometry plays for a real pipeline: it tells the
+// simulator where a multiply-observed feature is.
+package sfm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/pointcloud"
+	"snaptask/internal/venue"
+)
+
+// Config tunes the simulated pipeline. Zero fields take defaults.
+type Config struct {
+	// MinViewsForPoint is the number of registered observations required
+	// to triangulate a feature into a 3D point. The paper's pipeline
+	// needs 3.
+	MinViewsForPoint int
+	// MinSharedForReg is the number of matched features with the current
+	// model required to register a new photo.
+	MinSharedForReg int
+	// MinSeedMatches is the number of mutual matches required of the
+	// initial photo pair when the model is empty.
+	MinSeedMatches int
+	// MinBaseline is the minimum spread (metres) among observing camera
+	// positions for triangulation.
+	MinBaseline float64
+	// PointNoiseSigma is the std-dev of reconstructed point error.
+	PointNoiseSigma float64
+	// PoseNoiseSigma is the std-dev of estimated camera position error.
+	PoseNoiseSigma float64
+	// MatchDropProb is the probability a true feature match is missed.
+	MatchDropProb float64
+	// OutlierProb is the probability a registered photo spawns one
+	// spurious far-off 3D point.
+	OutlierProb float64
+	// SharpnessThreshold rejects photos whose Laplacian variance is
+	// below it (blurred input).
+	SharpnessThreshold float64
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		MinViewsForPoint:   3,
+		MinSharedForReg:    12,
+		MinSeedMatches:     20,
+		MinBaseline:        0.2,
+		PointNoiseSigma:    0.03,
+		PoseNoiseSigma:     0.05,
+		MatchDropProb:      0.05,
+		OutlierProb:        0.03,
+		SharpnessThreshold: 150,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MinViewsForPoint == 0 {
+		c.MinViewsForPoint = d.MinViewsForPoint
+	}
+	if c.MinSharedForReg == 0 {
+		c.MinSharedForReg = d.MinSharedForReg
+	}
+	if c.MinSeedMatches == 0 {
+		c.MinSeedMatches = d.MinSeedMatches
+	}
+	if c.MinBaseline == 0 {
+		c.MinBaseline = d.MinBaseline
+	}
+	if c.PointNoiseSigma == 0 {
+		c.PointNoiseSigma = d.PointNoiseSigma
+	}
+	if c.PoseNoiseSigma == 0 {
+		c.PoseNoiseSigma = d.PoseNoiseSigma
+	}
+	if c.MatchDropProb == 0 {
+		c.MatchDropProb = d.MatchDropProb
+	}
+	if c.OutlierProb == 0 {
+		c.OutlierProb = d.OutlierProb
+	}
+	if c.SharpnessThreshold == 0 {
+		c.SharpnessThreshold = d.SharpnessThreshold
+	}
+	return c
+}
+
+// View is a photo registered into the model, with its estimated pose.
+type View struct {
+	PhotoID    int
+	Pose       camera.Pose
+	Intrinsics camera.Intrinsics
+	NumObs     int
+}
+
+// Model is an incrementally growing SfM reconstruction: registered camera
+// views plus triangulated 3D points. Not safe for concurrent use; the
+// backend serialises access through its model-owner goroutine.
+type Model struct {
+	cfg Config
+
+	featPos map[uint64]featureInfo
+	views   []View
+	// tracks maps feature ID → indices of views observing it.
+	tracks map[uint64][]int
+	// pts maps feature ID → reconstructed point (once triangulated).
+	pts map[uint64]pointcloud.Point
+	// order keeps triangulated feature IDs in insertion order for
+	// deterministic cloud output.
+	order []uint64
+	// outliers are spurious points not tied to any feature.
+	outliers []pointcloud.Point
+
+	nextPhotoID int
+}
+
+type featureInfo struct {
+	pos        geom.Vec3
+	artificial bool
+}
+
+// NewModel returns an empty model over the given world features. The
+// feature set can grow later via AddWorldFeatures (annotation pipeline).
+func NewModel(cfg Config, features []venue.Feature) *Model {
+	cfg = cfg.withDefaults()
+	m := &Model{
+		cfg:     cfg,
+		featPos: make(map[uint64]featureInfo, len(features)),
+		tracks:  make(map[uint64][]int),
+		pts:     make(map[uint64]pointcloud.Point),
+	}
+	m.AddWorldFeatures(features)
+	return m
+}
+
+// Config returns the model's configuration (defaults resolved).
+func (m *Model) Config() Config { return m.cfg }
+
+// AddWorldFeatures registers additional true feature positions (artificial
+// texture features injected by the annotation pipeline).
+func (m *Model) AddWorldFeatures(features []venue.Feature) {
+	for _, f := range features {
+		m.featPos[f.ID] = featureInfo{pos: f.Pos, artificial: f.Artificial}
+	}
+}
+
+// NumViews returns the number of registered views.
+func (m *Model) NumViews() int { return len(m.views) }
+
+// NumPoints returns the number of triangulated points (excluding outliers).
+func (m *Model) NumPoints() int { return len(m.pts) }
+
+// Views returns a copy of the registered views.
+func (m *Model) Views() []View { return append([]View(nil), m.views...) }
+
+// Cloud returns the reconstructed point cloud, including any spurious
+// outlier points (callers filter with pointcloud.StatisticalOutlierRemoval,
+// as Algorithm 1 does).
+func (m *Model) Cloud() *pointcloud.Cloud {
+	c := pointcloud.NewCloud(nil)
+	for _, id := range m.order {
+		c.Add(m.pts[id])
+	}
+	for _, p := range m.outliers {
+		c.Add(p)
+	}
+	return c
+}
+
+// BatchResult reports what happened to one uploaded batch.
+type BatchResult struct {
+	// Registered lists the photo IDs successfully added to the model.
+	Registered []int
+	// RejectedBlurry lists photos failing the sharpness check.
+	RejectedBlurry []int
+	// Unregistered lists sharp photos that did not match the model.
+	Unregistered []int
+	// NewPoints is the number of 3D points created by this batch.
+	NewPoints int
+}
+
+// RegisteredAll reports whether every photo in the batch registered.
+func (r BatchResult) RegisteredAll() bool {
+	return len(r.RejectedBlurry) == 0 && len(r.Unregistered) == 0 && len(r.Registered) > 0
+}
+
+// RegisterBatch folds a batch of photos into the model: the incremental
+// SfM step of Algorithm 1 line 1 ("build an SfM model M1 from P and M").
+// Photos are assigned model-unique IDs (returned via the result and set on
+// the photos' ID fields if zero). rng drives match and noise sampling.
+func (m *Model) RegisterBatch(photos []camera.Photo, rng *rand.Rand) (BatchResult, error) {
+	if rng == nil {
+		return BatchResult{}, fmt.Errorf("sfm: rng must not be nil")
+	}
+	var res BatchResult
+	pointsBefore := len(m.pts)
+
+	var pending []cand
+	for _, p := range photos {
+		if p.ID == 0 {
+			m.nextPhotoID++
+			p.ID = m.nextPhotoID
+		} else if p.ID > m.nextPhotoID {
+			m.nextPhotoID = p.ID
+		}
+		if p.Sharpness < m.cfg.SharpnessThreshold {
+			res.RejectedBlurry = append(res.RejectedBlurry, p.ID)
+			continue
+		}
+		var obs []uint64
+		for _, o := range p.Obs {
+			if _, known := m.featPos[o.FeatureID]; !known {
+				continue
+			}
+			if rng.Float64() < m.cfg.MatchDropProb {
+				continue
+			}
+			obs = append(obs, o.FeatureID)
+		}
+		pending = append(pending, cand{photo: p, obs: obs})
+	}
+
+	// Seed: an empty model needs an initial pair with enough mutual
+	// matches.
+	if len(m.views) == 0 {
+		i, j, ok := m.findSeedPair(pending)
+		if !ok {
+			for _, c := range pending {
+				res.Unregistered = append(res.Unregistered, c.photo.ID)
+			}
+			return res, nil
+		}
+		m.register(pending[i], rng)
+		m.register(pending[j], rng)
+		res.Registered = append(res.Registered, pending[i].photo.ID, pending[j].photo.ID)
+		pending = removeTwo(pending, i, j)
+	}
+
+	// Incremental registration: keep sweeping until no photo registers.
+	for {
+		progress := false
+		var still []cand
+		for _, c := range pending {
+			shared := 0
+			for _, id := range c.obs {
+				if len(m.tracks[id]) > 0 {
+					shared++
+				}
+			}
+			if shared >= m.cfg.MinSharedForReg {
+				m.register(c, rng)
+				res.Registered = append(res.Registered, c.photo.ID)
+				progress = true
+			} else {
+				still = append(still, c)
+			}
+		}
+		pending = still
+		if !progress {
+			break
+		}
+	}
+	for _, c := range pending {
+		res.Unregistered = append(res.Unregistered, c.photo.ID)
+	}
+
+	m.triangulate(rng)
+	res.NewPoints = len(m.pts) - pointsBefore
+	return res, nil
+}
+
+// cand is a sharp photo awaiting registration, with the feature matches
+// that survived match-drop noise.
+type cand struct {
+	photo camera.Photo
+	obs   []uint64
+}
+
+// findSeedPair locates two pending photos sharing at least MinSeedMatches
+// features.
+func (m *Model) findSeedPair(pending []cand) (int, int, bool) {
+	for i := 0; i < len(pending); i++ {
+		seen := make(map[uint64]bool, len(pending[i].obs))
+		for _, id := range pending[i].obs {
+			seen[id] = true
+		}
+		for j := i + 1; j < len(pending); j++ {
+			shared := 0
+			for _, id := range pending[j].obs {
+				if seen[id] {
+					shared++
+				}
+			}
+			if shared >= m.cfg.MinSeedMatches {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// register adds a photo as a view with pose noise and updates tracks. The
+// noise is a deterministic function of the true pose: re-registering a
+// photo taken from the same spot yields the same estimate, as a real
+// pipeline's systematic (scene-driven) pose error does — independent noise
+// per upload would let repeated uploads inflate the visibility map.
+func (m *Model) register(c cand, rng *rand.Rand) {
+	viewIdx := len(m.views)
+	pose := c.photo.Pose
+	nx, ny := poseNoise(pose)
+	pose.Pos = pose.Pos.Add(geom.V2(
+		nx*m.cfg.PoseNoiseSigma,
+		ny*m.cfg.PoseNoiseSigma,
+	))
+	m.views = append(m.views, View{
+		PhotoID:    c.photo.ID,
+		Pose:       pose,
+		Intrinsics: c.photo.Intrinsics,
+		NumObs:     len(c.obs),
+	})
+	for _, id := range c.obs {
+		m.tracks[id] = append(m.tracks[id], viewIdx)
+	}
+	// Occasional spurious structure from mismatches.
+	if rng.Float64() < m.cfg.OutlierProb {
+		dir := geom.UnitFromAngle(rng.Float64() * 2 * 3.141592653589793)
+		dist := 12 + rng.Float64()*25
+		m.outliers = append(m.outliers, pointcloud.Point{
+			Pos:   pose.Pos.Add(dir.Scale(dist)).Lift(rng.Float64() * 3),
+			Views: 2,
+		})
+	}
+}
+
+// triangulate promotes every sufficiently-observed feature to a 3D point.
+func (m *Model) triangulate(rng *rand.Rand) {
+	for id, viewIdxs := range m.tracks {
+		if len(viewIdxs) < m.cfg.MinViewsForPoint {
+			continue
+		}
+		if _, done := m.pts[id]; done {
+			// Already triangulated; update the view count.
+			p := m.pts[id]
+			p.Views = len(viewIdxs)
+			m.pts[id] = p
+			continue
+		}
+		if !m.baselineOK(viewIdxs) {
+			continue
+		}
+		info := m.featPos[id]
+		noise := geom.V3(
+			rng.NormFloat64()*m.cfg.PointNoiseSigma,
+			rng.NormFloat64()*m.cfg.PointNoiseSigma,
+			rng.NormFloat64()*m.cfg.PointNoiseSigma,
+		)
+		m.pts[id] = pointcloud.Point{
+			Pos:        info.pos.Add(noise),
+			FeatureID:  id,
+			Views:      len(viewIdxs),
+			Artificial: info.artificial,
+		}
+		m.order = append(m.order, id)
+	}
+}
+
+// baselineOK reports whether the observing views spread far enough apart.
+func (m *Model) baselineOK(viewIdxs []int) bool {
+	for i := 0; i < len(viewIdxs); i++ {
+		for j := i + 1; j < len(viewIdxs); j++ {
+			a := m.views[viewIdxs[i]].Pose.Pos
+			b := m.views[viewIdxs[j]].Pose.Pos
+			if a.Dist(b) >= m.cfg.MinBaseline {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// poseNoise derives two standard-normal values deterministically from a
+// pose using a splitmix-style hash and the Box-Muller transform.
+func poseNoise(p camera.Pose) (float64, float64) {
+	h := math.Float64bits(p.Pos.X)*0x9E3779B97F4A7C15 ^
+		math.Float64bits(p.Pos.Y)*0xC2B2AE3D27D4EB4F ^
+		math.Float64bits(p.Yaw)*0x165667B19E3779F9
+	next := func() float64 {
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+		return float64(h>>11) / float64(1<<53)
+	}
+	u1 := next()
+	u2 := next()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	r := math.Sqrt(-2 * math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}
+
+func removeTwo[T any](s []T, i, j int) []T {
+	if i > j {
+		i, j = j, i
+	}
+	out := make([]T, 0, len(s)-2)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:j]...)
+	out = append(out, s[j+1:]...)
+	return out
+}

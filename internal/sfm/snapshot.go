@@ -1,0 +1,89 @@
+package sfm
+
+import (
+	"fmt"
+
+	"snaptask/internal/geom"
+	"snaptask/internal/pointcloud"
+)
+
+// FeatureEntry is one world-feature oracle record in a snapshot.
+type FeatureEntry struct {
+	ID         uint64
+	Pos        geom.Vec3
+	Artificial bool
+}
+
+// Snapshot is the serialisable state of a Model — what the paper's backend
+// "stores in a database for further iterations". All fields are exported
+// for encoding/gob.
+type Snapshot struct {
+	Cfg         Config
+	Views       []View
+	TrackIDs    []uint64
+	TrackViews  [][]int
+	Points      []pointcloud.Point
+	Order       []uint64
+	Outliers    []pointcloud.Point
+	NextPhotoID int
+	Features    []FeatureEntry
+}
+
+// Snapshot captures the model's complete state.
+func (m *Model) Snapshot() Snapshot {
+	s := Snapshot{
+		Cfg:         m.cfg,
+		Views:       append([]View(nil), m.views...),
+		Order:       append([]uint64(nil), m.order...),
+		Outliers:    append([]pointcloud.Point(nil), m.outliers...),
+		NextPhotoID: m.nextPhotoID,
+	}
+	for id, views := range m.tracks {
+		s.TrackIDs = append(s.TrackIDs, id)
+		s.TrackViews = append(s.TrackViews, append([]int(nil), views...))
+	}
+	for _, id := range s.Order {
+		s.Points = append(s.Points, m.pts[id])
+	}
+	for id, info := range m.featPos {
+		s.Features = append(s.Features, FeatureEntry{ID: id, Pos: info.pos, Artificial: info.artificial})
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a model from a snapshot.
+func FromSnapshot(s Snapshot) (*Model, error) {
+	if len(s.TrackIDs) != len(s.TrackViews) {
+		return nil, fmt.Errorf("sfm: snapshot track arrays mismatch: %d vs %d",
+			len(s.TrackIDs), len(s.TrackViews))
+	}
+	if len(s.Points) != len(s.Order) {
+		return nil, fmt.Errorf("sfm: snapshot points/order mismatch: %d vs %d",
+			len(s.Points), len(s.Order))
+	}
+	m := &Model{
+		cfg:         s.Cfg.withDefaults(),
+		featPos:     make(map[uint64]featureInfo, len(s.Features)),
+		views:       append([]View(nil), s.Views...),
+		tracks:      make(map[uint64][]int, len(s.TrackIDs)),
+		pts:         make(map[uint64]pointcloud.Point, len(s.Points)),
+		order:       append([]uint64(nil), s.Order...),
+		outliers:    append([]pointcloud.Point(nil), s.Outliers...),
+		nextPhotoID: s.NextPhotoID,
+	}
+	for i, id := range s.TrackIDs {
+		for _, v := range s.TrackViews[i] {
+			if v < 0 || v >= len(m.views) {
+				return nil, fmt.Errorf("sfm: snapshot track %d references view %d of %d", id, v, len(m.views))
+			}
+		}
+		m.tracks[id] = append([]int(nil), s.TrackViews[i]...)
+	}
+	for i, id := range s.Order {
+		m.pts[id] = s.Points[i]
+	}
+	for _, f := range s.Features {
+		m.featPos[f.ID] = featureInfo{pos: f.Pos, artificial: f.Artificial}
+	}
+	return m, nil
+}

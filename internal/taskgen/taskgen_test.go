@@ -1,0 +1,416 @@
+package taskgen
+
+import (
+	"testing"
+
+	"snaptask/internal/geom"
+	"snaptask/internal/grid"
+)
+
+// maps20 builds a 20x20-cell (3x3 m at 0.15 res) pair of maps... too small
+// for MIN_AREA 2.25m²=100 cells, so tests use a 1 m resolution variant
+// where cells are big and counts small.
+func maps(t *testing.T, res float64, w, h int) (*grid.Map, *grid.Map) {
+	t.Helper()
+	ob, err := grid.New(geom.V2(0, 0), res, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ob, grid.NewLike(ob)
+}
+
+// coverAll sets visibility of every cell to n.
+func coverAll(m *grid.Map, n int) {
+	m.Each(func(c grid.Cell, _ int) { m.Set(c, n) })
+}
+
+func TestFindUnvisitedWholeVenueUncovered(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10) // MinAreaSize 2.25 m² → 3 cells at 1 m²/cell
+	regions := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{}, 1)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %d, want 1", len(regions))
+	}
+	if regions[0].Size() < 3 {
+		t.Errorf("region size = %d, want >= MinArea cells", regions[0].Size())
+	}
+}
+
+func TestFindUnvisitedFullyCovered(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	coverAll(vis, 3) // exactly at tolerance → covered
+	if got := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{}, 5); len(got) != 0 {
+		t.Errorf("covered venue produced %d regions", len(got))
+	}
+}
+
+func TestFindUnvisitedBelowToleranceCountsAsUnvisited(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	coverAll(vis, 2) // below COVERED_VIEW_TOLERANCE=3
+	if got := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{}, 1); len(got) != 1 {
+		t.Errorf("2-view cells should be unvisited, got %d regions", len(got))
+	}
+}
+
+func TestFindUnvisitedSkipsSmallAreas(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	coverAll(vis, 5)
+	// A 2-cell hole: below the 3-cell minimum (2.25 m² at 1 m²/cell → 2.25 → 2 cells via int()).
+	vis.Set(grid.Cell{I: 4, J: 4}, 0)
+	vis.Set(grid.Cell{I: 5, J: 4}, 0)
+	got := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{MinAreaSize: 3.0}, 5)
+	if len(got) != 0 {
+		t.Errorf("small hole got a task: %d regions", len(got))
+	}
+	// Growing the hole past the minimum creates a region.
+	vis.Set(grid.Cell{I: 6, J: 4}, 0)
+	vis.Set(grid.Cell{I: 4, J: 5}, 0)
+	got = FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{MinAreaSize: 3.0}, 5)
+	if len(got) != 1 {
+		t.Errorf("4-cell hole should yield a region, got %d", len(got))
+	}
+}
+
+func TestFindUnvisitedBlockedByObstacles(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	coverAll(vis, 5)
+	// Seal off the right half with an obstacle wall; leave it uncovered.
+	for j := 0; j < 10; j++ {
+		ob.Set(grid.Cell{I: 5, J: j}, 9)
+	}
+	for j := 0; j < 10; j++ {
+		for i := 6; i < 10; i++ {
+			vis.Set(grid.Cell{I: i, J: j}, 0)
+		}
+	}
+	// The flood fill cannot reach the sealed area (the paper's search
+	// walks through traversable space only).
+	got := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{}, 5)
+	if len(got) != 0 {
+		t.Errorf("sealed area reachable: %d regions", len(got))
+	}
+}
+
+func TestFindUnvisitedStartInvalid(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	ob.Set(grid.Cell{I: 0, J: 0}, 5)
+	if got := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{}, 1); got != nil {
+		t.Error("start on obstacle should find nothing")
+	}
+	if got := FindUnvisited(ob, vis, geom.V2(-5, -5), Config{}, 1); got != nil {
+		t.Error("start out of bounds should find nothing")
+	}
+}
+
+func TestFindUnvisitedMaxAreas(t *testing.T) {
+	ob, vis := maps(t, 1, 30, 10)
+	coverAll(vis, 5)
+	// Three separate uncovered pockets.
+	for _, base := range []int{2, 12, 22} {
+		for di := 0; di < 3; di++ {
+			for dj := 0; dj < 3; dj++ {
+				vis.Set(grid.Cell{I: base + di, J: 4 + dj}, 0)
+			}
+		}
+	}
+	if got := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{}, 2); len(got) != 2 {
+		t.Errorf("maxAreas=2 returned %d regions", len(got))
+	}
+	if got := FindUnvisited(ob, vis, geom.V2(0.5, 0.5), Config{}, 10); len(got) != 3 {
+		t.Errorf("all pockets: got %d regions, want 3", len(got))
+	}
+}
+
+func TestStepIssuesPhotoTaskOnGrowth(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	out, err := g.Step(StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:           geom.V2(0.5, 0.5),
+		BatchRegistered: true, CoverageIncreased: true,
+		BatchSharpness: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) != 1 || out.Tasks[0].Kind != KindPhoto {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Tasks[0].ID != 1 {
+		t.Errorf("task ID = %d, want 1", out.Tasks[0].ID)
+	}
+	// Task location must be inside the map and on a free cell.
+	loc := out.Tasks[0].Location
+	if !ob.InBounds(ob.CellOf(loc)) || ob.At(ob.CellOf(loc)) != 0 {
+		t.Errorf("task location %v invalid", loc)
+	}
+}
+
+func TestStepVenueCovered(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	coverAll(vis, 4)
+	g := NewGenerator(Config{})
+	out, err := g.Step(StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:           geom.V2(0.5, 0.5),
+		BatchRegistered: true, CoverageIncreased: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.VenueCovered || len(out.Tasks) != 0 {
+		t.Errorf("out = %+v, want VenueCovered", out)
+	}
+}
+
+func TestStepBlurryRetrySameLocation(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	loc := geom.V2(5.5, 5.5)
+	out, err := g.Step(StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:           geom.V2(0.5, 0.5),
+		BatchRegistered: false, CoverageIncreased: false,
+		BatchSharpness: 10, // blurry
+		TaskLocation:   loc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) != 1 || out.Tasks[0].Kind != KindPhoto || out.Tasks[0].Location != loc {
+		t.Fatalf("blurry retry wrong: %+v", out)
+	}
+	if out.EscalatedToAnnotation {
+		t.Error("blurry batch must not escalate")
+	}
+}
+
+func TestStepEscalatesToAnnotationAfterTT(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{}) // TT = 2
+	loc := geom.V2(5.5, 5.5)
+	in := StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:           geom.V2(0.5, 0.5),
+		BatchRegistered: true, CoverageIncreased: false, // sharp but unproductive
+		BatchSharpness: 900,
+		TaskLocation:   loc,
+	}
+	// Attempts 1 and 2: photo retries.
+	for i := 1; i <= 2; i++ {
+		out, err := g.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Tasks) != 1 || out.Tasks[0].Kind != KindPhoto {
+			t.Fatalf("attempt %d: %+v", i, out)
+		}
+		if out.Tasks[0].Retry != i {
+			t.Errorf("attempt %d: retry = %d", i, out.Tasks[0].Retry)
+		}
+	}
+	// Attempt 3 (> TT): annotation task at the same location.
+	out, err := g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) != 1 || out.Tasks[0].Kind != KindAnnotation || !out.EscalatedToAnnotation {
+		t.Fatalf("expected annotation escalation: %+v", out)
+	}
+	if out.Tasks[0].Location != loc {
+		t.Error("annotation task must stay at the failing location")
+	}
+	// Counter reset: the next unproductive attempt is a photo retry again.
+	out, err = g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks[0].Kind != KindPhoto {
+		t.Error("retry counter did not reset after escalation")
+	}
+}
+
+func TestStepBootstrap(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	out, err := g.Step(StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:     geom.V2(0.5, 0.5),
+		Bootstrap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) != 1 {
+		t.Fatalf("bootstrap should issue the first task: %+v", out)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	g := NewGenerator(Config{})
+	if _, err := g.Step(StepInput{}); err == nil {
+		t.Error("nil maps should error")
+	}
+	ob, _ := maps(t, 1, 10, 10)
+	other, _ := grid.New(geom.V2(0, 0), 1, 5, 5)
+	if _, err := g.Step(StepInput{Obstacles: ob, Visibility: other}); err == nil {
+		t.Error("mismatched layouts should error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := NewGenerator(Config{})
+	cfg := g.Config()
+	if cfg.CoveredViewTolerance != 3 || cfg.MinAreaSize != 2.25 || cfg.MaxTasks != 1 || cfg.TT != 2 {
+		t.Errorf("paper defaults not applied: %+v", cfg)
+	}
+	if KindPhoto.String() != "photo" || KindAnnotation.String() != "annotation" || Kind(0).String() != "unknown" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestTaskIDsMonotonic(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	var last int
+	for i := 0; i < 4; i++ {
+		out, err := g.Step(StepInput{
+			Obstacles: ob, Visibility: vis,
+			Start:           geom.V2(0.5, 0.5),
+			BatchRegistered: true, CoverageIncreased: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range out.Tasks {
+			if task.ID <= last {
+				t.Fatalf("task ID %d not increasing past %d", task.ID, last)
+			}
+			last = task.ID
+		}
+	}
+}
+
+func TestGeneratorSnapshotRoundTrip(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	loc := geom.V2(5.5, 5.5)
+	in := StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:           geom.V2(0.5, 0.5),
+		BatchRegistered: true, CoverageIncreased: false,
+		BatchSharpness: 900,
+		TaskLocation:   loc,
+	}
+	// Accumulate retry state (one attempt) and an escalation.
+	for i := 0; i < 3; i++ {
+		if _, err := g.Step(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := g.Snapshot()
+	g2, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both generators must behave identically from here.
+	out1, err := g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := g2.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1.Tasks) != len(out2.Tasks) {
+		t.Fatalf("restored generator diverged: %d vs %d tasks", len(out1.Tasks), len(out2.Tasks))
+	}
+	for i := range out1.Tasks {
+		if out1.Tasks[i].Kind != out2.Tasks[i].Kind || out1.Tasks[i].ID != out2.Tasks[i].ID {
+			t.Errorf("task %d differs: %+v vs %+v", i, out1.Tasks[i], out2.Tasks[i])
+		}
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	bad := Snapshot{TriedKeys: []grid.Cell{{I: 1, J: 1}}}
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("mismatched snapshot arrays accepted")
+	}
+}
+
+func TestStepGiveUpRedirects(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{GiveUpAfter: 1})
+	loc := geom.V2(5.5, 5.5)
+	in := StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:           geom.V2(0.5, 0.5),
+		BatchRegistered: true, CoverageIncreased: false,
+		BatchSharpness: 900,
+		TaskLocation:   loc,
+		TaskSeed:       loc,
+	}
+	// Two retries then one escalation exhausts the bucket (GiveUpAfter 1).
+	sawAnnotation := false
+	for i := 0; i < 3; i++ {
+		out, err := g.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range out.Tasks {
+			if task.Kind == KindAnnotation {
+				sawAnnotation = true
+			}
+		}
+	}
+	if !sawAnnotation {
+		t.Fatal("no escalation within TT attempts")
+	}
+	// The next failure at the same seed must redirect to the area search
+	// (which finds other unvisited areas — everything is uncovered here,
+	// but tasks at the exhausted bucket itself must not repeat).
+	out, err := g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range out.Tasks {
+		if retryKey(task.AimPoint()) == retryKey(loc) {
+			t.Errorf("task re-issued at the exhausted bucket: %+v", task)
+		}
+	}
+}
+
+func TestAnnotationFailedFastGiveUp(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	loc := geom.V2(5.5, 5.5)
+	out, err := g.Step(StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:            geom.V2(0.5, 0.5),
+		BatchRegistered:  false,
+		BatchSharpness:   900,
+		TaskLocation:     loc,
+		TaskSeed:         loc,
+		AnnotationFailed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failed-annotation location is skipped immediately.
+	for _, task := range out.Tasks {
+		if retryKey(task.AimPoint()) == retryKey(loc) {
+			t.Errorf("task at the failed-annotation bucket: %+v", task)
+		}
+	}
+}
+
+func TestTaskAimPoint(t *testing.T) {
+	withSeed := Task{Location: geom.V2(1, 1), Seed: geom.V2(2, 2)}
+	if withSeed.AimPoint() != geom.V2(2, 2) {
+		t.Error("seed not preferred")
+	}
+	noSeed := Task{Location: geom.V2(1, 1)}
+	if noSeed.AimPoint() != geom.V2(1, 1) {
+		t.Error("location fallback broken")
+	}
+}

@@ -1,0 +1,222 @@
+package venue
+
+import (
+	"fmt"
+
+	"snaptask/internal/geom"
+)
+
+// Builder assembles a Venue. Configure it with the With/Add methods and
+// call Build; the builder validates geometry and assigns IDs.
+type Builder struct {
+	name      string
+	height    float64
+	outer     geom.Polygon
+	wallMats  []Material
+	entrances []entranceSpec
+	obstacles []Obstacle
+	hotspots  []geom.Vec2
+	entrance  geom.Vec2
+	err       error
+}
+
+type entranceSpec struct {
+	edge   int
+	t0, t1 float64
+}
+
+// NewBuilder starts a venue with the given outer boundary polygon and
+// ceiling height. Every outer edge defaults to Brick.
+func NewBuilder(name string, outer geom.Polygon, height float64) *Builder {
+	b := &Builder{name: name, height: height, outer: outer}
+	b.wallMats = make([]Material, len(outer))
+	for i := range b.wallMats {
+		b.wallMats[i] = Brick
+	}
+	return b
+}
+
+// WallMaterial sets the material of outer edge i (edge i runs from vertex i
+// to vertex i+1).
+func (b *Builder) WallMaterial(i int, m Material) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if i < 0 || i >= len(b.wallMats) {
+		b.err = fmt.Errorf("venue: wall index %d out of range [0,%d)", i, len(b.wallMats))
+		return b
+	}
+	b.wallMats[i] = m
+	return b
+}
+
+// Entrance cuts a gap in outer edge `edge` between parameters t0 and t1
+// (each in [0,1] along the edge) and places the bootstrap position just
+// inside the gap's midpoint.
+func (b *Builder) Entrance(edge int, t0, t1 float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if edge < 0 || edge >= len(b.outer) {
+		b.err = fmt.Errorf("venue: entrance edge %d out of range", edge)
+		return b
+	}
+	if t0 < 0 || t1 > 1 || t0 >= t1 {
+		b.err = fmt.Errorf("venue: entrance parameters [%v,%v] invalid", t0, t1)
+		return b
+	}
+	b.entrances = append(b.entrances, entranceSpec{edge: edge, t0: t0, t1: t1})
+	return b
+}
+
+// Obstacle adds a furniture footprint.
+func (b *Builder) Obstacle(name string, poly geom.Polygon, height float64, m Material, topClutter float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(poly) < 3 {
+		b.err = fmt.Errorf("venue: obstacle %q needs at least 3 vertices", name)
+		return b
+	}
+	if height <= 0 {
+		b.err = fmt.Errorf("venue: obstacle %q height %v must be positive", name, height)
+		return b
+	}
+	b.obstacles = append(b.obstacles, Obstacle{
+		Name:       name,
+		Poly:       append(geom.Polygon(nil), poly...),
+		Height:     height,
+		Material:   m,
+		TopClutter: topClutter,
+	})
+	return b
+}
+
+// Hotspot registers a social hotspot where unguided participants tend to
+// linger.
+func (b *Builder) Hotspot(p geom.Vec2) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.hotspots = append(b.hotspots, p)
+	return b
+}
+
+// Build validates and assembles the venue.
+func (b *Builder) Build() (*Venue, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.outer) < 3 {
+		return nil, fmt.Errorf("venue: outer boundary needs at least 3 vertices")
+	}
+	if b.height <= 0 {
+		return nil, fmt.Errorf("venue: height %v must be positive", b.height)
+	}
+	if len(b.entrances) == 0 {
+		return nil, fmt.Errorf("venue: at least one entrance is required")
+	}
+
+	v := &Venue{
+		name:      b.name,
+		height:    b.height,
+		outer:     append(geom.Polygon(nil), b.outer...),
+		hotspots:  append([]geom.Vec2(nil), b.hotspots...),
+		obstacles: make([]Obstacle, len(b.obstacles)),
+	}
+
+	// Outer walls, cut by entrance gaps.
+	surfaceID := 0
+	edges := b.outer.Edges()
+	for i, e := range edges {
+		cuts := []float64{0, 1}
+		for _, ent := range b.entrances {
+			if ent.edge == i {
+				cuts = append(cuts, ent.t0, ent.t1)
+			}
+		}
+		sortFloats(cuts)
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
+			if hi-lo < 1e-9 {
+				continue
+			}
+			mid := (lo + hi) / 2
+			if insideEntrance(b.entrances, i, mid) {
+				continue
+			}
+			surfaceID++
+			v.surfaces = append(v.surfaces, Surface{
+				ID:       surfaceID,
+				Seg:      geom.Seg(e.At(lo), e.At(hi)),
+				Top:      b.height,
+				Material: b.wallMats[i],
+				Outer:    true,
+			})
+		}
+	}
+
+	// Obstacles and their faces.
+	for i, o := range b.obstacles {
+		o.ID = i + 1
+		if !b.outer.Contains(o.Poly.Centroid()) {
+			return nil, fmt.Errorf("venue: obstacle %q centroid outside venue", o.Name)
+		}
+		v.obstacles[i] = o
+		for _, e := range o.Poly.Edges() {
+			surfaceID++
+			v.surfaces = append(v.surfaces, Surface{
+				ID:         surfaceID,
+				Seg:        e,
+				Top:        o.Height,
+				Material:   o.Material,
+				ObstacleID: o.ID,
+			})
+		}
+	}
+
+	// Record entrance gap segments (excluded from ground-truth bounds,
+	// used by the backend as known boundary anchors).
+	for _, ent := range b.entrances {
+		e := edges[ent.edge]
+		v.entrances = append(v.entrances, geom.Seg(e.At(ent.t0), e.At(ent.t1)))
+	}
+
+	// Entrance bootstrap position: just inside the first gap.
+	ent := b.entrances[0]
+	e := edges[ent.edge]
+	gapMid := e.At((ent.t0 + ent.t1) / 2)
+	inward := e.Normal()
+	cand := gapMid.Add(inward.Scale(0.8))
+	if !v.outer.Contains(cand) {
+		cand = gapMid.Sub(inward.Scale(0.8))
+	}
+	if !v.outer.Contains(cand) {
+		return nil, fmt.Errorf("venue: cannot place bootstrap position inside entrance gap")
+	}
+	v.entrance = cand
+
+	for _, h := range v.hotspots {
+		if v.Blocked(h) {
+			return nil, fmt.Errorf("venue: hotspot %v is blocked", h)
+		}
+	}
+	return v, nil
+}
+
+func insideEntrance(ents []entranceSpec, edge int, t float64) bool {
+	for _, e := range ents {
+		if e.edge == edge && t > e.t0 && t < e.t1 {
+			return true
+		}
+	}
+	return false
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package venue
+
+import (
+	"fmt"
+
+	"snaptask/internal/grid"
+)
+
+// GroundTruth holds the reference raster maps the evaluation compares
+// generated maps against — the role of the paper's laser-range-finder
+// measurements.
+type GroundTruth struct {
+	// Obstacles marks cells covered by walls or obstacle footprints
+	// (value 1).
+	Obstacles *grid.Map
+	// Freespace marks traversable interior cells (value 1): inside the
+	// outer boundary, not an obstacle.
+	Freespace *grid.Map
+	// OuterLen is the total outer-wall length in metres, excluding
+	// entrance gaps.
+	OuterLen float64
+}
+
+// Coverage returns the union of obstacle and freespace cells — every cell
+// the paper's "ground truth coverage map" colours non-white.
+func (gt *GroundTruth) Coverage() (*grid.Map, error) {
+	return gt.Obstacles.Union(gt.Freespace)
+}
+
+// GroundTruth rasterises the venue at the given resolution. The maps share
+// a common layout covering the venue bounds with a one-cell margin.
+func (v *Venue) GroundTruth(res float64) (*GroundTruth, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("venue: ground-truth resolution %v must be positive", res)
+	}
+	layout, err := grid.NewFromBounds(v.Bounds().Expand(res), res)
+	if err != nil {
+		return nil, fmt.Errorf("venue: ground truth: %w", err)
+	}
+	return v.GroundTruthAt(layout)
+}
+
+// GroundTruthAt rasterises the venue onto the layout of an existing map,
+// so generated maps and ground truth share one coordinate system.
+func (v *Venue) GroundTruthAt(layout *grid.Map) (*GroundTruth, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("venue: nil layout")
+	}
+	obstacles := grid.NewLike(layout)
+	free := obstacles.Clone()
+
+	// Walls (thin segments): every cell the segment passes through.
+	for _, s := range v.surfaces {
+		if s.ObstacleID != 0 {
+			continue // obstacle faces are covered by footprint fill below
+		}
+		obstacles.RasterizeSegment(s.Seg, func(c grid.Cell) {
+			obstacles.Set(c, 1)
+		})
+	}
+	// Obstacle footprints: interior fill plus boundary cells.
+	for _, o := range v.obstacles {
+		obstacles.RasterizePolygon(o.Poly, func(c grid.Cell) {
+			obstacles.Set(c, 1)
+		})
+		for _, e := range o.Poly.Edges() {
+			obstacles.RasterizeSegment(e, func(c grid.Cell) {
+				obstacles.Set(c, 1)
+			})
+		}
+	}
+
+	// Freespace: interior cells that are not obstacles.
+	free.Each(func(c grid.Cell, _ int) {
+		if obstacles.At(c) > 0 {
+			return
+		}
+		if v.outer.Contains(free.CenterOf(c)) {
+			free.Set(c, 1)
+		}
+	})
+
+	return &GroundTruth{
+		Obstacles: obstacles,
+		Freespace: free,
+		OuterLen:  v.OuterBoundsLength(),
+	}, nil
+}
+
+// WalkMap returns the movement map for human participants: ground-truth
+// obstacle cells plus everything outside the outer boundary, because
+// participants do not leave the building during the field test.
+func (v *Venue) WalkMap(gt *GroundTruth) *grid.Map {
+	out := gt.Obstacles.Clone()
+	out.Each(func(c grid.Cell, val int) {
+		if val == 0 && !v.outer.Contains(out.CenterOf(c)) {
+			out.Set(c, 1)
+		}
+	})
+	return out
+}

@@ -1,0 +1,158 @@
+package venue
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snaptask/internal/geom"
+)
+
+// Library returns a replica of the paper's field-test venue: an arbitrarily
+// shaped ~335 m² university library with brick outer walls on three sides
+// and two large glass panels (east wall and the diagonal north-east wall),
+// bookshelves, computer workstations, sofas, a glass display case and a
+// meeting room whose plaster walls are featureless — the configuration that
+// produced the paper's six annotation tasks (five near glass, one near the
+// meeting-room wall).
+func Library() (*Venue, error) {
+	outer := geom.Polygon{
+		geom.V2(0, 0),   // SW corner
+		geom.V2(25, 0),  // SE corner
+		geom.V2(25, 9),  // east wall end
+		geom.V2(19, 14), // diagonal glass end
+		geom.V2(0, 14),  // NW corner
+	}
+	b := NewBuilder("aalto-library", outer, 3.0)
+	b.WallMaterial(0, Brick) // south
+	b.WallMaterial(1, Glass) // east glass panel
+	b.WallMaterial(2, Glass) // diagonal glass panel
+	b.WallMaterial(3, Brick) // north
+	b.WallMaterial(4, Brick) // west
+	b.Entrance(0, 1.0/25.0, 2.5/25.0)
+
+	// Meeting room built against the north outer wall, with thin plaster
+	// side walls and a 1 m door gap on the south side. Plaster is
+	// featureless — SfM cannot reconstruct it without annotations (the
+	// paper's annotation task 2).
+	b.Obstacle("meeting-room-wall-w", geom.Rect(geom.V2(14, 10), geom.V2(14.15, 13.999)), 2.5, Plaster, 0)
+	b.Obstacle("meeting-room-wall-e", geom.Rect(geom.V2(18.35, 10), geom.V2(18.5, 13.999)), 2.5, Plaster, 0)
+	b.Obstacle("meeting-room-wall-s1", geom.Rect(geom.V2(14.15, 10), geom.V2(15.5, 10.15)), 2.5, Plaster, 0)
+	b.Obstacle("meeting-room-wall-s2", geom.Rect(geom.V2(16.5, 10), geom.V2(18.35, 10.15)), 2.5, Plaster, 0)
+
+	// Bookshelf rows: tall, texture-rich (book spines), cluttered tops.
+	for i, y := range []float64{3.0, 5.2, 7.4, 9.6} {
+		b.Obstacle(fmt.Sprintf("bookshelf-%d", i+1),
+			geom.Rect(geom.V2(3, y), geom.V2(9, y+0.6)), 2.0, Wood, 12)
+	}
+
+	// Computer workstations: low tables whose bare tops yield few points —
+	// the paper's "featureless parts of a table" coverage holes.
+	b.Obstacle("workstation-1", geom.Rect(geom.V2(15, 1.5), geom.V2(18, 2.7)), 0.75, Wood, 1.5)
+	b.Obstacle("workstation-2", geom.Rect(geom.V2(20, 1.5), geom.V2(23, 2.7)), 0.75, Wood, 1.5)
+
+	// Sofas: low, fabric.
+	b.Obstacle("sofa-1", geom.Rect(geom.V2(10.5, 11.2), geom.V2(12.5, 12.1)), 0.8, Fabric, 5)
+	b.Obstacle("sofa-2", geom.Rect(geom.V2(10.5, 12.8), geom.V2(12.5, 13.7)), 0.8, Fabric, 5)
+
+	// Glass display case: featureless and sight-transparent.
+	b.Obstacle("display-case", geom.Rect(geom.V2(2.0, 11.5), geom.V2(4.0, 12.3)), 1.8, Glass, 0)
+
+	// Structural pillars.
+	b.Obstacle("pillar-1", geom.Rect(geom.V2(12, 5), geom.V2(12.4, 5.4)), 3.0, Concrete, 0)
+	b.Obstacle("pillar-2", geom.Rect(geom.V2(12, 8), geom.V2(12.4, 8.4)), 3.0, Concrete, 0)
+
+	// Tall shelving in the east half: the occlusion that keeps a single
+	// glance from covering half the library (the paper's venue is dense
+	// with head-height furniture).
+	b.Obstacle("periodicals-shelf", geom.Rect(geom.V2(13.5, 4.2), geom.V2(19, 4.8)), 2.0, Wood, 12)
+	b.Obstacle("media-cabinet", geom.Rect(geom.V2(21, 6.3), geom.V2(24.2, 6.9)), 1.9, Wood, 10)
+
+	// Information desk near the entrance.
+	b.Obstacle("info-desk", geom.Rect(geom.V2(4.5, 0.8), geom.V2(7.5, 1.6)), 1.1, Wood, 3)
+
+	// Social hotspots: where unguided/opportunistic participants linger
+	// (entrance, desks, the meeting room door, sofas), per the movement
+	// literature the paper cites. Deliberately NOT everywhere: the paper
+	// observes that unvisited corners (their top-right room) stay
+	// unreconstructed without guidance.
+	b.Hotspot(geom.V2(1.75, 1.2))   // entrance
+	b.Hotspot(geom.V2(6.0, 2.2))    // info desk front
+	b.Hotspot(geom.V2(16.5, 3.4))   // workstation 1
+	b.Hotspot(geom.V2(21.5, 3.4))   // workstation 2
+	b.Hotspot(geom.V2(16.0, 9.3))   // meeting room door
+	b.Hotspot(geom.V2(11.5, 12.45)) // between the sofas
+
+	return b.Build()
+}
+
+// SmallRoom returns a minimal square test venue: a 10×10 m brick room with
+// one entrance, one central obstacle and two hotspots. Unit tests and the
+// quickstart example use it.
+func SmallRoom() (*Venue, error) {
+	b := NewBuilder("small-room", geom.Rect(geom.V2(0, 0), geom.V2(10, 10)), 3.0)
+	b.Entrance(0, 0.1, 0.25)
+	b.Obstacle("crate", geom.Rect(geom.V2(4.5, 4.5), geom.V2(5.5, 5.5)), 1.6, Wood, 6)
+	b.Hotspot(geom.V2(2, 2))
+	b.Hotspot(geom.V2(8, 8))
+	return b.Build()
+}
+
+// GenerateOffice returns a randomised rectangular office venue of the given
+// dimensions with n non-overlapping furniture boxes. One wall is glass. The
+// same rng state yields the same venue.
+func GenerateOffice(rng *rand.Rand, w, h float64, n int) (*Venue, error) {
+	if w < 6 || h < 6 {
+		return nil, fmt.Errorf("venue: office %vx%v too small (min 6x6)", w, h)
+	}
+	b := NewBuilder("office", geom.Rect(geom.V2(0, 0), geom.V2(w, h)), 2.8)
+	b.WallMaterial(1, Glass) // east wall is glass
+	b.Entrance(0, 0.1, 0.1+1.5/w)
+
+	mats := []struct {
+		m       Material
+		height  float64
+		clutter float64
+	}{
+		{Wood, 0.75, 2},   // desk
+		{Wood, 1.8, 10},   // cabinet
+		{Fabric, 0.85, 4}, // couch
+		{Metal, 1.4, 3},   // locker
+	}
+	var placed []geom.Polygon
+	for i := 0; i < n; i++ {
+		spec := mats[rng.Intn(len(mats))]
+		var poly geom.Polygon
+		ok := false
+		for attempt := 0; attempt < 50 && !ok; attempt++ {
+			bw := 1 + rng.Float64()*2
+			bh := 0.6 + rng.Float64()*1.2
+			cx := 2.0 + rng.Float64()*(w-4)
+			cy := 2.5 + rng.Float64()*(h-5)
+			poly = geom.RectCenter(geom.V2(cx, cy), bw, bh)
+			ok = true
+			for _, other := range placed {
+				if poly.Bounds().Expand(0.7).Intersects(other.Bounds()) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		placed = append(placed, poly)
+		b.Obstacle(fmt.Sprintf("furniture-%d", i+1), poly, spec.height, spec.m, spec.clutter)
+	}
+	b.Hotspot(geom.V2(1.2, 1.2))
+	// A hotspot in the far corner, nudged until free.
+	h2 := geom.V2(w-1.2, h-1.2)
+	b.Hotspot(h2)
+	v, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if v.Blocked(h2) {
+		return nil, fmt.Errorf("venue: generated office blocked its hotspot; retry with a different seed")
+	}
+	return v, nil
+}

@@ -1,0 +1,84 @@
+// Package venue models the indoor environments SnapTask maps: outer walls
+// and furniture with per-surface materials, deterministic generation of the
+// visual feature points an SfM feature extractor would find on each surface,
+// occlusion geometry for camera ray casting, and ground-truth raster maps
+// equivalent to the laser-range-finder measurements the paper's evaluation
+// compares against.
+//
+// The package substitutes for the paper's physical 350 m² Aalto University
+// library: the same quantities the field test measured (outer-bound length,
+// obstacle footprints, traversable area) are available analytically.
+package venue
+
+// Material describes what a surface is made of, which determines how many
+// visual features an SfM extractor finds on it and whether sight passes
+// through it. Featureless materials (glass, plaster) are the ones SnapTask's
+// annotation pipeline exists for.
+type Material int
+
+// Materials, ordered roughly by feature richness.
+const (
+	Brick Material = iota + 1
+	Wood
+	Fabric
+	Concrete
+	Metal
+	Plaster
+	Glass
+)
+
+var materialNames = map[Material]string{
+	Brick:    "brick",
+	Wood:     "wood",
+	Fabric:   "fabric",
+	Concrete: "concrete",
+	Metal:    "metal",
+	Plaster:  "plaster",
+	Glass:    "glass",
+}
+
+// String implements fmt.Stringer.
+func (m Material) String() string {
+	if s, ok := materialNames[m]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// FeatureDensity returns the expected number of extractable visual features
+// per square metre of surface. The values are calibrated so that a typical
+// indoor photo of a textured surface yields tens-to-hundreds of features
+// while featureless surfaces yield almost none — the regime the paper's SfM
+// pipeline operates in.
+func (m Material) FeatureDensity() float64 {
+	switch m {
+	case Brick:
+		return 90
+	case Wood:
+		return 65
+	case Fabric:
+		return 45
+	case Concrete:
+		return 40
+	case Metal:
+		return 25
+	case Plaster:
+		return 2
+	case Glass:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// Featureless reports whether the material defeats SfM reconstruction —
+// the paper's "glass walls, mirrors, featureless walls" class that needs
+// crowdsourced annotation.
+func (m Material) Featureless() bool {
+	return m == Glass || m == Plaster
+}
+
+// Transparent reports whether sight passes through the material. Transparent
+// surfaces do not occlude camera views but still block movement and belong
+// to the ground-truth obstacle map.
+func (m Material) Transparent() bool { return m == Glass }

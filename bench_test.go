@@ -5,6 +5,7 @@
 package snaptask
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -420,5 +421,79 @@ func BenchmarkGuidedSweep(b *testing.B) {
 		if _, err := worker.DoPhotoTask(walk, geom.V2(12.8, 6.5), rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// rebuildScene builds the synthetic rebuild-benchmark inputs: the
+// BenchmarkVisibilityMap wall scene as a point cloud (so ObstaclesMap
+// reconstructs the wall) plus n camera views scattered south of it.
+func rebuildScene(b *testing.B, n int) (*pointcloud.Cloud, []mapping.View, *grid.Map) {
+	b.Helper()
+	layout, err := grid.New(geom.V2(0, 0), 0.15, 180, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cloud := pointcloud.NewCloud(nil)
+	id := uint64(1)
+	for x := 0.0; x < 27; x += 0.05 {
+		for _, z := range []float64{0.4, 0.9, 1.4, 1.9, 2.3} {
+			cloud.Add(pointcloud.Point{Pos: geom.V3(x, 7, z), FeatureID: id})
+			id++
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	views := make([]mapping.View, n)
+	for i := range views {
+		views[i] = mapping.View{
+			Pose:       camera.Pose{Pos: geom.V2(5+rng.Float64()*15, 2+rng.Float64()*4), Yaw: rng.Float64() * 6.28},
+			Intrinsics: camera.DefaultIntrinsics(),
+		}
+	}
+	return cloud, views, layout
+}
+
+// BenchmarkRebuildFull measures a from-scratch mapping.Build at growing view
+// counts: the cost every batch paid before the incremental builder.
+func BenchmarkRebuildFull(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("views=%d", n), func(b *testing.B) {
+			cloud, views, layout := rebuildScene(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapping.Build(cloud, views, layout, mapping.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRebuildIncremental measures the same rebuild through the
+// incremental builder with a warm cache: one batch lands 45 new views on top
+// of n-45 cached ones, the shape of every post-bootstrap rebuild. Only the
+// Update call is timed.
+func BenchmarkRebuildIncremental(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("views=%d", n), func(b *testing.B) {
+			cloud, views, layout := rebuildScene(b, n)
+			warm := views[:n-45]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inc, err := mapping.NewIncremental(layout, mapping.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := inc.Update(cloud, warm); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := inc.Update(cloud, views); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

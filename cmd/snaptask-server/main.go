@@ -6,18 +6,27 @@
 // deterministically from -venue and -seed; agents must be started with the
 // same pair so that their cameras observe the same world.
 //
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain (bounded by -shutdown-timeout) and, when -save is given, the final
+// backend state is written there so a later run can resume it via -load.
+//
 // Usage:
 //
 //	snaptask-server -addr :8080 -venue library -seed 42
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"snaptask/internal/camera"
@@ -27,19 +36,25 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "snaptask-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run serves until the listener fails or ctx is cancelled (the signal
+// path); cancellation drains connections and returns nil on a clean stop.
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("snaptask-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	venueName := fs.String("venue", "library", "venue: library, small or office")
 	seed := fs.Int64("seed", 42, "world seed (agents must use the same)")
 	margin := fs.Float64("margin", 12, "map margin beyond the venue bounds (m)")
 	statePath := fs.String("load", "", "resume from a snapshot file (see GET /v1/snapshot)")
+	savePath := fs.String("save", "", "write a state snapshot here on graceful shutdown")
+	drain := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain limit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +99,55 @@ func run(args []string) error {
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	return httpServer.ListenAndServe()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		// Listener failure before any signal; nothing to drain.
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("snaptask-server: shutting down (draining for up to %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := httpServer.Shutdown(drainCtx)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	if *savePath != "" {
+		if err := saveState(srv, *savePath); err != nil {
+			return err
+		}
+		log.Printf("snaptask-server: state saved to %s", *savePath)
+	}
+	return nil
+}
+
+// saveState writes the backend snapshot atomically: to a temp file in the
+// target directory, renamed into place on success.
+func saveState(srv *server.Server, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "snaptask-save-*")
+	if err != nil {
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := srv.WriteState(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	return nil
 }
 
 func buildVenue(name string, seed int64) (*venue.Venue, error) {

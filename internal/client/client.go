@@ -91,14 +91,17 @@ type Task struct {
 	Kind     taskgen.Kind
 	Location geom.Vec2
 	// Seed is the discovery-frontier point (aim hint for annotations).
-	Seed geom.Vec2
+	// It is only meaningful when HasSeed is set: a frontier can sit at
+	// the world origin, so the zero value cannot mean "unset".
+	Seed    geom.Vec2
+	HasSeed bool
 	// Covered is true when the backend has declared the venue complete.
 	Covered bool
 }
 
-// aimPoint returns the capture aim: the seed when known.
+// aimPoint returns the capture aim: the seed when the backend sent one.
 func (t Task) aimPoint() geom.Vec2 {
-	if t.Seed != (geom.Vec2{}) {
+	if t.HasSeed {
 		return t.Seed
 	}
 	return t.Location
@@ -129,6 +132,7 @@ func (c *Client) NextTask() (Task, bool, error) {
 		Kind:     kind,
 		Location: geom.V2(dto.X, dto.Y),
 		Seed:     geom.V2(dto.SeedX, dto.SeedY),
+		HasSeed:  dto.HasSeed,
 	}, true, nil
 }
 
@@ -146,11 +150,12 @@ func (c *Client) UploadBootstrap(photos []camera.Photo) (server.UploadResponse, 
 // UploadPhotos sends a completed photo task's batch.
 func (c *Client) UploadPhotos(task Task, photos []camera.Photo) (server.UploadResponse, error) {
 	req := server.UploadRequest{
-		TaskID: task.ID,
-		LocX:   task.Location.X,
-		LocY:   task.Location.Y,
-		SeedX:  task.Seed.X,
-		SeedY:  task.Seed.Y,
+		TaskID:  task.ID,
+		LocX:    task.Location.X,
+		LocY:    task.Location.Y,
+		SeedX:   task.Seed.X,
+		SeedY:   task.Seed.Y,
+		HasSeed: task.HasSeed,
 	}
 	for _, p := range photos {
 		req.Photos = append(req.Photos, server.PhotoToDTO(p))
@@ -163,11 +168,12 @@ func (c *Client) UploadPhotos(task Task, photos []camera.Photo) (server.UploadRe
 // UploadAnnotations sends an annotation task's photos and worker marks.
 func (c *Client) UploadAnnotations(task Task, atask annotation.Task, anns []annotation.Annotation) (server.AnnotateResponse, error) {
 	req := server.AnnotateRequest{
-		TaskID: task.ID,
-		LocX:   atask.Location.X,
-		LocY:   atask.Location.Y,
-		SeedX:  task.Seed.X,
-		SeedY:  task.Seed.Y,
+		TaskID:  task.ID,
+		LocX:    atask.Location.X,
+		LocY:    atask.Location.Y,
+		SeedX:   task.Seed.X,
+		SeedY:   task.Seed.Y,
+		HasSeed: task.HasSeed,
 	}
 	for _, p := range atask.Photos {
 		req.Photos = append(req.Photos, server.PhotoToDTO(p))

@@ -1,7 +1,9 @@
 package client
 
 import (
+	"encoding/json"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -229,5 +231,47 @@ func TestLocateOverHTTP(t *testing.T) {
 	empty := camera.Photo{}
 	if _, err := cl.Locate(empty); err == nil {
 		t.Error("empty photo localised")
+	}
+}
+
+// TestAimPointOriginSeed is the seed-sentinel regression: a discovery
+// frontier can legitimately sit at the world origin, and before HasSeed was
+// wired through the API the client would treat such a task as seedless and
+// aim at the task location instead.
+func TestAimPointOriginSeed(t *testing.T) {
+	loc := geom.V2(5, 5)
+	withSeed := Task{Location: loc, Seed: geom.Vec2{}, HasSeed: true}
+	if got := withSeed.aimPoint(); got != (geom.Vec2{}) {
+		t.Errorf("origin seed ignored: aimPoint() = %v, want (0, 0)", got)
+	}
+	without := Task{Location: loc, HasSeed: false}
+	if got := without.aimPoint(); got != loc {
+		t.Errorf("seedless task: aimPoint() = %v, want location %v", got, loc)
+	}
+}
+
+// TestNextTaskSeedRoundTrip checks the HasSeed flag survives the wire: the
+// DTO carries it explicitly instead of clients inferring it from a nonzero
+// seed vector.
+func TestNextTaskSeedRoundTrip(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/task", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.TaskDTO{
+			ID: 7, Kind: "annotation", X: 3, Y: 4,
+			SeedX: 0, SeedY: 0, HasSeed: true,
+		})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	task, ok, err := New(ts.URL, nil).NextTask()
+	if err != nil || !ok {
+		t.Fatalf("NextTask: ok=%v err=%v", ok, err)
+	}
+	if !task.HasSeed {
+		t.Fatal("HasSeed lost over the wire")
+	}
+	if task.Seed != (geom.Vec2{}) || task.aimPoint() != (geom.Vec2{}) {
+		t.Errorf("origin seed not honoured: seed=%v aim=%v", task.Seed, task.aimPoint())
 	}
 }

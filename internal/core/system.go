@@ -53,8 +53,10 @@ type Config struct {
 	SOR pointcloud.SOROptions
 	// MinCoverageGrowth is the number of new coverage cells a batch must
 	// add to count as "coverage increased" — pose noise alone adds a few
-	// cells, which must not mask a genuinely stuck location. Defaults
-	// to 30 (≈0.7 m²).
+	// cells, which must not mask a genuinely stuck location. Zero means
+	// the default of 30 (≈0.7 m²); a negative value selects an explicit
+	// threshold of 0 (any growth counts), which the zero value cannot
+	// express.
 	MinCoverageGrowth int
 }
 
@@ -86,6 +88,7 @@ type System struct {
 	covered      bool
 	nextArtID    uint64
 	barrierCells []grid.Cell
+	vis          *mapping.Incremental
 
 	// Counters for the paper's §V-B3 bookkeeping.
 	photoTasksIssued      int
@@ -112,6 +115,10 @@ func NewSystem(v *venue.Venue, world *camera.World, cfg Config) (*System, error)
 		gen:       taskgen.NewGenerator(cfg.TaskGen),
 		layout:    layout,
 		nextArtID: annotation.ArtificialIDBase,
+	}
+	s.vis, err = mapping.NewIncremental(layout, cfg.Mapping)
+	if err != nil {
+		return nil, fmt.Errorf("core: visibility builder: %w", err)
 	}
 	// The entrance is a known boundary: the initial model is anchored
 	// there, so the backend seals the gap in its own maps rather than
@@ -191,7 +198,10 @@ func (s *System) PendingTasks() []taskgen.Task {
 }
 
 // rebuildMaps runs Algorithm 1 lines 2–5: SOR filter, obstacle map,
-// visibility map, coverage.
+// visibility map, coverage. The visibility pass goes through the
+// incremental builder, which replays cached per-view ray casts and only
+// casts views added since the previous rebuild (or invalidated by obstacle
+// changes within their range) — exactly equivalent to a full mapping.Build.
 func (s *System) rebuildMaps() error {
 	cloud, _, err := pointcloud.StatisticalOutlierRemoval(s.model.Cloud(), s.cfg.SOR)
 	if err != nil {
@@ -201,7 +211,7 @@ func (s *System) rebuildMaps() error {
 	for _, v := range s.model.Views() {
 		views = append(views, mapping.View{Pose: v.Pose, Intrinsics: v.Intrinsics})
 	}
-	maps, err := mapping.Build(cloud, views, s.layout, s.cfg.Mapping)
+	maps, err := s.vis.Update(cloud, views)
 	if err != nil {
 		return fmt.Errorf("core: maps: %w", err)
 	}
@@ -364,6 +374,10 @@ func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, ann
 		return AnnotationOutcome{}, fmt.Errorf("core: reconstruct: %w", err)
 	}
 	s.photosProcessed += len(task.Photos)
+	// The annotation pipeline injects artificial structure into the model
+	// beyond plain view registration; drop the cast cache and take the
+	// full-rebuild path rather than reason about its incremental validity.
+	s.vis.Invalidate()
 	if err := s.rebuildMaps(); err != nil {
 		return AnnotationOutcome{}, err
 	}
@@ -401,6 +415,10 @@ func (s *System) progressCells() int {
 // noise inflates the visibility union a little with every added view.
 func (s *System) growthThreshold(before int) int {
 	t := s.cfg.MinCoverageGrowth
+	if t < 0 {
+		// Negative config means an explicit zero threshold.
+		t = 0
+	}
 	if rel := before / 200; rel > t {
 		t = rel
 	}

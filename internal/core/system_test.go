@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"snaptask/internal/camera"
 	"snaptask/internal/crowd"
 	"snaptask/internal/geom"
+	"snaptask/internal/grid"
 	"snaptask/internal/metrics"
 	"snaptask/internal/taskgen"
 	"snaptask/internal/venue"
@@ -250,5 +252,138 @@ func TestNextTaskOrder(t *testing.T) {
 	}
 	if task.Kind != taskgen.KindPhoto {
 		t.Error("first task should be a photo task")
+	}
+}
+
+// cellsEqual compares two grid maps cell by cell.
+func cellsEqual(a, b *grid.Map) bool {
+	if !a.SameLayout(b) {
+		return false
+	}
+	equal := true
+	a.Each(func(c grid.Cell, v int) {
+		if b.At(c) != v {
+			equal = false
+		}
+	})
+	return equal
+}
+
+// TestIncrementalRebuildDeterminism runs the same upload sequence through
+// two systems — one on the default incremental rebuild path, one forced to
+// a full recast before every batch — and requires identical maps, identical
+// task sequences and identical coverage outcomes. This is the equivalence
+// guarantee the read-path snapshot and the benchmark numbers rely on.
+func TestIncrementalRebuildDeterminism(t *testing.T) {
+	build := func() (*System, *camera.World, *venue.Venue) {
+		t.Helper()
+		return smallSystem(t)
+	}
+	sysInc, w1, v1 := build()
+	sysFull, _, _ := build()
+
+	rngCap := rand.New(rand.NewSource(21))
+	boot, err := BootstrapCapture(w1, v1, camera.DefaultIntrinsics(), rngCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two batches keep the test fast enough for -race while still covering
+	// both interesting rebuilds: the first post-bootstrap batch (cache warm
+	// from bootstrap) and a later one (cache warm from a mixed build).
+	var sweeps [][]camera.Photo
+	for i := 0; i < 2; i++ {
+		pos := v1.Entrance()
+		pos.X += 0.7 * float64(i)
+		pos.Y += 1.2
+		s, err := w1.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rngCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps = append(sweeps, s)
+	}
+
+	rngInc := rand.New(rand.NewSource(22))
+	rngFull := rand.New(rand.NewSource(22))
+	if _, err := sysInc.ProcessBootstrap(boot, rngInc); err != nil {
+		t.Fatal(err)
+	}
+	sysFull.vis.Invalidate()
+	if _, err := sysFull.ProcessBootstrap(boot, rngFull); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sweeps {
+		loc := v1.Entrance()
+		loc.X += 0.7 * float64(i)
+		loc.Y += 1.2
+		outInc, err := sysInc.ProcessPhotoBatch(loc, loc, s, rngInc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysFull.vis.Invalidate() // force the full-rebuild path
+		outFull, err := sysFull.ProcessPhotoBatch(loc, loc, s, rngFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outInc.CoverageCells != outFull.CoverageCells ||
+			outInc.CoverageIncreased != outFull.CoverageIncreased ||
+			outInc.VenueCovered != outFull.VenueCovered ||
+			len(outInc.TasksIssued) != len(outFull.TasksIssued) {
+			t.Fatalf("batch %d: outcomes diverge: %+v vs %+v", i, outInc, outFull)
+		}
+		if !cellsEqual(sysInc.Maps().Obstacles, sysFull.Maps().Obstacles) ||
+			!cellsEqual(sysInc.Maps().Visibility, sysFull.Maps().Visibility) ||
+			!cellsEqual(sysInc.Maps().Aspects, sysFull.Maps().Aspects) ||
+			!cellsEqual(sysInc.Maps().Coverage, sysFull.Maps().Coverage) {
+			t.Fatalf("batch %d: incremental maps diverge from full rebuild", i)
+		}
+	}
+	pInc, pFull := sysInc.PendingTasks(), sysFull.PendingTasks()
+	if len(pInc) != len(pFull) {
+		t.Fatalf("pending queues diverge: %d vs %d", len(pInc), len(pFull))
+	}
+	for i := range pInc {
+		if pInc[i] != pFull[i] {
+			t.Fatalf("pending task %d diverges: %+v vs %+v", i, pInc[i], pFull[i])
+		}
+	}
+}
+
+// TestMinCoverageGrowthSentinel covers the config convention: zero means
+// the default (30), a negative value selects an explicit threshold of 0.
+func TestMinCoverageGrowthSentinel(t *testing.T) {
+	sysDefault, _, _ := smallSystem(t)
+	if got := sysDefault.growthThreshold(0); got != 30 {
+		t.Errorf("default growth threshold = %d, want 30", got)
+	}
+
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := camera.NewWorld(v, v.GenerateFeatures(rand.New(rand.NewSource(1))))
+	sysZero, err := NewSystem(v, w, Config{Margin: 3, MinCoverageGrowth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sysZero.growthThreshold(0); got != 0 {
+		t.Errorf("explicit-zero growth threshold = %d, want 0", got)
+	}
+	// The relative term still applies at scale.
+	if got := sysZero.growthThreshold(10000); got != 50 {
+		t.Errorf("relative growth threshold = %d, want 50", got)
+	}
+
+	// The sentinel survives a snapshot round trip: -1 must not come back
+	// as the 30-cell default.
+	var buf bytes.Buffer
+	if err := sysZero.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSystem(&buf, v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.growthThreshold(0); got != 0 {
+		t.Errorf("restored growth threshold = %d, want 0", got)
 	}
 }

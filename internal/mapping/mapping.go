@@ -8,6 +8,9 @@ package mapping
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"snaptask/internal/camera"
 	"snaptask/internal/geom"
@@ -23,8 +26,9 @@ type Config struct {
 	// (OBSTACLE_THRESHOLD = 4 in the paper).
 	ObstacleThreshold int
 	// MinZ and MaxZ bound the height band merged along the up axis;
-	// points outside (floor noise, ceiling) are ignored. Defaults:
-	// 0.05–2.6 m.
+	// points outside (floor noise, ceiling) are ignored. When both are
+	// zero they default to 0.05–2.6 m; a negative value selects an
+	// explicit 0.0 bound (which the zero value cannot express).
 	MinZ, MaxZ float64
 	// RayStep is the angular step of visibility ray casting in radians.
 	// Defaults to a step fine enough that adjacent rays are under one
@@ -38,6 +42,15 @@ func (c Config) withDefaults(res float64, maxRange float64) Config {
 	}
 	if c.MinZ == 0 && c.MaxZ == 0 {
 		c.MinZ, c.MaxZ = 0.05, 2.6
+	}
+	// Negative means an explicit 0.0 bound. The clamp runs after the
+	// both-zero default check so -1/-1 selects an empty band, not the
+	// defaults; callers must not re-apply withDefaults to its output.
+	if c.MinZ < 0 {
+		c.MinZ = 0
+	}
+	if c.MaxZ < 0 {
+		c.MaxZ = 0
 	}
 	if c.RayStep == 0 {
 		c.RayStep = 0.8 * res / maxRange
@@ -108,19 +121,14 @@ func Build(cloud *pointcloud.Cloud, views []View, layout *grid.Map, cfg Config) 
 	if layout == nil {
 		return nil, fmt.Errorf("mapping: nil layout")
 	}
-	maxRange := 1.0
-	for _, v := range views {
-		if v.Intrinsics.Range > maxRange {
-			maxRange = v.Intrinsics.Range
-		}
-	}
-	cfg = cfg.withDefaults(layout.Res(), maxRange)
-
+	// ObstaclesMap applies withDefaults itself, so it gets the raw config:
+	// re-resolving an already-resolved config would turn an explicit 0/0
+	// height band (negative sentinels) back into the defaults.
 	obstacles, err := ObstaclesMap(cloud, layout, cfg)
 	if err != nil {
 		return nil, err
 	}
-	visibility, aspects, err := VisibilityMap(views, obstacles, cfg)
+	visibility, aspects, err := VisibilityMap(views, obstacles, resolveRayStep(cfg, layout.Res(), views))
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +137,22 @@ func Build(cloud *pointcloud.Cloud, views []View, layout *grid.Map, cfg Config) 
 		return nil, fmt.Errorf("mapping: coverage union: %w", err)
 	}
 	return &Maps{Obstacles: obstacles, Visibility: visibility, Aspects: aspects, Coverage: coverage}, nil
+}
+
+// resolveRayStep fixes the shared angular step for a view set: the default
+// keeps adjacent rays under one cell apart at the longest camera range.
+func resolveRayStep(cfg Config, res float64, views []View) Config {
+	if cfg.RayStep > 0 {
+		return cfg
+	}
+	maxRange := 1.0
+	for _, v := range views {
+		if v.Intrinsics.Range > maxRange {
+			maxRange = v.Intrinsics.Range
+		}
+	}
+	cfg.RayStep = 0.8 * res / maxRange
+	return cfg
 }
 
 // ObstaclesMap implements Algorithm 2 (calculateObstaclesMap): insert the
@@ -177,55 +201,134 @@ func ObstaclesMap(cloud *pointcloud.Cloud, layout *grid.Map, cfg Config) (*grid.
 	return out, nil
 }
 
+// Contribution is one camera view's ray-cast output: the cells the view
+// covers as row-major indices into the layout, with the matching viewing
+// quadrant masks. Contributions are the unit of parallel casting and of
+// caching across incremental rebuilds; merging them (count increments and
+// mask ORs) is commutative, so any merge order yields identical maps.
+type Contribution struct {
+	Idx  []int32
+	Mask []uint8
+}
+
+// CastView computes one view's contribution against an obstacles map. step
+// is the resolved angular ray step (use resolveRayStep / Config.RayStep).
+func CastView(v View, obstacles *grid.Map, step float64) Contribution {
+	in := v.Intrinsics
+	if step <= 0 {
+		step = 0.8 * obstacles.Res() / in.Range
+	}
+	covered := make(map[grid.Cell]bool)
+	// Always include the camera's own cell, seen from every side.
+	own := obstacles.CellOf(v.Pose.Pos)
+	hasOwn := obstacles.InBounds(own)
+	if hasOwn {
+		covered[own] = true
+	}
+	for a := -in.HFOV / 2; a <= in.HFOV/2; a += step {
+		dir := geom.UnitFromAngle(v.Pose.Yaw + a)
+		end := v.Pose.Pos.Add(dir.Scale(in.Range))
+		blocked := false
+		obstacles.RasterizeSegment(geom.Seg(v.Pose.Pos, end), func(c grid.Cell) {
+			if blocked || !obstacles.InBounds(c) {
+				blocked = true
+				return
+			}
+			if obstacles.At(c) > 0 {
+				// The obstacle cell itself is seen, then the ray stops.
+				covered[c] = true
+				blocked = true
+				return
+			}
+			covered[c] = true
+		})
+	}
+	co := Contribution{
+		Idx:  make([]int32, 0, len(covered)),
+		Mask: make([]uint8, 0, len(covered)),
+	}
+	w := obstacles.Width()
+	for c := range covered {
+		m := uint8(quadrantBit(v.Pose.Pos, obstacles.CenterOf(c)))
+		if hasOwn && c == own {
+			m = 0xF
+		}
+		co.Idx = append(co.Idx, int32(c.J*w+c.I))
+		co.Mask = append(co.Mask, m)
+	}
+	return co
+}
+
+// castViews computes contributions for a set of views, fanning the per-view
+// ray casting across a runtime.NumCPU() worker pool. The result slice is
+// indexed like views, so the output is deterministic regardless of which
+// worker cast which view.
+func castViews(dst []Contribution, views []View, obstacles *grid.Map, cfg Config) error {
+	for _, v := range views {
+		if v.Intrinsics.Range <= 0 || v.Intrinsics.HFOV <= 0 {
+			return fmt.Errorf("mapping: view with invalid intrinsics %+v", v.Intrinsics)
+		}
+	}
+	workers := runtime.NumCPU()
+	if workers > len(views) {
+		workers = len(views)
+	}
+	if workers <= 1 {
+		for i, v := range views {
+			dst[i] = CastView(v, obstacles, cfg.RayStep)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(views) {
+					return
+				}
+				dst[i] = CastView(views[i], obstacles, cfg.RayStep)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// mergeContributions folds per-view contributions into visibility and
+// aspect grids. Counts add and masks OR, so the merge is order-independent.
+func mergeContributions(contribs []Contribution, layout *grid.Map) (vis, aspects *grid.Map) {
+	vis = grid.NewLike(layout)
+	aspects = grid.NewLike(layout)
+	w := layout.Width()
+	for _, co := range contribs {
+		for k, idx := range co.Idx {
+			c := grid.Cell{I: int(idx) % w, J: int(idx) / w}
+			vis.Add(c, 1)
+			aspects.Set(c, aspects.At(c)|int(co.Mask[k]))
+		}
+	}
+	return vis, aspects
+}
+
 // VisibilityMap implements Algorithm 3 (calculateVisibilityMap): for each
 // registered camera it computes the field-of-view area clipped by the
 // obstacles map. It returns the per-cell camera counts plus the per-cell
-// quadrant mask of viewing directions (aspect coverage, Figure 4).
+// quadrant mask of viewing directions (aspect coverage, Figure 4). The
+// per-view ray casting runs on a worker pool; the merge is deterministic.
 func VisibilityMap(views []View, obstacles *grid.Map, cfg Config) (*grid.Map, *grid.Map, error) {
 	if obstacles == nil {
 		return nil, nil, fmt.Errorf("mapping: nil obstacles map")
 	}
-	out := grid.NewLike(obstacles)
-	aspects := grid.NewLike(obstacles)
-	for _, v := range views {
-		in := v.Intrinsics
-		if in.Range <= 0 || in.HFOV <= 0 {
-			return nil, nil, fmt.Errorf("mapping: view with invalid intrinsics %+v", in)
-		}
-		step := cfg.RayStep
-		if step <= 0 {
-			step = 0.8 * obstacles.Res() / in.Range
-		}
-		covered := make(map[grid.Cell]bool)
-		// Always include the camera's own cell, seen from every side.
-		if own := out.CellOf(v.Pose.Pos); out.InBounds(own) {
-			covered[own] = true
-			aspects.Set(own, 0xF)
-		}
-		for a := -in.HFOV / 2; a <= in.HFOV/2; a += step {
-			dir := geom.UnitFromAngle(v.Pose.Yaw + a)
-			end := v.Pose.Pos.Add(dir.Scale(in.Range))
-			blocked := false
-			obstacles.RasterizeSegment(geom.Seg(v.Pose.Pos, end), func(c grid.Cell) {
-				if blocked || !out.InBounds(c) {
-					blocked = true
-					return
-				}
-				if obstacles.At(c) > 0 {
-					// The obstacle cell itself is seen, then the ray stops.
-					covered[c] = true
-					blocked = true
-					return
-				}
-				covered[c] = true
-			})
-		}
-		for c := range covered {
-			out.Add(c, 1)
-			aspects.Set(c, aspects.At(c)|quadrantBit(v.Pose.Pos, out.CenterOf(c)))
-		}
+	contribs := make([]Contribution, len(views))
+	if err := castViews(contribs, views, obstacles, cfg); err != nil {
+		return nil, nil, err
 	}
-	return out, aspects, nil
+	vis, aspects := mergeContributions(contribs, obstacles)
+	return vis, aspects, nil
 }
 
 // quadrantBit returns the bit for the quadrant the cell is viewed from:
@@ -256,6 +359,153 @@ func Coverage(obstacles, visibility *grid.Map) (*grid.Map, error) {
 		return nil, fmt.Errorf("mapping: coverage union: %w", err)
 	}
 	return u, nil
+}
+
+// Incremental caches per-view ray casts across successive map builds, so a
+// rebuild after a photo batch only casts rays for the views added since the
+// previous build — plus any cached view whose cast is no longer valid.
+//
+// Update is exactly equivalent to Build for the same inputs: a cached cast
+// depends only on the obstacle occupancy (cells with value > 0) within the
+// view's range disc, so it is invalidated whenever occupancy flips inside
+// that disc, and recomputed against the new obstacles. Everything else is
+// replayed from the cache, which turns the per-upload visibility cost from
+// O(all views) into O(new + affected views) over a campaign.
+//
+// An Incremental is not safe for concurrent use; confine it to the model
+// owner (core.System serialises all mutations).
+type Incremental struct {
+	layout *grid.Map
+	cfg    Config
+
+	views     []View
+	contribs  []Contribution
+	obstacles *grid.Map // occupancy basis the cached casts were made against
+	rayStep   float64   // resolved angular step of the cached casts
+}
+
+// NewIncremental returns an incremental builder producing maps on the given
+// layout with the given config (raw, as passed to Build).
+func NewIncremental(layout *grid.Map, cfg Config) (*Incremental, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("mapping: nil layout")
+	}
+	return &Incremental{layout: layout, cfg: cfg}, nil
+}
+
+// Invalidate drops every cached cast; the next Update is a full rebuild.
+// Callers use it after pipeline stages that restructure the model in ways
+// not visible through the (cloud, views) inputs.
+func (inc *Incremental) Invalidate() {
+	inc.views, inc.contribs, inc.obstacles = nil, nil, nil
+}
+
+// Update builds the maps for the given cloud and registered views, reusing
+// every cached cast that is still exact. The views slice is expected to be
+// append-only between calls (SfM registration only adds views); any other
+// change falls back to a full rebuild.
+func (inc *Incremental) Update(cloud *pointcloud.Cloud, views []View) (*Maps, error) {
+	obstacles, err := ObstaclesMap(cloud, inc.layout, inc.cfg)
+	if err != nil {
+		return nil, err
+	}
+	resolved := resolveRayStep(inc.cfg, inc.layout.Res(), views)
+
+	// A view with a longer range than any before it tightens the shared
+	// default ray step, which changes every cast.
+	if inc.obstacles == nil || resolved.RayStep != inc.rayStep {
+		inc.Invalidate()
+	}
+	// The cache covers a prefix of the view list; anything else (removed
+	// or edited views) voids it.
+	if len(inc.views) > len(views) {
+		inc.Invalidate()
+	}
+	for i := range inc.views {
+		if views[i] != inc.views[i] {
+			inc.Invalidate()
+			break
+		}
+	}
+
+	// Recast cached views whose range disc contains an occupancy flip;
+	// obstacle count changes that stay positive cannot alter a cast.
+	stale := make([]bool, len(views))
+	if inc.obstacles != nil {
+		changed := occupancyFlips(inc.obstacles, obstacles)
+		for i, v := range inc.views {
+			if viewNearAny(v, changed, inc.layout) {
+				stale[i] = true
+			}
+		}
+	}
+
+	contribs := make([]Contribution, len(views))
+	copy(contribs, inc.contribs)
+	var fresh []View
+	var freshIdx []int
+	for i := len(inc.views); i < len(views); i++ {
+		stale[i] = true
+	}
+	for i, s := range stale {
+		if s {
+			fresh = append(fresh, views[i])
+			freshIdx = append(freshIdx, i)
+		}
+	}
+	freshContribs := make([]Contribution, len(fresh))
+	if err := castViews(freshContribs, fresh, obstacles, resolved); err != nil {
+		return nil, err
+	}
+	for k, i := range freshIdx {
+		contribs[i] = freshContribs[k]
+	}
+
+	vis, aspects := mergeContributions(contribs, inc.layout)
+	coverage, err := obstacles.Union(vis)
+	if err != nil {
+		return nil, fmt.Errorf("mapping: coverage union: %w", err)
+	}
+
+	// Clone the basis: callers may decorate the returned obstacles map
+	// (e.g. entrance barriers) without poisoning the cache.
+	inc.views = append(inc.views[:0:0], views...)
+	inc.contribs = contribs
+	inc.obstacles = obstacles.Clone()
+	inc.rayStep = resolved.RayStep
+	return &Maps{Obstacles: obstacles, Visibility: vis, Aspects: aspects, Coverage: coverage}, nil
+}
+
+// CachedViews reports how many per-view casts the builder currently holds;
+// exposed for tests and instrumentation.
+func (inc *Incremental) CachedViews() int { return len(inc.views) }
+
+// occupancyFlips returns the cells whose occupancy (value > 0) differs
+// between two same-layout maps.
+func occupancyFlips(prev, cur *grid.Map) []grid.Cell {
+	var out []grid.Cell
+	prev.Each(func(c grid.Cell, v int) {
+		if (v > 0) != (cur.At(c) > 0) {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// viewNearAny reports whether any changed cell lies within the view's range
+// disc (plus rasterisation slack), i.e. whether the view's cast could see
+// the change.
+func viewNearAny(v View, changed []grid.Cell, layout *grid.Map) bool {
+	slack := 2 * layout.Res()
+	r := v.Intrinsics.Range + slack
+	r2 := r * r
+	for _, c := range changed {
+		d := layout.CenterOf(c).Sub(v.Pose.Pos)
+		if d.Len2() <= r2 {
+			return true
+		}
+	}
+	return false
 }
 
 // ViewsFromSfM adapts any slice with camera pose and intrinsics into

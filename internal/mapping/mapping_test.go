@@ -397,3 +397,180 @@ func TestPopcount4(t *testing.T) {
 		}
 	}
 }
+
+// gridsEqual compares two maps cell by cell.
+func gridsEqual(a, b *grid.Map) bool {
+	if !a.SameLayout(b) {
+		return false
+	}
+	equal := true
+	a.Each(func(c grid.Cell, v int) {
+		if b.At(c) != v {
+			equal = false
+		}
+	})
+	return equal
+}
+
+func mapsEqual(a, b *Maps) bool {
+	return gridsEqual(a.Obstacles, b.Obstacles) &&
+		gridsEqual(a.Visibility, b.Visibility) &&
+		gridsEqual(a.Aspects, b.Aspects) &&
+		gridsEqual(a.Coverage, b.Coverage)
+}
+
+// TestIncrementalMatchesFull grows a scene batch by batch — new views AND a
+// growing cloud that keeps flipping obstacle cells — and checks that the
+// incremental builder's output is identical to a full Build at every step,
+// while actually reusing cached casts once the obstacles settle.
+func TestIncrementalMatchesFull(t *testing.T) {
+	layout := layout10(t)
+	rng := rand.New(rand.NewSource(11))
+	inc, err := NewIncremental(layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cloud := pointcloud.NewCloud(nil)
+	var views []View
+	id := uint64(0)
+	for step := 0; step < 6; step++ {
+		// Extend the wall a little (obstacle occupancy flips near it)
+		// and add a few new views.
+		x0 := 2.0 + float64(step)
+		for x := x0; x < x0+1.0; x += 0.15 {
+			for k := 0; k < 6; k++ {
+				id++
+				cloud.Add(pointcloud.Point{
+					Pos:       geom.V3(x+0.01, 5.05, 0.3+0.28*float64(k)),
+					FeatureID: id,
+					Views:     3,
+				})
+			}
+		}
+		for v := 0; v < 4; v++ {
+			views = append(views, View{
+				Pose: camera.Pose{
+					Pos: geom.V2(1+rng.Float64()*8, 1+rng.Float64()*3),
+					Yaw: rng.Float64() * 2 * math.Pi,
+				},
+				Intrinsics: camera.DefaultIntrinsics(),
+			})
+		}
+
+		got, err := inc.Update(cloud, views)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Build(cloud, views, layout, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mapsEqual(got, want) {
+			t.Fatalf("step %d: incremental maps differ from full build", step)
+		}
+		if inc.CachedViews() != len(views) {
+			t.Fatalf("step %d: cached %d views, want %d", step, inc.CachedViews(), len(views))
+		}
+	}
+
+	// A second update with no changes must replay the cache exactly.
+	again, err := inc.Update(cloud, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(cloud, views, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapsEqual(again, want) {
+		t.Fatal("no-op update diverged from full build")
+	}
+
+	// Invalidate forces a full recast, which must also match.
+	inc.Invalidate()
+	if inc.CachedViews() != 0 {
+		t.Fatal("Invalidate left cached views behind")
+	}
+	full, err := inc.Update(cloud, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapsEqual(full, want) {
+		t.Fatal("post-invalidate update diverged from full build")
+	}
+}
+
+// TestIncrementalObstacleChangeRecast verifies the invalidation rule: an
+// obstacle appearing inside a cached view's range changes that view's cast.
+func TestIncrementalObstacleChangeRecast(t *testing.T) {
+	layout := layout10(t)
+	inc, err := NewIncremental(layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []View{{
+		Pose:       camera.Pose{Pos: geom.V2(5, 3), Yaw: math.Pi / 2}, // facing the future wall
+		Intrinsics: camera.DefaultIntrinsics(),
+	}}
+	empty := pointcloud.NewCloud(nil)
+	before, err := inc.Update(empty, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wall at y=5 now blocks the view; the cached cast must be redone.
+	after, err := inc.Update(wallCloud(6), views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(wallCloud(6), views, layout, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapsEqual(after, want) {
+		t.Fatal("recast after obstacle change diverged from full build")
+	}
+	if gridsEqual(before.Visibility, after.Visibility) {
+		t.Fatal("obstacle change did not affect visibility — invalidation untested")
+	}
+}
+
+// TestConfigExplicitZeroHeightBand covers the negative-means-zero sentinel:
+// a negative MinZ/MaxZ selects an explicit 0.0 bound, which the zero value
+// cannot express because 0/0 means "use the defaults". Points merge by
+// voxel-centre height (0.075 m for the floor voxel at 15 cm resolution).
+func TestConfigExplicitZeroHeightBand(t *testing.T) {
+	layout := layout10(t)
+	floor := pointcloud.NewCloud(nil)
+	for i := 0; i < 8; i++ {
+		floor.Add(pointcloud.Point{
+			Pos:       geom.V3(5.02, 5.02, 0.01), // floor voxel, centre 0.075
+			FeatureID: uint64(i + 1),
+			Views:     3,
+		})
+	}
+	raised, err := ObstaclesMap(floor, layout, Config{MinZ: 0.3, MaxZ: 2.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raised.CountPositive() != 0 {
+		t.Fatal("MinZ=0.3 unexpectedly kept floor-voxel points")
+	}
+	explicit, err := ObstaclesMap(floor, layout, Config{MinZ: -1, MaxZ: 2.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.CountPositive() == 0 {
+		t.Fatal("explicit MinZ=0 (negative sentinel) dropped floor-voxel points")
+	}
+	// An explicit empty band (-1/-1 → 0/0) must stay empty, not be
+	// re-defaulted to 0.05–2.6 — not by ObstaclesMap, and not by Build
+	// passing an already-resolved config back through withDefaults.
+	maps, err := Build(floor, nil, layout, Config{MinZ: -1, MaxZ: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maps.Obstacles.CountPositive() != 0 {
+		t.Fatal("explicit empty height band (-1/-1) was re-defaulted")
+	}
+}

@@ -160,3 +160,113 @@ func marshalJSON(in any) (*bytes.Reader, error) {
 	}
 	return bytes.NewReader(payload), nil
 }
+
+// TestSnapshotReadersDuringUploads drives sustained GET /v1/map and
+// GET /v1/status traffic while photo batches are being applied, and checks
+// the properties the atomic read-snapshot promises: every map response is
+// internally consistent (a complete grid from one publication, never a mix
+// of two), and the counters only ever move forward. Run under -race this
+// also proves the read path never touches owner-side state.
+func TestSnapshotReadersDuringUploads(t *testing.T) {
+	ts, sys, w, v := newTestServer(t)
+	rng := rand.New(rand.NewSource(99))
+
+	photos, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := UploadRequest{Bootstrap: true}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, PhotoToDTO(p))
+	}
+	if code := postJSON(t, ts.URL+"/v1/photos", req, new(UploadResponse)); code != http.StatusOK {
+		t.Fatalf("bootstrap code %d", code)
+	}
+
+	var sweeps [][]camera.Photo
+	for i := 0; i < 3; i++ {
+		pos := v.Entrance()
+		pos.X += float64(i) * 0.9
+		pos.Y += 1.3
+		s, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps = append(sweeps, s)
+	}
+	wantW, wantH := sys.Layout().Width(), sys.Layout().Height()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	// Uploader: applies batches one after another, then signals readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i, s := range sweeps {
+			upReq := UploadRequest{LocX: 5, LocY: 5}
+			for _, p := range s {
+				upReq.Photos = append(upReq.Photos, PhotoToDTO(p))
+			}
+			if code := postJSONNoFatal(ts.URL+"/v1/photos", upReq, new(UploadResponse)); code != http.StatusOK {
+				errs <- fmt.Errorf("upload %d: code %d", i, code)
+			}
+		}
+	}()
+	// Readers: loop until the uploader finishes, checking snapshot
+	// invariants on every response.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lastPhotos, lastViews := -1, -1
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var m MapResponse
+				if code := getJSONNoFatal(ts.URL+"/v1/map", &m); code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: map code %d", r, code)
+					return
+				}
+				if m.Width != wantW || m.Height != wantH || len(m.Rows) != m.Height {
+					errs <- fmt.Errorf("reader %d: torn map: %dx%d with %d rows (want %dx%d)",
+						r, m.Width, m.Height, len(m.Rows), wantW, wantH)
+					return
+				}
+				for y, row := range m.Rows {
+					if len(row) != m.Width {
+						errs <- fmt.Errorf("reader %d: torn map row %d: %d chars, want %d", r, y, len(row), m.Width)
+						return
+					}
+				}
+				var st StatusResponse
+				if code := getJSONNoFatal(ts.URL+"/v1/status", &st); code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: status code %d", r, code)
+					return
+				}
+				if st.PhotosProcessed < lastPhotos || st.Views < lastViews {
+					errs <- fmt.Errorf("reader %d: counters went backwards: photos %d->%d views %d->%d",
+						r, lastPhotos, st.PhotosProcessed, lastViews, st.Views)
+					return
+				}
+				lastPhotos, lastViews = st.PhotosProcessed, st.Views
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var st StatusResponse
+	getJSON(t, ts.URL+"/v1/status", &st)
+	want := len(photos) + 3*len(sweeps[0])
+	if st.PhotosProcessed != want {
+		t.Errorf("photos processed = %d, want %d", st.PhotosProcessed, want)
+	}
+}

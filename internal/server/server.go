@@ -3,17 +3,25 @@
 // the current maps — the paper's Figure 2 split between mobile client,
 // online annotation tool and backend server.
 //
-// All model mutations are serialised under one mutex, so concurrent
-// clients are safe and the model sees one linear history — the paper's
-// backend likewise processes one uploaded batch at a time.
+// The handler is split into a model-owner path and a read path. Mutations
+// (POST /v1/photos, POST /v1/annotations, the task pop behind GET /v1/task,
+// and GET /v1/snapshot state export) are applied one at a time under the
+// owner mutex, so the model sees one linear history — the paper's backend
+// likewise processes one uploaded batch at a time. After every mutation the
+// owner publishes an immutable ReadSnapshot (rendered map, status counters,
+// locate feature index) through an atomic pointer; GET /v1/map, /v1/map.pgm,
+// /v1/status and POST /v1/locate serve from whatever snapshot is current,
+// lock-free, and never block behind an in-flight upload.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"snaptask/internal/annotation"
 	"snaptask/internal/camera"
@@ -33,6 +41,10 @@ type TaskDTO struct {
 	Y     float64 `json:"y"`
 	SeedX float64 `json:"seedX"`
 	SeedY float64 `json:"seedY"`
+	// HasSeed marks SeedX/SeedY as meaningful. A discovery frontier can
+	// legitimately sit at the world origin, so the zero value of the seed
+	// coordinates must not double as "unset".
+	HasSeed bool `json:"hasSeed"`
 	// Covered is true when no task is available because the venue is
 	// complete.
 	Covered bool `json:"covered"`
@@ -63,13 +75,16 @@ type PhotoDTO struct {
 
 // UploadRequest is a photo batch upload for a photo task.
 type UploadRequest struct {
-	TaskID    int        `json:"taskId"`
-	Bootstrap bool       `json:"bootstrap"`
-	LocX      float64    `json:"locX"`
-	LocY      float64    `json:"locY"`
-	SeedX     float64    `json:"seedX"`
-	SeedY     float64    `json:"seedY"`
-	Photos    []PhotoDTO `json:"photos"`
+	TaskID    int     `json:"taskId"`
+	Bootstrap bool    `json:"bootstrap"`
+	LocX      float64 `json:"locX"`
+	LocY      float64 `json:"locY"`
+	SeedX     float64 `json:"seedX"`
+	SeedY     float64 `json:"seedY"`
+	// HasSeed marks SeedX/SeedY as meaningful; without it the backend
+	// aims the task loop at the task location instead.
+	HasSeed bool       `json:"hasSeed"`
+	Photos  []PhotoDTO `json:"photos"`
 }
 
 // UploadResponse reports the batch outcome.
@@ -92,13 +107,15 @@ type AnnotationDTO struct {
 // AnnotateRequest submits an annotation task's photos plus the online
 // workers' marks.
 type AnnotateRequest struct {
-	TaskID int             `json:"taskId"`
-	LocX   float64         `json:"locX"`
-	LocY   float64         `json:"locY"`
-	SeedX  float64         `json:"seedX"`
-	SeedY  float64         `json:"seedY"`
-	Photos []PhotoDTO      `json:"photos"`
-	Marks  []AnnotationDTO `json:"marks"`
+	TaskID int     `json:"taskId"`
+	LocX   float64 `json:"locX"`
+	LocY   float64 `json:"locY"`
+	SeedX  float64 `json:"seedX"`
+	SeedY  float64 `json:"seedY"`
+	// HasSeed marks SeedX/SeedY as meaningful (see UploadRequest).
+	HasSeed bool            `json:"hasSeed"`
+	Photos  []PhotoDTO      `json:"photos"`
+	Marks   []AnnotationDTO `json:"marks"`
 }
 
 // AnnotateResponse reports the reconstruction outcome.
@@ -148,12 +165,40 @@ type StatusResponse struct {
 	PendingTasks    int    `json:"pendingTasks"`
 }
 
-// Server wraps a core.System behind an http.Handler.
+// ReadSnapshot is the immutable state the read endpoints serve from. The
+// model owner builds a fresh one after every mutation and publishes it
+// atomically; once published it is never written again, so any number of
+// readers can use it concurrently without locks. Readers may see a snapshot
+// that is one mutation old, never a torn one.
+type ReadSnapshot struct {
+	// Map is the rendered floor-plan response served by GET /v1/map.
+	Map MapResponse
+	// Status is the response served by GET /v1/status.
+	Status StatusResponse
+	// Obstacles and Visibility are private clones of the maps behind Map,
+	// kept for PGM rendering; readers must not mutate them.
+	Obstacles  *grid.Map
+	Visibility *grid.Map
+	// Features is the locate index: the feature IDs present in the
+	// model's triangulated cloud.
+	Features map[uint64]bool
+}
+
+// Server wraps a core.System behind an http.Handler: a model-owner path
+// that serialises mutations, plus lock-free read endpoints served from the
+// latest published ReadSnapshot.
 type Server struct {
-	mu  sync.Mutex
-	sys *core.System
-	rng *rand.Rand
-	mux *http.ServeMux
+	mu   sync.Mutex // owner path: serialises all model mutations
+	sys  *core.System
+	rng  *rand.Rand
+	mux  *http.ServeMux
+	snap atomic.Pointer[ReadSnapshot]
+
+	// Localisation is stochastic but read-only on the model; it draws
+	// from its own rng under its own lock so queries never touch the
+	// owner path.
+	locateMu  sync.Mutex
+	locateRNG *rand.Rand
 }
 
 // New returns a server for the given system. The rng drives all stochastic
@@ -163,6 +208,8 @@ func New(sys *core.System, rng *rand.Rand) (*Server, error) {
 		return nil, fmt.Errorf("server: nil system or rng")
 	}
 	s := &Server{sys: sys, rng: rng, mux: http.NewServeMux()}
+	s.locateRNG = rand.New(rand.NewSource(rng.Int63()))
+	s.publishLocked()
 	s.mux.HandleFunc("GET /v1/task", s.handleTask)
 	s.mux.HandleFunc("POST /v1/photos", s.handlePhotos)
 	s.mux.HandleFunc("POST /v1/annotations", s.handleAnnotations)
@@ -172,6 +219,68 @@ func New(sys *core.System, rng *rand.Rand) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	return s, nil
+}
+
+// Snapshot returns the currently published read state; exposed for tests
+// and instrumentation. The returned value is immutable.
+func (s *Server) Snapshot() *ReadSnapshot { return s.snap.Load() }
+
+// publishLocked rebuilds the ReadSnapshot from the system and publishes it.
+// Callers must hold mu (or, in New, have exclusive access).
+func (s *Server) publishLocked() {
+	maps := s.sys.Maps()
+	obstacles := maps.Obstacles.Clone()
+	visibility := maps.Visibility.Clone()
+	origin := obstacles.Origin()
+
+	rows := make([]string, 0, obstacles.Height())
+	for j := obstacles.Height() - 1; j >= 0; j-- {
+		row := make([]byte, obstacles.Width())
+		for i := 0; i < obstacles.Width(); i++ {
+			c := grid.Cell{I: i, J: j}
+			switch {
+			case obstacles.At(c) > 0:
+				row[i] = '#'
+			case visibility.At(c) > 0:
+				row[i] = '.'
+			default:
+				row[i] = '_'
+			}
+		}
+		rows = append(rows, string(row))
+	}
+
+	features := make(map[uint64]bool)
+	for _, p := range s.sys.Model().Cloud().Points() {
+		if p.FeatureID != 0 {
+			features[p.FeatureID] = true
+		}
+	}
+
+	photoTasks, annTasks := s.sys.TasksIssued()
+	s.snap.Store(&ReadSnapshot{
+		Map: MapResponse{
+			Width:   obstacles.Width(),
+			Height:  obstacles.Height(),
+			Res:     obstacles.Res(),
+			OriginX: origin.X,
+			OriginY: origin.Y,
+			Rows:    rows,
+		},
+		Status: StatusResponse{
+			Venue:           s.sys.Venue().Name(),
+			Views:           s.sys.Model().NumViews(),
+			Points:          s.sys.Model().NumPoints(),
+			PhotosProcessed: s.sys.PhotosProcessed(),
+			PhotoTasks:      photoTasks,
+			AnnotationTasks: annTasks,
+			Covered:         s.sys.Covered(),
+			PendingTasks:    len(s.sys.PendingTasks()),
+		},
+		Obstacles:  obstacles,
+		Visibility: visibility,
+		Features:   features,
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -192,6 +301,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	// Popping a task mutates the queue, so this is an owner-path
+	// endpoint even though it is a GET.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.sys.Covered() {
@@ -203,13 +314,18 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no task pending"})
 		return
 	}
+	s.publishLocked()
 	writeJSON(w, http.StatusOK, TaskDTO{
-		ID:    task.ID,
-		Kind:  task.Kind.String(),
-		X:     task.Location.X,
-		Y:     task.Location.Y,
-		SeedX: task.Seed.X,
-		SeedY: task.Seed.Y,
+		ID:   task.ID,
+		Kind: task.Kind.String(),
+		X:    task.Location.X,
+		Y:    task.Location.Y,
+		// The generator's zero-valued seed means "aim at the task
+		// location"; the wire form carries that explicitly so a real
+		// frontier at the origin survives the round trip.
+		SeedX:   task.Seed.X,
+		SeedY:   task.Seed.Y,
+		HasSeed: task.Seed != (geom.Vec2{}),
 	})
 }
 
@@ -269,16 +385,14 @@ func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
 	if req.Bootstrap {
 		out, err = s.sys.ProcessBootstrap(photos, s.rng)
 	} else {
-		seed := geom.V2(req.SeedX, req.SeedY)
-		if seed == (geom.Vec2{}) {
-			seed = geom.V2(req.LocX, req.LocY)
-		}
+		seed := uploadSeed(req.HasSeed, req.SeedX, req.SeedY, req.LocX, req.LocY)
 		out, err = s.sys.ProcessPhotoBatch(geom.V2(req.LocX, req.LocY), seed, photos, s.rng)
 	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.publishLocked()
 	writeJSON(w, http.StatusOK, UploadResponse{
 		Registered:    len(out.Batch.Registered),
 		Rejected:      len(out.Batch.RejectedBlurry),
@@ -314,15 +428,13 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	seed := geom.V2(req.SeedX, req.SeedY)
-	if seed == (geom.Vec2{}) {
-		seed = task.Location
-	}
+	seed := uploadSeed(req.HasSeed, req.SeedX, req.SeedY, req.LocX, req.LocY)
 	out, err := s.sys.ProcessAnnotation(task, seed, anns, s.rng)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.publishLocked()
 	writeJSON(w, http.StatusOK, AnnotateResponse{
 		Identified:    out.Recon.Identified,
 		Reconstructed: out.Recon.Reconstructed,
@@ -332,49 +444,14 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	maps := s.sys.Maps()
-	obstacles := maps.Obstacles.Clone()
-	visibility := maps.Visibility.Clone()
-	s.mu.Unlock()
-
-	rows := make([]string, 0, obstacles.Height())
-	for j := obstacles.Height() - 1; j >= 0; j-- {
-		row := make([]byte, obstacles.Width())
-		for i := 0; i < obstacles.Width(); i++ {
-			c := grid.Cell{I: i, J: j}
-			switch {
-			case obstacles.At(c) > 0:
-				row[i] = '#'
-			case visibility.At(c) > 0:
-				row[i] = '.'
-			default:
-				row[i] = '_'
-			}
-		}
-		rows = append(rows, string(row))
-	}
-	origin := obstacles.Origin()
-	writeJSON(w, http.StatusOK, MapResponse{
-		Width:   obstacles.Width(),
-		Height:  obstacles.Height(),
-		Res:     obstacles.Res(),
-		OriginX: origin.X,
-		OriginY: origin.Y,
-		Rows:    rows,
-	})
+	writeJSON(w, http.StatusOK, s.snap.Load().Map)
 }
 
 // handleMapPGM serves the current map as a PGM image, viewable directly in
 // any image tool.
 func (s *Server) handleMapPGM(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	maps := s.sys.Maps()
-	obstacles := maps.Obstacles.Clone()
-	visibility := maps.Visibility.Clone()
-	s.mu.Unlock()
-
-	img, err := metrics.WritePGM(obstacles, visibility, nil)
+	snap := s.snap.Load()
+	img, err := metrics.WritePGM(snap.Obstacles, snap.Visibility, nil)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -392,22 +469,18 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	}
 	photo := photoFromDTO(req.Photo)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Build the matched-feature set from the model's triangulated points.
-	modelFeatures := make(map[uint64]bool)
-	for _, p := range s.sys.Model().Cloud().Points() {
-		if p.FeatureID != 0 {
-			modelFeatures[p.FeatureID] = true
-		}
-	}
+	// The feature index is precomputed in the snapshot, so localisation
+	// runs off the owner path and never queues behind an upload.
+	modelFeatures := s.snap.Load().Features
 	matched := 0
 	for _, o := range photo.Obs {
 		if modelFeatures[o.FeatureID] {
 			matched++
 		}
 	}
-	pos, err := nav.Localize(photo, modelFeatures, photo.Pose.Pos, s.rng)
+	s.locateMu.Lock()
+	pos, err := nav.Localize(photo, modelFeatures, photo.Pose.Pos, s.locateRNG)
+	s.locateMu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -429,19 +502,26 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snap.Load().Status)
+}
+
+// uploadSeed resolves an upload's task seed: the explicit seed when the
+// client marked one, the task location otherwise. The flag — not a
+// zero-coordinate check — decides, so a discovery frontier at (0,0) is a
+// valid seed.
+func uploadSeed(hasSeed bool, seedX, seedY, locX, locY float64) geom.Vec2 {
+	if hasSeed {
+		return geom.V2(seedX, seedY)
+	}
+	return geom.V2(locX, locY)
+}
+
+// WriteState serialises the backend state to w under the owner lock — the
+// same bytes GET /v1/snapshot serves; exposed for shutdown persistence.
+func (s *Server) WriteState(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	photoTasks, annTasks := s.sys.TasksIssued()
-	writeJSON(w, http.StatusOK, StatusResponse{
-		Venue:           s.sys.Venue().Name(),
-		Views:           s.sys.Model().NumViews(),
-		Points:          s.sys.Model().NumPoints(),
-		PhotosProcessed: s.sys.PhotosProcessed(),
-		PhotoTasks:      photoTasks,
-		AnnotationTasks: annTasks,
-		Covered:         s.sys.Covered(),
-		PendingTasks:    len(s.sys.PendingTasks()),
-	})
+	return s.sys.WriteSnapshot(w)
 }
 
 // TaskKindFromString parses a wire task kind.

@@ -294,3 +294,47 @@ func TestSnapshotEndpoint(t *testing.T) {
 		t.Errorf("restored photos = %d, want %d", sys2.PhotosProcessed(), len(photos))
 	}
 }
+
+// TestUploadSeed covers the seed-sentinel rule: the explicit HasSeed flag
+// decides whether the request's seed coordinates are used, so a frontier at
+// the world origin is not mistaken for "no seed sent".
+func TestUploadSeed(t *testing.T) {
+	if got := uploadSeed(true, 0, 0, 5, 5); got != geom.V2(0, 0) {
+		t.Errorf("origin seed dropped: uploadSeed = %v, want (0, 0)", got)
+	}
+	if got := uploadSeed(true, 2, 3, 5, 5); got != geom.V2(2, 3) {
+		t.Errorf("uploadSeed = %v, want (2, 3)", got)
+	}
+	if got := uploadSeed(false, 2, 3, 5, 5); got != geom.V2(5, 5) {
+		t.Errorf("seedless upload: uploadSeed = %v, want the location (5, 5)", got)
+	}
+}
+
+// TestTaskDTOHasSeed checks the task endpoint reports seeds explicitly: a
+// real generated task carries a frontier seed, and the DTO must say so via
+// HasSeed rather than leaving clients to compare against the zero vector.
+func TestTaskDTOHasSeed(t *testing.T) {
+	ts, _, w, v := newTestServer(t)
+	rng := rand.New(rand.NewSource(3))
+	photos, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := UploadRequest{Bootstrap: true}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, PhotoToDTO(p))
+	}
+	if code := postJSON(t, ts.URL+"/v1/photos", req, new(UploadResponse)); code != http.StatusOK {
+		t.Fatalf("bootstrap upload code %d", code)
+	}
+	var task TaskDTO
+	if code := getJSON(t, ts.URL+"/v1/task", &task); code != http.StatusOK {
+		t.Fatalf("task fetch code %d", code)
+	}
+	if (task.SeedX != 0 || task.SeedY != 0) && !task.HasSeed {
+		t.Errorf("task has seed (%v, %v) but HasSeed is false", task.SeedX, task.SeedY)
+	}
+	if !task.HasSeed {
+		t.Skip("generated task carried no seed; sentinel not exercisable here")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"snaptask/internal/camera"
 	"snaptask/internal/geom"
@@ -355,8 +356,18 @@ func (m *Model) register(c cand, rng *rand.Rand) {
 }
 
 // triangulate promotes every sufficiently-observed feature to a 3D point.
+// Tracks are visited in feature-ID order: iterating the map directly would
+// draw each point's noise from rng in a run-dependent order and append to
+// m.order nondeterministically, making reconstructed clouds differ between
+// identically-seeded runs.
 func (m *Model) triangulate(rng *rand.Rand) {
-	for id, viewIdxs := range m.tracks {
+	ids := make([]uint64, 0, len(m.tracks))
+	for id := range m.tracks {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		viewIdxs := m.tracks[id]
 		if len(viewIdxs) < m.cfg.MinViewsForPoint {
 			continue
 		}

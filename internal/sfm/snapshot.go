@@ -2,6 +2,7 @@ package sfm
 
 import (
 	"fmt"
+	"slices"
 
 	"snaptask/internal/geom"
 	"snaptask/internal/pointcloud"
@@ -38,14 +39,27 @@ func (m *Model) Snapshot() Snapshot {
 		Outliers:    append([]pointcloud.Point(nil), m.outliers...),
 		NextPhotoID: m.nextPhotoID,
 	}
-	for id, views := range m.tracks {
+	// Maps are serialised in sorted-ID order so the same model state always
+	// encodes to the same bytes (snapshot files are diffable/hashable).
+	trackIDs := make([]uint64, 0, len(m.tracks))
+	for id := range m.tracks {
+		trackIDs = append(trackIDs, id)
+	}
+	slices.Sort(trackIDs)
+	for _, id := range trackIDs {
 		s.TrackIDs = append(s.TrackIDs, id)
-		s.TrackViews = append(s.TrackViews, append([]int(nil), views...))
+		s.TrackViews = append(s.TrackViews, append([]int(nil), m.tracks[id]...))
 	}
 	for _, id := range s.Order {
 		s.Points = append(s.Points, m.pts[id])
 	}
-	for id, info := range m.featPos {
+	featIDs := make([]uint64, 0, len(m.featPos))
+	for id := range m.featPos {
+		featIDs = append(featIDs, id)
+	}
+	slices.Sort(featIDs)
+	for _, id := range featIDs {
+		info := m.featPos[id]
 		s.Features = append(s.Features, FeatureEntry{ID: id, Pos: info.pos, Artificial: info.artificial})
 	}
 	return s

@@ -11,16 +11,28 @@
 //
 // Experiments: fig8, fig9, fig10, fig11a, fig11b, fig12, table1,
 // ablate-obstacle, ablate-tolerance, ablate-minarea, ablate-cell,
-// ablate-window, ablate-sor.
+// ablate-window, ablate-sor. The extra experiment `ingest` (not part of
+// 'all') benchmarks per-batch upload latency on the incremental vs
+// full-recompute paths and, with -ingest-out, writes the machine-readable
+// BENCH_ingest.json used to track the perf trajectory across PRs.
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
+	"time"
 
 	"math/rand"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
 
 	"snaptask/internal/core"
 	"snaptask/internal/experiments"
@@ -42,9 +54,10 @@ func main() {
 }
 
 type bench struct {
-	setup *experiments.Setup
-	seed  int64
-	quick bool
+	setup     *experiments.Setup
+	seed      int64
+	quick     bool
+	ingestOut string
 
 	// lazily computed shared artefacts
 	guided *experiments.GuidedResult
@@ -59,11 +72,12 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment id or 'all'")
 	seed := fs.Int64("seed", 42, "experiment seed")
 	quick := fs.Bool("quick", false, "small venue, fast smoke run")
+	ingestOut := fs.String("ingest-out", "", "write the ingest experiment's JSON report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	b := &bench{seed: *seed, quick: *quick}
+	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut}
 	var v *venue.Venue
 	var err error
 	if *quick {
@@ -97,6 +111,7 @@ func run(args []string) error {
 		"ablate-cell":      b.ablateCell,
 		"ablate-window":    b.ablateWindow,
 		"ablate-sor":       b.ablateSOR,
+		"ingest":           b.ingest,
 	}
 	order := []string{
 		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
@@ -464,6 +479,190 @@ func (b *bench) extBudget() error {
 			budget, res.Spent, res.PhotoTasks+res.AnnotationTasks, res.TasksDropped, res.Covered, cov)
 	}
 	fmt.Println("  (more budget -> more affordable assignments -> higher coverage)")
+	return nil
+}
+
+// ingestRow is one model-size checkpoint of the ingest benchmark.
+type ingestRow struct {
+	Views         int     `json:"views"`
+	Points        int     `json:"points"`
+	BatchPhotos   int     `json:"batch_photos"`
+	FullMS        float64 `json:"full_ms"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
+}
+
+// ingestReport is the machine-readable BENCH_ingest.json payload.
+type ingestReport struct {
+	Venue      string      `json:"venue"`
+	Seed       int64       `json:"seed"`
+	Quick      bool        `json:"quick"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Sizes      []ingestRow `json:"sizes"`
+}
+
+// ingest drives two backends in lockstep over identical photo batches — one
+// on the delta-driven ingest path, one forcing a full recompute per batch —
+// and reports the median per-batch latency of each around fixed model sizes.
+// The two models must stay byte-identical throughout; any divergence is
+// reported in the `identical` column and fails the experiment.
+func (b *bench) ingest() error {
+	v := b.setup.Venue
+	world := b.setup.World
+	sizes := []int{100, 500, 1000}
+	if b.quick {
+		sizes = []int{60, 120, 180}
+	}
+
+	sysInc, err := core.NewSystem(v, world, core.Config{})
+	if err != nil {
+		return err
+	}
+	sysFull, err := core.NewSystem(v, world, core.Config{FullRebuild: true})
+	if err != nil {
+		return err
+	}
+	rngInc := rand.New(rand.NewSource(b.seed + 20))
+	rngFull := rand.New(rand.NewSource(b.seed + 20))
+	capRng := rand.New(rand.NewSource(b.seed + 21))
+
+	boot, err := core.BootstrapCapture(world, v, camera.DefaultIntrinsics(), capRng)
+	if err != nil {
+		return err
+	}
+	if _, err := sysInc.ProcessBootstrap(boot, rngInc); err != nil {
+		return err
+	}
+	if _, err := sysFull.ProcessBootstrap(boot, rngFull); err != nil {
+		return err
+	}
+
+	// Free-space sweep positions, reused round-robin.
+	var free []geom.Vec2
+	bounds := v.Bounds()
+	for y := bounds.Min.Y + 0.7; y < bounds.Max.Y; y += 1.1 {
+		for x := bounds.Min.X + 0.7; x < bounds.Max.X; x += 1.1 {
+			if p := geom.V2(x, y); !v.Blocked(p) {
+				free = append(free, p)
+			}
+		}
+	}
+	if len(free) == 0 {
+		return fmt.Errorf("ingest: venue has no free sweep positions")
+	}
+
+	type sample struct {
+		viewsBefore, pointsBefore, photos int
+		inc, full                         time.Duration
+	}
+	var samples []sample
+	modelEqual := func() bool {
+		var bi, bf bytes.Buffer
+		if err := gob.NewEncoder(&bi).Encode(sysInc.Model().Snapshot()); err != nil {
+			return false
+		}
+		if err := gob.NewEncoder(&bf).Encode(sysFull.Model().Snapshot()); err != nil {
+			return false
+		}
+		return bytes.Equal(bi.Bytes(), bf.Bytes()) &&
+			sysInc.Maps().CoverageCells() == sysFull.Maps().CoverageCells()
+	}
+
+	const trials = 3 // batches measured per checkpoint (median taken)
+	last := sizes[len(sizes)-1]
+	for batch := 0; ; batch++ {
+		before := sysInc.Model().NumViews()
+		points := sysInc.Model().NumPoints()
+		if before >= last {
+			// Enough batches past the last checkpoint?
+			n := 0
+			for _, s := range samples {
+				if s.viewsBefore >= last {
+					n++
+				}
+			}
+			if n >= trials {
+				break
+			}
+		}
+		pos := free[batch%len(free)]
+		photos, err := world.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, capRng)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if _, err := sysInc.ProcessPhotoBatch(pos, pos, photos, rngInc); err != nil {
+			return err
+		}
+		tInc := time.Since(t0)
+		t0 = time.Now()
+		if _, err := sysFull.ProcessPhotoBatch(pos, pos, photos, rngFull); err != nil {
+			return err
+		}
+		tFull := time.Since(t0)
+		samples = append(samples, sample{
+			viewsBefore: before, pointsBefore: points, photos: len(photos),
+			inc: tInc, full: tFull,
+		})
+	}
+	identical := modelEqual()
+
+	median := func(ds []time.Duration) float64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return float64(ds[len(ds)/2]) / 1e6
+	}
+	report := ingestReport{
+		Venue:      v.Name(),
+		Seed:       b.seed,
+		Quick:      b.quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Println("Ingest path — per-batch upload latency, full recompute vs incremental:")
+	fmt.Println("  views  points  batch   full(ms)  incr(ms)  speedup  identical")
+	for _, size := range sizes {
+		var incs, fulls []time.Duration
+		photosN, views, points := 0, 0, 0
+		for _, s := range samples {
+			if s.viewsBefore >= size && len(incs) < trials {
+				incs = append(incs, s.inc)
+				fulls = append(fulls, s.full)
+				if photosN == 0 {
+					photosN, views, points = s.photos, s.viewsBefore, s.pointsBefore
+				}
+			}
+		}
+		if len(incs) == 0 {
+			continue
+		}
+		row := ingestRow{
+			Views:         views,
+			Points:        points,
+			BatchPhotos:   photosN,
+			FullMS:        median(fulls),
+			IncrementalMS: median(incs),
+			Identical:     identical,
+		}
+		if row.IncrementalMS > 0 {
+			row.Speedup = row.FullMS / row.IncrementalMS
+		}
+		report.Sizes = append(report.Sizes, row)
+		fmt.Printf("  %5d  %6d  %5d  %9.1f  %8.1f  %6.1fx  %v\n",
+			row.Views, row.Points, row.BatchPhotos, row.FullMS, row.IncrementalMS, row.Speedup, row.Identical)
+	}
+	if !identical {
+		return fmt.Errorf("ingest: incremental and full models diverged")
+	}
+	if b.ingestOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(b.ingestOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", b.ingestOut)
+	}
 	return nil
 }
 

@@ -13,6 +13,9 @@
 // Usage:
 //
 //	snaptask-server -addr :8080 -venue library -seed 42
+//
+// Pass -pprof-addr localhost:6060 to expose net/http/pprof on a separate
+// listener for profiling the ingest hot path in situ (off by default).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +59,8 @@ func run(ctx context.Context, args []string) error {
 	statePath := fs.String("load", "", "resume from a snapshot file (see GET /v1/snapshot)")
 	savePath := fs.String("save", "", "write a state snapshot here on graceful shutdown")
 	drain := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain limit")
+	pprofAddr := fs.String("pprof-addr", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +96,24 @@ func run(ctx context.Context, args []string) error {
 	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)))
 	if err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux at import;
+		// serve them on their own listener so profiling stays off the
+		// public API surface (and off entirely by default).
+		pprofServer := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("snaptask-server: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("snaptask-server: pprof listener: %v", err)
+			}
+		}()
+		defer pprofServer.Close()
 	}
 
 	log.Printf("snaptask-server: venue %q (%.0f m², %d features), listening on %s",

@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,6 +50,48 @@ func TestRunFlagErrors(t *testing.T) {
 // TestGracefulShutdown cancels the serve context (the SIGINT/SIGTERM path)
 // and expects run to drain, save the -save snapshot, and return nil rather
 // than ErrServerClosed.
+// TestPprofEndpoint starts the server with -pprof-addr and expects the
+// profiling index to come up on the side listener (and only there — the
+// default is off, covered by the main API mux having no /debug routes).
+func TestPprofEndpoint(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-venue", "small", "-pprof-addr", pprofAddr})
+	}()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("run did not return after context cancellation")
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("pprof index status %d", resp.StatusCode)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pprof endpoint never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 func TestGracefulShutdown(t *testing.T) {
 	save := filepath.Join(t.TempDir(), "state.snap")
 	ctx, cancel := context.WithCancel(context.Background())

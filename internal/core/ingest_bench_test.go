@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/venue"
+)
+
+// ingestEnv lazily builds the shared benchmark environment: the library
+// venue, its feature world, and base-model snapshots at each target view
+// count (grown once through the incremental path — proven bit-identical to
+// the full path by TestIncrementalIngestMatchesFull*).
+var ingestEnv struct {
+	once  sync.Once
+	err   error
+	v     *venue.Venue
+	w     *camera.World
+	bases map[int][]byte
+	// sweepPos are free-space capture positions, reused round-robin.
+	sweepPos []geom.Vec2
+}
+
+func ingestSetup() error {
+	ingestEnv.once.Do(func() {
+		v, err := venue.Library()
+		if err != nil {
+			ingestEnv.err = err
+			return
+		}
+		w := camera.NewWorld(v, v.GenerateFeatures(rand.New(rand.NewSource(21))))
+		ingestEnv.v, ingestEnv.w = v, w
+		b := v.Bounds()
+		for y := b.Min.Y + 0.7; y < b.Max.Y; y += 1.1 {
+			for x := b.Min.X + 0.7; x < b.Max.X; x += 1.1 {
+				if p := geom.V2(x, y); !v.Blocked(p) {
+					ingestEnv.sweepPos = append(ingestEnv.sweepPos, p)
+				}
+			}
+		}
+		if len(ingestEnv.sweepPos) < 10 {
+			ingestEnv.err = fmt.Errorf("only %d free sweep positions", len(ingestEnv.sweepPos))
+			return
+		}
+		ingestEnv.bases = make(map[int][]byte)
+	})
+	return ingestEnv.err
+}
+
+// ingestBase returns a serialized system whose model holds at least `views`
+// registered views, growing and memoizing it on first use.
+func ingestBase(b *testing.B, views int) []byte {
+	b.Helper()
+	if err := ingestSetup(); err != nil {
+		b.Fatal(err)
+	}
+	if snap, ok := ingestEnv.bases[views]; ok {
+		return snap
+	}
+	v, w := ingestEnv.v, ingestEnv.w
+	sys, err := NewSystem(v, w, Config{Margin: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(views)))
+	boot, err := BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.ProcessBootstrap(boot, rng); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; sys.Model().NumViews() < views; i++ {
+		pos := ingestEnv.sweepPos[i%len(ingestEnv.sweepPos)]
+		photos, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.ProcessPhotoBatch(pos, pos, photos, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sys.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	ingestEnv.bases[views] = buf.Bytes()
+	return buf.Bytes()
+}
+
+// BenchmarkIngest measures per-batch upload latency — RegisterBatch + SOR +
+// map rebuild — at fixed model sizes, on the delta-driven incremental path
+// versus the full-recompute path. Each iteration ingests one ~45-photo sweep
+// into a model restored at the target size.
+func BenchmarkIngest(b *testing.B) {
+	for _, views := range []int{100, 500, 1000} {
+		for _, mode := range []struct {
+			name string
+			full bool
+		}{{"incremental", false}, {"full", true}} {
+			b.Run(fmt.Sprintf("%s/views=%d", mode.name, views), func(b *testing.B) {
+				snap := ingestBase(b, views)
+				sys, err := LoadSystem(bytes.NewReader(snap), ingestEnv.v, ingestEnv.w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Same-package access: flip the rebuild strategy without
+				// growing a second, separately-serialized base model.
+				sys.cfg.FullRebuild = mode.full
+				rng := rand.New(rand.NewSource(77))
+				var batches [][]camera.Photo
+				for i := 0; i < 4; i++ {
+					pos := ingestEnv.sweepPos[(i*7)%len(ingestEnv.sweepPos)].Add(geom.V2(0.31, 0.17))
+					photos, err := ingestEnv.w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+					if err != nil {
+						b.Fatal(err)
+					}
+					batches = append(batches, photos)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pos := ingestEnv.sweepPos[(i*7)%len(ingestEnv.sweepPos)]
+					if _, err := sys.ProcessPhotoBatch(pos, pos, batches[i%len(batches)], rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

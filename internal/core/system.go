@@ -51,6 +51,13 @@ type Config struct {
 	Recon annotation.ReconConfig
 	// SOR configures the statistical outlier filter of Algorithm 1.
 	SOR pointcloud.SOROptions
+	// FullRebuild disables the incremental ingest path: every batch
+	// recomputes the SOR filter and all map ray casts from scratch
+	// instead of reusing cached per-point distances and per-view casts.
+	// The output is identical either way (the incremental path is exact);
+	// the flag exists for benchmarking and for cross-checking the two
+	// paths in tests.
+	FullRebuild bool
 	// MinCoverageGrowth is the number of new coverage cells a batch must
 	// add to count as "coverage increased" — pose noise alone adds a few
 	// cells, which must not mask a genuinely stuck location. Zero means
@@ -89,6 +96,7 @@ type System struct {
 	nextArtID    uint64
 	barrierCells []grid.Cell
 	vis          *mapping.Incremental
+	sor          *pointcloud.IncrementalSOR
 
 	// Counters for the paper's §V-B3 bookkeeping.
 	photoTasksIssued      int
@@ -119,6 +127,10 @@ func NewSystem(v *venue.Venue, world *camera.World, cfg Config) (*System, error)
 	s.vis, err = mapping.NewIncremental(layout, cfg.Mapping)
 	if err != nil {
 		return nil, fmt.Errorf("core: visibility builder: %w", err)
+	}
+	s.sor, err = pointcloud.NewIncrementalSOR(cfg.SOR)
+	if err != nil {
+		return nil, fmt.Errorf("core: SOR filter: %w", err)
 	}
 	// The entrance is a known boundary: the initial model is anchored
 	// there, so the backend seals the gap in its own maps rather than
@@ -198,12 +210,27 @@ func (s *System) PendingTasks() []taskgen.Task {
 }
 
 // rebuildMaps runs Algorithm 1 lines 2–5: SOR filter, obstacle map,
-// visibility map, coverage. The visibility pass goes through the
-// incremental builder, which replays cached per-view ray casts and only
-// casts views added since the previous rebuild (or invalidated by obstacle
-// changes within their range) — exactly equivalent to a full mapping.Build.
+// visibility map, coverage. Both expensive stages are delta-driven: the SOR
+// filter consumes the model's cloud delta and recomputes mean-kNN distances
+// only for points whose neighbourhood actually changed, and the visibility
+// pass goes through the incremental builder, which replays cached per-view
+// ray casts and only casts views added since the previous rebuild (or
+// invalidated by obstacle changes within their range). Both stages are
+// exactly equivalent to their full counterparts; Config.FullRebuild forces
+// the from-scratch path.
 func (s *System) rebuildMaps() error {
-	cloud, _, err := pointcloud.StatisticalOutlierRemoval(s.model.Cloud(), s.cfg.SOR)
+	var (
+		cloud *pointcloud.Cloud
+		err   error
+	)
+	if s.cfg.FullRebuild {
+		s.vis.Invalidate()
+		s.sor.Reset()
+		cloud, _, err = pointcloud.StatisticalOutlierRemoval(s.model.Cloud(), s.cfg.SOR)
+	} else {
+		full, newPts, newOutliers := s.model.CloudIncremental()
+		cloud, _, err = s.sor.FilterAppend(full, s.model.NumPoints(), len(newPts), len(newOutliers))
+	}
 	if err != nil {
 		return fmt.Errorf("core: SOR: %w", err)
 	}
@@ -375,9 +402,10 @@ func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, ann
 	}
 	s.photosProcessed += len(task.Photos)
 	// The annotation pipeline injects artificial structure into the model
-	// beyond plain view registration; drop the cast cache and take the
-	// full-rebuild path rather than reason about its incremental validity.
+	// beyond plain view registration; drop the cast and SOR caches and take
+	// the full-rebuild path rather than reason about incremental validity.
 	s.vis.Invalidate()
+	s.sor.Reset()
 	if err := s.rebuildMaps(); err != nil {
 		return AnnotationOutcome{}, err
 	}

@@ -10,7 +10,10 @@ package pointcloud
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"snaptask/internal/geom"
 )
@@ -42,6 +45,12 @@ func NewCloud(pts []Point) *Cloud {
 	c := &Cloud{pts: make([]Point, len(pts))}
 	copy(c.pts, pts)
 	return c
+}
+
+// Wrap returns a cloud that takes ownership of the given slice without
+// copying it; the caller must not use the slice afterwards.
+func Wrap(pts []Point) *Cloud {
+	return &Cloud{pts: pts}
 }
 
 // Len returns the number of points.
@@ -115,6 +124,16 @@ func newKNNIndex(pts []Point, cellSize float64) *knnIndex {
 		idx.cells[k] = append(idx.cells[k], i)
 	}
 	return idx
+}
+
+// insert appends a point to the index and returns its index. The search
+// structures stay valid because points never move once inserted.
+func (idx *knnIndex) insert(p Point) int {
+	i := len(idx.pts)
+	idx.pts = append(idx.pts, p)
+	k := idx.key(p.Pos)
+	idx.cells[k] = append(idx.cells[k], i)
+	return i
 }
 
 func (idx *knnIndex) key(p geom.Vec3) [3]int {
@@ -263,16 +282,15 @@ func StatisticalOutlierRemoval(c *Cloud, opts SOROptions) (*Cloud, int, error) {
 	}
 
 	idx := newKNNIndex(c.pts, opts.CellSize)
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = i
+	}
 	meanDists := make([]float64, n)
+	parallelMeanKNN(idx, opts.K, targets, meanDists, nil)
 	var sum float64
-	for i := 0; i < n; i++ {
-		ds := idx.nearest(i, opts.K)
-		var s float64
-		for _, d := range ds {
-			s += d
-		}
-		meanDists[i] = s / float64(len(ds))
-		sum += meanDists[i]
+	for _, d := range meanDists {
+		sum += d
 	}
 	mean := sum / float64(n)
 	var varSum float64
@@ -292,4 +310,46 @@ func StatisticalOutlierRemoval(c *Cloud, opts SOROptions) (*Cloud, int, error) {
 		}
 	}
 	return out, removed, nil
+}
+
+// parallelMeanKNN computes, for each index in targets, the mean distance to
+// its k nearest neighbours (written to meanDists[i]) and, when kth is
+// non-nil, the k-th nearest distance itself (written to kth[i]). Work is
+// fanned across runtime.NumCPU() goroutines; each target writes only its own
+// slots, so results are deterministic regardless of scheduling. Distances
+// returned by nearest are sorted ascending, which fixes the float summation
+// order and keeps the result bit-identical to a serial computation.
+func parallelMeanKNN(idx *knnIndex, k int, targets []int, meanDists, kth []float64) {
+	workers := runtime.NumCPU()
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(targets) {
+					return
+				}
+				i := targets[t]
+				ds := idx.nearest(i, k)
+				var s float64
+				for _, d := range ds {
+					s += d
+				}
+				meanDists[i] = s / float64(len(ds))
+				if kth != nil {
+					kth[i] = ds[len(ds)-1]
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,250 @@
+package pointcloud
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// IncrementalSOR is a statistical-outlier-removal filter that caches per-point
+// mean-kNN distances between calls so that filtering an append-only cloud
+// costs O(delta · k + stale) instead of O(n · k) per batch.
+//
+// The contract mirrors mapping.Incremental: the caller feeds successive
+// versions of a cloud made of two grow-only segments — triangulated points in
+// [0, split) and outliers in [split, Len()) — where existing points never move
+// (their Views counters may change). Filter then recomputes mean-kNN distances
+// only for new points and for existing points whose k-neighbourhood gained a
+// new point (a new point landed within the cached k-th-nearest distance), and
+// re-derives the global mean/stddev cutoff from the cached distances. The
+// result is bit-identical to StatisticalOutlierRemoval on the same cloud: the
+// k nearest distance multiset of every unaffected point is unchanged, each
+// per-point sum runs over ascending sorted distances, and the global
+// threshold sums run in cloud index order.
+//
+// If a prefix stops matching (a point moved, shrank away, or the segments
+// reordered), Filter falls back to a full recompute transparently. Not safe
+// for concurrent use.
+type IncrementalSOR struct {
+	opts SOROptions
+	idx  *knnIndex
+	// meanDists and kth cache, per internal index, the mean of and the
+	// largest of the k nearest-neighbour distances.
+	meanDists []float64
+	kth       []float64
+	// extA and extB map positions in the cloud's two external segments to
+	// internal indices (internal order interleaves per-batch A/B chunks).
+	extA []int
+	extB []int
+}
+
+// NewIncrementalSOR returns an incremental filter equivalent to
+// StatisticalOutlierRemoval with the same options.
+func NewIncrementalSOR(opts SOROptions) (*IncrementalSOR, error) {
+	opts = opts.withDefaults()
+	if opts.K < 1 {
+		return nil, fmt.Errorf("pointcloud: SOR K=%d must be >= 1", opts.K)
+	}
+	if opts.StdDevMul < 0 {
+		return nil, fmt.Errorf("pointcloud: SOR StdDevMul=%v must be >= 0", opts.StdDevMul)
+	}
+	return &IncrementalSOR{opts: opts}, nil
+}
+
+// Reset discards all cached state; the next Filter call recomputes from
+// scratch. Call after any mutation that breaks the append-only contract
+// (e.g. an annotation rebuilt the model).
+func (s *IncrementalSOR) Reset() {
+	s.idx = nil
+	s.meanDists = nil
+	s.kth = nil
+	s.extA = nil
+	s.extB = nil
+}
+
+// Filter behaves exactly like StatisticalOutlierRemoval(c, opts) — same
+// returned cloud bytes and removed count — while reusing cached distances
+// from previous calls. split is the boundary between the cloud's two
+// grow-only segments (triangulated points before it, outliers after).
+func (s *IncrementalSOR) Filter(c *Cloud, split int) (*Cloud, int, error) {
+	n := c.Len()
+	if split < 0 || split > n {
+		return nil, 0, fmt.Errorf("pointcloud: SOR split=%d outside cloud of %d points", split, n)
+	}
+	if n <= s.opts.K+1 {
+		// Too small for statistics; also too small to cache against.
+		s.Reset()
+		return c.Clone(), 0, nil
+	}
+	if !s.prefixValid(c, split) {
+		s.Reset()
+	}
+	return s.filter(c, split)
+}
+
+// FilterAppend is Filter for callers that track the delta themselves: the
+// last nNewA points of [0, split) and the last nNewB of [split, Len()) are
+// new, everything before them is unchanged. It skips Filter's O(n) prefix
+// position scan; if the claimed delta does not line up with the cached
+// segment lengths, it falls back to a full recompute instead of trusting it.
+func (s *IncrementalSOR) FilterAppend(c *Cloud, split, nNewA, nNewB int) (*Cloud, int, error) {
+	n := c.Len()
+	if split < 0 || split > n {
+		return nil, 0, fmt.Errorf("pointcloud: SOR split=%d outside cloud of %d points", split, n)
+	}
+	if nNewA < 0 || nNewA > split || nNewB < 0 || nNewB > n-split {
+		return nil, 0, fmt.Errorf("pointcloud: SOR delta (%d,%d) outside segments (%d,%d)",
+			nNewA, nNewB, split, n-split)
+	}
+	if n <= s.opts.K+1 {
+		s.Reset()
+		return c.Clone(), 0, nil
+	}
+	if len(s.extA) != split-nNewA || len(s.extB) != (n-split)-nNewB {
+		s.Reset()
+	}
+	return s.filter(c, split)
+}
+
+// filter runs the incremental pass proper; the cached segments must already
+// be validated prefixes of the cloud's segments.
+func (s *IncrementalSOR) filter(c *Cloud, split int) (*Cloud, int, error) {
+	n := c.Len()
+	if s.idx == nil {
+		s.idx = &knnIndex{
+			cellSize: s.opts.CellSize,
+			cells:    make(map[[3]int][]int, n/2+1),
+		}
+	}
+	oldCount := len(s.idx.pts)
+
+	// Ingest the new tail of each segment into the persistent index.
+	var added []int
+	for j := len(s.extA); j < split; j++ {
+		i := s.idx.insert(c.pts[j])
+		s.extA = append(s.extA, i)
+		added = append(added, i)
+	}
+	for j := len(s.extB); j < n-split; j++ {
+		i := s.idx.insert(c.pts[split+j])
+		s.extB = append(s.extB, i)
+		added = append(added, i)
+	}
+	s.meanDists = append(s.meanDists, make([]float64, len(added))...)
+	s.kth = append(s.kth, make([]float64, len(added))...)
+
+	// An existing point's k nearest distances change only if a new point
+	// landed within its cached k-th-nearest distance ( <= also re-checks
+	// exact ties, which is redundant but cheap).
+	targets := s.staleOld(oldCount, added)
+	targets = append(targets, added...)
+	parallelMeanKNN(s.idx, s.opts.K, targets, s.meanDists, s.kth)
+
+	// Re-derive the global cutoff from cached distances, summing in cloud
+	// index order to match the full filter bit for bit.
+	var sum float64
+	for _, i := range s.extA {
+		sum += s.meanDists[i]
+	}
+	for _, i := range s.extB {
+		sum += s.meanDists[i]
+	}
+	mean := sum / float64(n)
+	var varSum float64
+	for _, i := range s.extA {
+		d := s.meanDists[i] - mean
+		varSum += d * d
+	}
+	for _, i := range s.extB {
+		d := s.meanDists[i] - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(n))
+	threshold := mean + s.opts.StdDevMul*std
+
+	// Emit surviving points from the live cloud so refreshed Views
+	// counters propagate even on cached points.
+	out := &Cloud{pts: make([]Point, 0, n)}
+	removed := 0
+	for j := 0; j < n; j++ {
+		var i int
+		if j < split {
+			i = s.extA[j]
+		} else {
+			i = s.extB[j-split]
+		}
+		if s.meanDists[i] <= threshold {
+			out.pts = append(out.pts, c.pts[j])
+		} else {
+			removed++
+		}
+	}
+	return out, removed, nil
+}
+
+// prefixValid reports whether the cloud still extends the cached segments:
+// each cached segment is a prefix of the corresponding cloud segment with
+// every point at its remembered position. Only positions matter — SOR is a
+// pure function of geometry, and surviving points are copied from the live
+// cloud anyway.
+func (s *IncrementalSOR) prefixValid(c *Cloud, split int) bool {
+	if len(s.extA) > split || len(s.extB) > c.Len()-split {
+		return false
+	}
+	for j, i := range s.extA {
+		if c.pts[j].Pos != s.idx.pts[i].Pos {
+			return false
+		}
+	}
+	for j, i := range s.extB {
+		if c.pts[split+j].Pos != s.idx.pts[i].Pos {
+			return false
+		}
+	}
+	return true
+}
+
+// staleOld returns, in ascending internal order, the indices of pre-existing
+// points whose neighbourhood gained one of the added points. The O(old ×
+// added) distance scan fans across runtime.NumCPU() goroutines.
+func (s *IncrementalSOR) staleOld(oldCount int, added []int) []int {
+	if oldCount == 0 || len(added) == 0 {
+		return nil
+	}
+	stale := make([]bool, oldCount)
+	workers := runtime.NumCPU()
+	if workers > oldCount {
+		workers = oldCount
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= oldCount {
+					return
+				}
+				pos := s.idx.pts[i].Pos
+				for _, a := range added {
+					if pos.Dist(s.idx.pts[a].Pos) <= s.kth[i] {
+						stale[i] = true
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]int, 0, 16)
+	for i, st := range stale {
+		if st {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -50,6 +50,26 @@ func BenchmarkReadsDuringUploads(b *testing.B) {
 	<-uploaderDone
 }
 
+// BenchmarkUploadLatency measures the end-to-end latency of POST /v1/photos
+// — DTO decode, owner-goroutine handoff, SfM registration, SOR filter, and
+// incremental map rebuild. This is the server-side view of the ingest hot
+// path that BenchmarkIngest (internal/core) measures without HTTP.
+func BenchmarkUploadLatency(b *testing.B) {
+	ts, sweeps := benchServer(b)
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := UploadRequest{LocX: 5, LocY: 5}
+		for _, p := range sweeps[i%len(sweeps)] {
+			req.Photos = append(req.Photos, PhotoToDTO(p))
+		}
+		if code := postJSONNoFatal(ts.URL+"/v1/photos", req, nil); code != http.StatusOK {
+			b.Fatalf("upload code %d", code)
+		}
+	}
+}
+
 // BenchmarkReadsIdle is the no-contention baseline for
 // BenchmarkReadsDuringUploads.
 func BenchmarkReadsIdle(b *testing.B) {

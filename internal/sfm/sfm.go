@@ -47,14 +47,21 @@ type Config struct {
 	// MinBaseline is the minimum spread (metres) among observing camera
 	// positions for triangulation.
 	MinBaseline float64
-	// PointNoiseSigma is the std-dev of reconstructed point error.
+	// PointNoiseSigma is the std-dev of reconstructed point error. Zero
+	// means the default; a negative value selects an explicit sigma of 0
+	// (noiseless reconstruction), which the zero value cannot express.
 	PointNoiseSigma float64
 	// PoseNoiseSigma is the std-dev of estimated camera position error.
+	// Zero means the default; a negative value selects an explicit sigma
+	// of 0 (exact pose estimates).
 	PoseNoiseSigma float64
 	// MatchDropProb is the probability a true feature match is missed.
+	// Zero means the default; a negative value selects an explicit
+	// probability of 0 (no dropped matches).
 	MatchDropProb float64
 	// OutlierProb is the probability a registered photo spawns one
-	// spurious far-off 3D point.
+	// spurious far-off 3D point. Zero means the default; a negative value
+	// selects an explicit probability of 0 (no spurious points).
 	OutlierProb float64
 	// SharpnessThreshold rejects photos whose Laplacian variance is
 	// below it (blurred input).
@@ -76,6 +83,11 @@ func DefaultConfig() Config {
 	}
 }
 
+// withDefaults resolves zero fields to the paper's defaults. Negative
+// noise/probability fields are the documented negative-means-zero sentinel:
+// they stay negative in the resolved config (so the resolution is
+// idempotent across snapshot round-trips) and are clamped to 0 at the point
+// of use via nonneg.
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.MinViewsForPoint == 0 {
@@ -126,13 +138,23 @@ type Model struct {
 	views   []View
 	// tracks maps feature ID → indices of views observing it.
 	tracks map[uint64][]int
-	// pts maps feature ID → reconstructed point (once triangulated).
-	pts map[uint64]pointcloud.Point
-	// order keeps triangulated feature IDs in insertion order for
-	// deterministic cloud output.
-	order []uint64
+	// pts holds triangulated points in insertion order (the deterministic
+	// cloud order); ptIdx maps a feature ID to its index in pts.
+	pts   []pointcloud.Point
+	ptIdx map[uint64]int
 	// outliers are spurious points not tied to any feature.
 	outliers []pointcloud.Point
+
+	// touched collects the feature IDs whose track gained an observation
+	// in the current batch — the only tracks whose triangulation state can
+	// have changed, so triangulate visits just these instead of re-sorting
+	// every track ID the model has ever seen.
+	touched map[uint64]struct{}
+
+	// cloudMarkPts/cloudMarkOut record how much of pts/outliers has been
+	// reported through CloudIncremental.
+	cloudMarkPts int
+	cloudMarkOut int
 
 	nextPhotoID int
 }
@@ -150,7 +172,8 @@ func NewModel(cfg Config, features []venue.Feature) *Model {
 		cfg:     cfg,
 		featPos: make(map[uint64]featureInfo, len(features)),
 		tracks:  make(map[uint64][]int),
-		pts:     make(map[uint64]pointcloud.Point),
+		ptIdx:   make(map[uint64]int),
+		touched: make(map[uint64]struct{}),
 	}
 	m.AddWorldFeatures(features)
 	return m
@@ -178,16 +201,33 @@ func (m *Model) Views() []View { return append([]View(nil), m.views...) }
 
 // Cloud returns the reconstructed point cloud, including any spurious
 // outlier points (callers filter with pointcloud.StatisticalOutlierRemoval,
-// as Algorithm 1 does).
+// as Algorithm 1 does). The returned cloud is an independent copy.
 func (m *Model) Cloud() *pointcloud.Cloud {
-	c := pointcloud.NewCloud(nil)
-	for _, id := range m.order {
-		c.Add(m.pts[id])
-	}
-	for _, p := range m.outliers {
-		c.Add(p)
-	}
-	return c
+	return pointcloud.Wrap(m.cloudSlice())
+}
+
+// CloudIncremental returns the cloud exactly as Cloud does, plus the points
+// appended since the previous CloudIncremental call: newly triangulated
+// points (which slot in before the outlier block) and new outlier points.
+// Updated view counts on pre-existing points are reflected in the returned
+// cloud, not in the deltas. The delta slices share the model's backing
+// storage and must be treated as read-only.
+func (m *Model) CloudIncremental() (c *pointcloud.Cloud, newPts, newOutliers []pointcloud.Point) {
+	c = pointcloud.Wrap(m.cloudSlice())
+	newPts = m.pts[m.cloudMarkPts:len(m.pts):len(m.pts)]
+	newOutliers = m.outliers[m.cloudMarkOut:len(m.outliers):len(m.outliers)]
+	m.cloudMarkPts = len(m.pts)
+	m.cloudMarkOut = len(m.outliers)
+	return c, newPts, newOutliers
+}
+
+// cloudSlice materialises the cloud order (triangulated points, then
+// outliers) with a straight copy — no per-point map lookups.
+func (m *Model) cloudSlice() []pointcloud.Point {
+	buf := make([]pointcloud.Point, 0, len(m.pts)+len(m.outliers))
+	buf = append(buf, m.pts...)
+	buf = append(buf, m.outliers...)
+	return buf
 }
 
 // BatchResult reports what happened to one uploaded batch.
@@ -235,7 +275,7 @@ func (m *Model) RegisterBatch(photos []camera.Photo, rng *rand.Rand) (BatchResul
 			if _, known := m.featPos[o.FeatureID]; !known {
 				continue
 			}
-			if rng.Float64() < m.cfg.MatchDropProb {
+			if rng.Float64() < nonneg(m.cfg.MatchDropProb) {
 				continue
 			}
 			obs = append(obs, o.FeatureID)
@@ -259,37 +299,82 @@ func (m *Model) RegisterBatch(photos []camera.Photo, rng *rand.Rand) (BatchResul
 		pending = removeTwo(pending, i, j)
 	}
 
-	// Incremental registration: keep sweeping until no photo registers.
-	for {
-		progress := false
-		var still []cand
-		for _, c := range pending {
-			shared := 0
-			for _, id := range c.obs {
-				if len(m.tracks[id]) > 0 {
-					shared++
-				}
-			}
-			if shared >= m.cfg.MinSharedForReg {
-				m.register(c, rng)
-				res.Registered = append(res.Registered, c.photo.ID)
-				progress = true
-			} else {
-				still = append(still, c)
-			}
-		}
-		pending = still
-		if !progress {
-			break
-		}
-	}
-	for _, c := range pending {
-		res.Unregistered = append(res.Unregistered, c.photo.ID)
-	}
+	m.registerSweep(pending, &res, rng)
 
 	m.triangulate(rng)
 	res.NewPoints = len(m.pts) - pointsBefore
 	return res, nil
+}
+
+// registerSweep runs the incremental-registration fixpoint: keep sweeping
+// the pending candidates until no photo registers. Instead of rescanning
+// every candidate's matches against m.tracks on every sweep, it maintains
+// per-candidate shared-match counts and an inverted feature→candidate
+// index: when a registration activates a track (its view list flips from
+// empty to non-empty), only the candidates observing that feature have
+// their counts bumped. Candidates are always visited in batch order, so
+// registration order — and with it view indices and rng draws — is
+// identical to the full rescan.
+func (m *Model) registerSweep(pending []cand, res *BatchResult, rng *rand.Rand) {
+	if len(pending) == 0 {
+		return
+	}
+	// Inverted index: feature ID → pending-candidate indices observing it,
+	// one entry per observation occurrence (shared counts are
+	// per-occurrence, matching a direct scan of c.obs).
+	index := make(map[uint64][]int)
+	for ci, c := range pending {
+		for _, id := range c.obs {
+			index[id] = append(index[id], ci)
+		}
+	}
+	// Initial shared counts against the tracks registered so far (the
+	// model plus any seed pair registered this batch).
+	shared := make([]int, len(pending))
+	for ci, c := range pending {
+		for _, id := range c.obs {
+			if len(m.tracks[id]) > 0 {
+				shared[ci]++
+			}
+		}
+	}
+	done := make([]bool, len(pending))
+	var activated []uint64 // reused scratch
+	for {
+		progress := false
+		for ci, c := range pending {
+			if done[ci] || shared[ci] < m.cfg.MinSharedForReg {
+				continue
+			}
+			// Tracks this registration flips empty→non-empty, deduped
+			// (an id observed twice still activates once).
+			activated = activated[:0]
+			for _, id := range c.obs {
+				if len(m.tracks[id]) == 0 && !slices.Contains(activated, id) {
+					activated = append(activated, id)
+				}
+			}
+			m.register(c, rng)
+			res.Registered = append(res.Registered, c.photo.ID)
+			done[ci] = true
+			progress = true
+			for _, id := range activated {
+				for _, cj := range index[id] {
+					if !done[cj] {
+						shared[cj]++
+					}
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for ci, c := range pending {
+		if !done[ci] {
+			res.Unregistered = append(res.Unregistered, c.photo.ID)
+		}
+	}
 }
 
 // cand is a sharp photo awaiting registration, with the feature matches
@@ -300,21 +385,43 @@ type cand struct {
 }
 
 // findSeedPair locates two pending photos sharing at least MinSeedMatches
-// features.
+// features: the lowest-index photo i that has a partner, paired with its
+// lowest-index partner j — the same pair a pairwise O(n²·obs) scan picks.
+// Shared counts come from an inverted feature→candidate index, so each i
+// only touches the candidates that actually co-observe one of its
+// features; large first batches no longer pay for every empty pairing.
 func (m *Model) findSeedPair(pending []cand) (int, int, bool) {
+	// One index entry per observation occurrence: a pair's shared count is
+	// the number of j-observations whose feature i also observes.
+	index := make(map[uint64][]int)
+	for ci, c := range pending {
+		for _, id := range c.obs {
+			index[id] = append(index[id], ci)
+		}
+	}
+	counts := make([]int, len(pending))
+	stamp := make([]int, len(pending)) // epoch marks, to skip O(n) clears
 	for i := 0; i < len(pending); i++ {
+		epoch := i + 1
 		seen := make(map[uint64]bool, len(pending[i].obs))
 		for _, id := range pending[i].obs {
+			if seen[id] {
+				continue
+			}
 			seen[id] = true
+			for _, j := range index[id] {
+				if j <= i {
+					continue
+				}
+				if stamp[j] != epoch {
+					stamp[j] = epoch
+					counts[j] = 0
+				}
+				counts[j]++
+			}
 		}
 		for j := i + 1; j < len(pending); j++ {
-			shared := 0
-			for _, id := range pending[j].obs {
-				if seen[id] {
-					shared++
-				}
-			}
-			if shared >= m.cfg.MinSeedMatches {
+			if stamp[j] == epoch && counts[j] >= m.cfg.MinSeedMatches {
 				return i, j, true
 			}
 		}
@@ -331,10 +438,8 @@ func (m *Model) register(c cand, rng *rand.Rand) {
 	viewIdx := len(m.views)
 	pose := c.photo.Pose
 	nx, ny := poseNoise(pose)
-	pose.Pos = pose.Pos.Add(geom.V2(
-		nx*m.cfg.PoseNoiseSigma,
-		ny*m.cfg.PoseNoiseSigma,
-	))
+	sigma := nonneg(m.cfg.PoseNoiseSigma)
+	pose.Pos = pose.Pos.Add(geom.V2(nx*sigma, ny*sigma))
 	m.views = append(m.views, View{
 		PhotoID:    c.photo.ID,
 		Pose:       pose,
@@ -343,9 +448,10 @@ func (m *Model) register(c cand, rng *rand.Rand) {
 	})
 	for _, id := range c.obs {
 		m.tracks[id] = append(m.tracks[id], viewIdx)
+		m.touched[id] = struct{}{}
 	}
 	// Occasional spurious structure from mismatches.
-	if rng.Float64() < m.cfg.OutlierProb {
+	if rng.Float64() < nonneg(m.cfg.OutlierProb) {
 		dir := geom.UnitFromAngle(rng.Float64() * 2 * 3.141592653589793)
 		dist := 12 + rng.Float64()*25
 		m.outliers = append(m.outliers, pointcloud.Point{
@@ -356,26 +462,31 @@ func (m *Model) register(c cand, rng *rand.Rand) {
 }
 
 // triangulate promotes every sufficiently-observed feature to a 3D point.
-// Tracks are visited in feature-ID order: iterating the map directly would
-// draw each point's noise from rng in a run-dependent order and append to
-// m.order nondeterministically, making reconstructed clouds differ between
-// identically-seeded runs.
+// Only tracks touched by the current batch are visited — a track's view
+// list, and with it its triangulation state, can only change when one of
+// the batch's photos observed the feature. Candidates are visited in
+// feature-ID order: the untouched tracks a full scan would interleave
+// contribute no rng draws, so the noise sequence (and the point insertion
+// order) is identical to sorting every track ID the model holds.
 func (m *Model) triangulate(rng *rand.Rand) {
-	ids := make([]uint64, 0, len(m.tracks))
-	for id := range m.tracks {
+	if len(m.touched) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(m.touched))
+	for id := range m.touched {
 		ids = append(ids, id)
 	}
+	clear(m.touched)
 	slices.Sort(ids)
+	sigma := nonneg(m.cfg.PointNoiseSigma)
 	for _, id := range ids {
 		viewIdxs := m.tracks[id]
 		if len(viewIdxs) < m.cfg.MinViewsForPoint {
 			continue
 		}
-		if _, done := m.pts[id]; done {
+		if i, done := m.ptIdx[id]; done {
 			// Already triangulated; update the view count.
-			p := m.pts[id]
-			p.Views = len(viewIdxs)
-			m.pts[id] = p
+			m.pts[i].Views = len(viewIdxs)
 			continue
 		}
 		if !m.baselineOK(viewIdxs) {
@@ -383,17 +494,17 @@ func (m *Model) triangulate(rng *rand.Rand) {
 		}
 		info := m.featPos[id]
 		noise := geom.V3(
-			rng.NormFloat64()*m.cfg.PointNoiseSigma,
-			rng.NormFloat64()*m.cfg.PointNoiseSigma,
-			rng.NormFloat64()*m.cfg.PointNoiseSigma,
+			rng.NormFloat64()*sigma,
+			rng.NormFloat64()*sigma,
+			rng.NormFloat64()*sigma,
 		)
-		m.pts[id] = pointcloud.Point{
+		m.ptIdx[id] = len(m.pts)
+		m.pts = append(m.pts, pointcloud.Point{
 			Pos:        info.pos.Add(noise),
 			FeatureID:  id,
 			Views:      len(viewIdxs),
 			Artificial: info.artificial,
-		}
-		m.order = append(m.order, id)
+		})
 	}
 }
 
@@ -432,6 +543,16 @@ func poseNoise(p camera.Pose) (float64, float64) {
 	}
 	r := math.Sqrt(-2 * math.Log(u1))
 	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}
+
+// nonneg clamps a negative-means-zero sentinel config value at its point
+// of use; the stored config keeps the sentinel so withDefaults stays
+// idempotent across snapshot round-trips.
+func nonneg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 func removeTwo[T any](s []T, i, j int) []T {

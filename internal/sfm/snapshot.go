@@ -35,9 +35,13 @@ func (m *Model) Snapshot() Snapshot {
 	s := Snapshot{
 		Cfg:         m.cfg,
 		Views:       append([]View(nil), m.views...),
-		Order:       append([]uint64(nil), m.order...),
+		Order:       make([]uint64, len(m.pts)),
+		Points:      append([]pointcloud.Point(nil), m.pts...),
 		Outliers:    append([]pointcloud.Point(nil), m.outliers...),
 		NextPhotoID: m.nextPhotoID,
+	}
+	for i, p := range m.pts {
+		s.Order[i] = p.FeatureID
 	}
 	// Maps are serialised in sorted-ID order so the same model state always
 	// encodes to the same bytes (snapshot files are diffable/hashable).
@@ -49,9 +53,6 @@ func (m *Model) Snapshot() Snapshot {
 	for _, id := range trackIDs {
 		s.TrackIDs = append(s.TrackIDs, id)
 		s.TrackViews = append(s.TrackViews, append([]int(nil), m.tracks[id]...))
-	}
-	for _, id := range s.Order {
-		s.Points = append(s.Points, m.pts[id])
 	}
 	featIDs := make([]uint64, 0, len(m.featPos))
 	for id := range m.featPos {
@@ -80,8 +81,9 @@ func FromSnapshot(s Snapshot) (*Model, error) {
 		featPos:     make(map[uint64]featureInfo, len(s.Features)),
 		views:       append([]View(nil), s.Views...),
 		tracks:      make(map[uint64][]int, len(s.TrackIDs)),
-		pts:         make(map[uint64]pointcloud.Point, len(s.Points)),
-		order:       append([]uint64(nil), s.Order...),
+		pts:         append([]pointcloud.Point(nil), s.Points...),
+		ptIdx:       make(map[uint64]int, len(s.Points)),
+		touched:     make(map[uint64]struct{}),
 		outliers:    append([]pointcloud.Point(nil), s.Outliers...),
 		nextPhotoID: s.NextPhotoID,
 	}
@@ -94,7 +96,7 @@ func FromSnapshot(s Snapshot) (*Model, error) {
 		m.tracks[id] = append([]int(nil), s.TrackViews[i]...)
 	}
 	for i, id := range s.Order {
-		m.pts[id] = s.Points[i]
+		m.ptIdx[id] = i
 	}
 	for _, f := range s.Features {
 		m.featPos[f.ID] = featureInfo{pos: f.Pos, artificial: f.Artificial}

@@ -15,7 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"os"
 
@@ -23,6 +23,7 @@ import (
 	"snaptask/internal/client"
 	"snaptask/internal/core"
 	"snaptask/internal/crowd"
+	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
 
@@ -42,7 +43,14 @@ func run(args []string) error {
 	bootstrap := fs.Bool("bootstrap", false, "upload the initial entrance capture first")
 	maxTasks := fs.Int("tasks", 300, "maximum tasks to execute")
 	blurProb := fs.Float64("blur", 0, "probability of a careless blurred sweep")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -81,23 +89,32 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("bootstrap upload: %w", err)
 		}
-		log.Printf("bootstrap: %d photos registered, %d points", resp.Registered, resp.NewPoints)
+		logger.Info("bootstrap uploaded",
+			slog.Int("registered", resp.Registered),
+			slog.Int("points", resp.NewPoints))
 	}
 
 	stats, err := agent.Run(*maxTasks, rng)
 	if err != nil {
 		return err
 	}
-	log.Printf("agent done: %d photo tasks, %d annotation tasks, %d photos uploaded, covered=%v",
-		stats.PhotoTasks, stats.AnnotationTasks, stats.PhotosUploaded, stats.Covered)
+	logger.Info("agent done",
+		slog.Int("photo_tasks", stats.PhotoTasks),
+		slog.Int("annotation_tasks", stats.AnnotationTasks),
+		slog.Int("photos_uploaded", stats.PhotosUploaded),
+		slog.Bool("covered", stats.Covered))
 
 	status, err := cl.Status()
 	if err != nil {
 		return err
 	}
-	log.Printf("backend: views=%d points=%d photos=%d tasks=%d+%d covered=%v",
-		status.Views, status.Points, status.PhotosProcessed,
-		status.PhotoTasks, status.AnnotationTasks, status.Covered)
+	logger.Info("backend status",
+		slog.Int("views", status.Views),
+		slog.Int("points", status.Points),
+		slog.Int("photos", status.PhotosProcessed),
+		slog.Int("photo_tasks", status.PhotoTasks),
+		slog.Int("annotation_tasks", status.AnnotationTasks),
+		slog.Bool("covered", status.Covered))
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
@@ -43,6 +44,7 @@ import (
 	"snaptask/internal/metrics"
 	"snaptask/internal/pointcloud"
 	"snaptask/internal/taskgen"
+	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
 
@@ -58,6 +60,7 @@ type bench struct {
 	seed      int64
 	quick     bool
 	ingestOut string
+	log       *slog.Logger
 
 	// lazily computed shared artefacts
 	guided *experiments.GuidedResult
@@ -73,13 +76,21 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "experiment seed")
 	quick := fs.Bool("quick", false, "small venue, fast smoke run")
 	ingestOut := fs.String("ingest-out", "", "write the ingest experiment's JSON report to this file")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut}
+	// The tables on stdout are the deliverable; the logger narrates
+	// progress on stderr so redirected table output stays clean.
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+
+	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut, log: logger}
 	var v *venue.Venue
-	var err error
 	if *quick {
 		v, err = venue.SmallRoom()
 	} else {
@@ -147,7 +158,8 @@ func (b *bench) guidedResult() (*experiments.GuidedResult, error) {
 	if b.guided != nil {
 		return b.guided, nil
 	}
-	fmt.Println("(running the guided field test — this is the long step)")
+	b.log.Info("running the guided field test (the long step)",
+		slog.Int("max_tasks", b.maxTasks()))
 	res, err := b.setup.RunGuided(b.seed+1, experiments.GuidedOptions{
 		MaxTasks:      b.maxTasks(),
 		SnapshotEvery: 0,

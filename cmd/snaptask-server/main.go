@@ -6,16 +6,21 @@
 // deterministically from -venue and -seed; agents must be started with the
 // same pair so that their cameras observe the same world.
 //
+// Observability: GET /metrics on the main listener exposes the Prometheus
+// text exposition, GET /healthz and /readyz are the liveness / readiness
+// probes, and all request and batch logging goes through log/slog
+// (-log-level, -log-format). Pass -pprof-addr localhost:6060 to expose a
+// separate debug listener with net/http/pprof plus GET /debug/traces, the
+// per-stage span ring of recent ingest batches (off by default).
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain (bounded by -shutdown-timeout) and, when -save is given, the final
-// backend state is written there so a later run can resume it via -load.
+// on both listeners drain (bounded by -shutdown-timeout) and, when -save
+// is given, the final backend state is written there so a later run can
+// resume it via -load.
 //
 // Usage:
 //
 //	snaptask-server -addr :8080 -venue library -seed 42
-//
-// Pass -pprof-addr localhost:6060 to expose net/http/pprof on a separate
-// listener for profiling the ingest hot path in situ (off by default).
 package main
 
 import (
@@ -23,19 +28,21 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
-	_ "net/http/pprof" // profiling handlers, served only via -pprof-addr
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"snaptask/internal/camera"
 	"snaptask/internal/core"
 	"snaptask/internal/server"
+	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
 
@@ -60,10 +67,19 @@ func run(ctx context.Context, args []string) error {
 	savePath := fs.String("save", "", "write a state snapshot here on graceful shutdown")
 	drain := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain limit")
 	pprofAddr := fs.String("pprof-addr", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+		"serve net/http/pprof and /debug/traces on this address (e.g. localhost:6060); empty disables")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	traceCap := fs.Int("trace-cap", 64, "ingest batch traces retained for /debug/traces")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	tel := telemetry.New(logger, *traceCap)
 
 	v, err := buildVenue(*venueName, *seed)
 	if err != nil {
@@ -85,39 +101,53 @@ func run(ctx context.Context, args []string) error {
 		if closeErr != nil {
 			return closeErr
 		}
-		log.Printf("resumed session: %d photos processed, covered=%v",
-			sys.PhotosProcessed(), sys.Covered())
+		logger.Info("resumed session",
+			slog.Int("photos_processed", sys.PhotosProcessed()),
+			slog.Bool("covered", sys.Covered()))
 	} else {
 		sys, err = core.NewSystem(v, world, core.Config{Margin: *margin})
 		if err != nil {
 			return err
 		}
 	}
-	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)))
+	sys.SetTelemetry(tel)
+	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)), server.WithTelemetry(tel))
 	if err != nil {
 		return err
 	}
 
+	var pprofServer *http.Server
 	if *pprofAddr != "" {
-		// The pprof handlers register on http.DefaultServeMux at import;
-		// serve them on their own listener so profiling stays off the
-		// public API surface (and off entirely by default).
-		pprofServer := &http.Server{
+		// A dedicated mux, not http.DefaultServeMux: only the profiling
+		// handlers and the trace ring are exposed on the debug listener,
+		// and nothing a third-party import sneaks onto the default mux.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugMux.Handle("GET /debug/traces", tel.Tracer.Handler())
+		pprofServer = &http.Server{
 			Addr:              *pprofAddr,
-			Handler:           http.DefaultServeMux,
+			Handler:           debugMux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("snaptask-server: pprof on http://%s/debug/pprof/", *pprofAddr)
+			logger.Info("debug listener up",
+				slog.String("pprof", "http://"+*pprofAddr+"/debug/pprof/"),
+				slog.String("traces", "http://"+*pprofAddr+"/debug/traces"))
 			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("snaptask-server: pprof listener: %v", err)
+				logger.Error("debug listener failed", slog.String("err", err.Error()))
 			}
 		}()
-		defer pprofServer.Close()
 	}
 
-	log.Printf("snaptask-server: venue %q (%.0f m², %d features), listening on %s",
-		v.Name(), v.Area(), len(feats), *addr)
+	logger.Info("listening",
+		slog.String("addr", *addr),
+		slog.String("venue", v.Name()),
+		slog.Float64("area_m2", v.Area()),
+		slog.Int("features", len(feats)))
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -129,26 +159,45 @@ func run(ctx context.Context, args []string) error {
 
 	select {
 	case err := <-serveErr:
-		// Listener failure before any signal; nothing to drain.
+		// Listener failure before any signal; nothing to drain. The debug
+		// listener (if any) dies with the process.
 		return err
 	case <-ctx.Done():
 	}
 
-	log.Printf("snaptask-server: shutting down (draining for up to %v)", *drain)
+	logger.Info("shutting down", slog.Duration("drain_limit", *drain))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Drain both listeners inside the same window: an in-flight profile
+	// download gets the same grace as an in-flight upload, instead of the
+	// abrupt Close the debug listener used to get.
+	var (
+		wg            sync.WaitGroup
+		pprofShutdown error // written before wg.Done, read after wg.Wait
+	)
+	if pprofServer != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pprofShutdown = pprofServer.Shutdown(drainCtx)
+		}()
+	}
 	shutdownErr := httpServer.Shutdown(drainCtx)
+	wg.Wait()
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	if shutdownErr != nil {
 		return fmt.Errorf("shutdown: %w", shutdownErr)
 	}
+	if pprofShutdown != nil {
+		return fmt.Errorf("debug listener shutdown: %w", pprofShutdown)
+	}
 	if *savePath != "" {
 		if err := saveState(srv, *savePath); err != nil {
 			return err
 		}
-		log.Printf("snaptask-server: state saved to %s", *savePath)
+		logger.Info("state saved", slog.String("path", *savePath))
 	}
 	return nil
 }

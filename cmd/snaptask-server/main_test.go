@@ -45,6 +45,12 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run(ctx, []string{"-not-a-flag"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	if err := run(ctx, []string{"-log-level", "shout"}); err == nil {
+		t.Error("bogus log level accepted")
+	}
+	if err := run(ctx, []string{"-log-format", "xml"}); err == nil {
+		t.Error("bogus log format accepted")
+	}
 }
 
 // TestGracefulShutdown cancels the serve context (the SIGINT/SIGTERM path)
@@ -82,6 +88,15 @@ func TestPprofEndpoint(t *testing.T) {
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("pprof index status %d", resp.StatusCode)
+			}
+			// The span ring rides on the same debug listener.
+			resp, err = http.Get("http://" + pprofAddr + "/debug/traces")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("debug traces status %d", resp.StatusCode)
 			}
 			return
 		}

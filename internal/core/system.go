@@ -10,7 +10,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 
 	"snaptask/internal/annotation"
@@ -22,6 +24,7 @@ import (
 	"snaptask/internal/pointcloud"
 	"snaptask/internal/sfm"
 	"snaptask/internal/taskgen"
+	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
 
@@ -102,6 +105,14 @@ type System struct {
 	photoTasksIssued      int
 	annotationTasksIssued int
 	photosProcessed       int
+
+	// Observability sinks; all nil (no-op) until SetTelemetry. curTrace is
+	// the trace of the batch in flight (nil between batches).
+	tracer   *telemetry.Tracer
+	ingestM  *telemetry.IngestMetrics
+	logger   *slog.Logger
+	reqID    string
+	curTrace *telemetry.Trace
 }
 
 // NewSystem creates a backend for a venue. The world must be built over the
@@ -164,6 +175,91 @@ func (s *System) applyBarrier() {
 	}
 }
 
+// SetTelemetry wires the observability bundle into the owner path: batch
+// traces go to tel.Tracer, ingest metrics register on tel.Registry, and
+// per-batch summary lines go to tel.Logger. Call before processing starts
+// (the System is single-owner; this is not synchronised). A nil bundle is
+// ignored, leaving everything a no-op.
+func (s *System) SetTelemetry(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	s.tracer = tel.Tracer
+	if tel.Registry != nil {
+		s.ingestM = telemetry.NewIngestMetrics(tel.Registry)
+	}
+	s.logger = tel.Logger
+}
+
+// SetRequestID stamps subsequent batch traces and log lines with the HTTP
+// request ID that delivered the upload, correlating them with the access
+// log. The server's owner goroutine sets it before each Process* call and
+// clears it after.
+func (s *System) SetRequestID(id string) { s.reqID = id }
+
+// beginBatch opens a per-batch trace and points every pipeline stage's
+// span sink at it. Returns nil (a valid no-op trace) when no tracer is
+// configured.
+func (s *System) beginBatch(kind string) *telemetry.Trace {
+	tr := s.tracer.Start(kind, s.reqID)
+	if tr != nil {
+		s.curTrace = tr
+		s.model.SetTrace(tr)
+		s.sor.SetTrace(tr)
+		s.vis.SetTrace(tr)
+	}
+	return tr
+}
+
+// endBatch closes a batch trace: detaches the stage sinks, records the
+// outcome on the metrics and publishes the trace. Safe to call with a nil
+// trace (then only the metrics update, which no-op when unconfigured).
+func (s *System) endBatch(tr *telemetry.Trace, kind string, err error) {
+	if tr != nil {
+		s.curTrace = nil
+		s.model.SetTrace(nil)
+		s.sor.SetTrace(nil)
+		s.vis.SetTrace(nil)
+	}
+	result := "ok"
+	if err != nil {
+		result = "error"
+		tr.SetError(err)
+	}
+	if s.ingestM != nil {
+		s.ingestM.Batches.With(kind, result).Inc()
+		s.ingestM.ModelViews.Set(float64(s.model.NumViews()))
+		s.ingestM.ModelPoints.Set(float64(s.model.NumPoints()))
+		s.ingestM.CoverageCells.Set(float64(s.maps.CoverageCells()))
+	}
+	tr.SetCount("coverage_cells", s.maps.CoverageCells())
+	tr.Finish()
+	if s.logger != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "batch processed",
+			slog.String("request_id", s.reqID),
+			slog.String("kind", kind),
+			slog.String("result", result),
+			slog.Int("model_views", s.model.NumViews()),
+			slog.Int("model_points", s.model.NumPoints()),
+			slog.Int("coverage_cells", s.maps.CoverageCells()),
+		)
+	}
+}
+
+// recordBatchResult folds one sfm.BatchResult into the trace counts and
+// ingest counters.
+func (s *System) recordBatchResult(tr *telemetry.Trace, batch sfm.BatchResult, photos int) {
+	tr.SetCount("photos", photos)
+	tr.SetCount("registered", len(batch.Registered))
+	tr.SetCount("blurry", len(batch.RejectedBlurry))
+	tr.SetCount("unregistered", len(batch.Unregistered))
+	if s.ingestM != nil {
+		s.ingestM.PhotosProcessed.Add(uint64(photos))
+		s.ingestM.BlurryRejected.Add(uint64(len(batch.RejectedBlurry)))
+		s.ingestM.Unregistered.Add(uint64(len(batch.Unregistered)))
+	}
+}
+
 // Venue returns the system's venue.
 func (s *System) Venue() *venue.Venue { return s.venue }
 
@@ -220,20 +316,27 @@ func (s *System) PendingTasks() []taskgen.Task {
 // the from-scratch path.
 func (s *System) rebuildMaps() error {
 	var (
-		cloud *pointcloud.Cloud
-		err   error
+		cloud   *pointcloud.Cloud
+		removed int
+		err     error
 	)
+	sp := s.curTrace.Span("sor")
 	if s.cfg.FullRebuild {
 		s.vis.Invalidate()
 		s.sor.Reset()
-		cloud, _, err = pointcloud.StatisticalOutlierRemoval(s.model.Cloud(), s.cfg.SOR)
+		cloud, removed, err = pointcloud.StatisticalOutlierRemoval(s.model.Cloud(), s.cfg.SOR)
 	} else {
 		full, newPts, newOutliers := s.model.CloudIncremental()
-		cloud, _, err = s.sor.FilterAppend(full, s.model.NumPoints(), len(newPts), len(newOutliers))
+		cloud, removed, err = s.sor.FilterAppend(full, s.model.NumPoints(), len(newPts), len(newOutliers))
 	}
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("core: SOR: %w", err)
 	}
+	if s.ingestM != nil {
+		s.ingestM.SOROutliers.Set(float64(removed))
+	}
+	s.curTrace.SetCount("sor_removed", removed)
 	var views []mapping.View
 	for _, v := range s.model.Views() {
 		views = append(views, mapping.View{Pose: v.Pose, Intrinsics: v.Intrinsics})
@@ -278,7 +381,9 @@ func (s *System) step(in taskgen.StepInput) (taskgen.StepOutput, error) {
 	in.Obstacles = s.maps.Obstacles
 	in.Visibility = s.effectiveVisibility()
 	in.Start = s.venue.Entrance()
+	sp := s.curTrace.Span("taskgen")
 	out, err := s.gen.Step(in)
+	sp.End()
 	if err != nil {
 		return out, fmt.Errorf("core: task generation: %w", err)
 	}
@@ -289,10 +394,17 @@ func (s *System) step(in taskgen.StepInput) (taskgen.StepOutput, error) {
 		switch t.Kind {
 		case taskgen.KindPhoto:
 			s.photoTasksIssued++
+			if s.ingestM != nil {
+				s.ingestM.TasksIssued.With("photo").Inc()
+			}
 		case taskgen.KindAnnotation:
 			s.annotationTasksIssued++
+			if s.ingestM != nil {
+				s.ingestM.TasksIssued.With("annotation").Inc()
+			}
 		}
 	}
+	s.curTrace.SetCount("tasks_issued", len(out.Tasks))
 	s.pending = append(s.pending, out.Tasks...)
 	return out, nil
 }
@@ -309,10 +421,12 @@ type BatchOutcome struct {
 // ProcessBootstrap ingests the initial capture set (the paper's 2-minute
 // video plus geo-calibration photos at the entrance), builds the initial
 // model and issues the first task.
-func (s *System) ProcessBootstrap(photos []camera.Photo, rng *rand.Rand) (BatchOutcome, error) {
+func (s *System) ProcessBootstrap(photos []camera.Photo, rng *rand.Rand) (outcome BatchOutcome, retErr error) {
 	if s.model.NumViews() > 0 {
 		return BatchOutcome{}, fmt.Errorf("core: bootstrap on a non-empty model")
 	}
+	tr := s.beginBatch("bootstrap")
+	defer func() { s.endBatch(tr, "bootstrap", retErr) }()
 	batch, err := s.model.RegisterBatch(photos, rng)
 	if err != nil {
 		return BatchOutcome{}, fmt.Errorf("core: bootstrap register: %w", err)
@@ -321,6 +435,7 @@ func (s *System) ProcessBootstrap(photos []camera.Photo, rng *rand.Rand) (BatchO
 		return BatchOutcome{}, fmt.Errorf("core: bootstrap photos failed to seed a model")
 	}
 	s.photosProcessed += len(photos)
+	s.recordBatchResult(tr, batch, len(photos))
 	if err := s.rebuildMaps(); err != nil {
 		return BatchOutcome{}, err
 	}
@@ -340,16 +455,19 @@ func (s *System) ProcessBootstrap(photos []camera.Photo, rng *rand.Rand) (BatchO
 // ProcessPhotoBatch ingests the photos of a completed photo task: the full
 // Algorithm 1 iteration. taskSeed is the task's discovery-frontier point
 // (pass taskLoc when unknown).
-func (s *System) ProcessPhotoBatch(taskLoc, taskSeed geom.Vec2, photos []camera.Photo, rng *rand.Rand) (BatchOutcome, error) {
+func (s *System) ProcessPhotoBatch(taskLoc, taskSeed geom.Vec2, photos []camera.Photo, rng *rand.Rand) (outcome BatchOutcome, retErr error) {
 	if len(photos) == 0 {
 		return BatchOutcome{}, fmt.Errorf("core: empty photo batch")
 	}
+	tr := s.beginBatch("photo_batch")
+	defer func() { s.endBatch(tr, "photo_batch", retErr) }()
 	before := s.progressCells()
 	batch, err := s.model.RegisterBatch(photos, rng)
 	if err != nil {
 		return BatchOutcome{}, fmt.Errorf("core: register batch: %w", err)
 	}
 	s.photosProcessed += len(photos)
+	s.recordBatchResult(tr, batch, len(photos))
 	if err := s.rebuildMaps(); err != nil {
 		return BatchOutcome{}, err
 	}
@@ -387,20 +505,32 @@ type AnnotationOutcome struct {
 // and worker annotations, folds the reconstructed featureless surfaces into
 // the model and continues the task loop. taskSeed is the originating
 // task's discovery point (pass the task location when unknown).
-func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, anns []annotation.Annotation, rng *rand.Rand) (AnnotationOutcome, error) {
+func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, anns []annotation.Annotation, rng *rand.Rand) (outcome AnnotationOutcome, retErr error) {
 	if len(task.Photos) == 0 {
 		return AnnotationOutcome{}, fmt.Errorf("core: annotation task without photos")
 	}
+	tr := s.beginBatch("annotation")
+	defer func() { s.endBatch(tr, "annotation", retErr) }()
 	before := s.progressCells()
+	sp := tr.Span("annotation.bounds")
 	bounds, err := annotation.MarkedObstacleBounds(anns, len(task.Photos), s.cfg.Bounds, rng)
+	sp.End()
 	if err != nil {
 		return AnnotationOutcome{}, fmt.Errorf("core: bounds: %w", err)
 	}
+	sp = tr.Span("annotation.reconstruct")
 	recon, err := annotation.Reconstruct(s.model, s.world, task, bounds, imaging.TextureDB{}, s.cfg.Recon, &s.nextArtID, rng)
+	sp.End()
 	if err != nil {
 		return AnnotationOutcome{}, fmt.Errorf("core: reconstruct: %w", err)
 	}
 	s.photosProcessed += len(task.Photos)
+	tr.SetCount("photos", len(task.Photos))
+	tr.SetCount("identified", recon.Identified)
+	tr.SetCount("reconstructed", recon.Reconstructed)
+	if s.ingestM != nil {
+		s.ingestM.PhotosProcessed.Add(uint64(len(task.Photos)))
+	}
 	// The annotation pipeline injects artificial structure into the model
 	// beyond plain view registration; drop the cast and SOR caches and take
 	// the full-rebuild path rather than reason about incremental validity.

@@ -17,6 +17,7 @@ import (
 	"snaptask/internal/grid"
 	"snaptask/internal/octomap"
 	"snaptask/internal/pointcloud"
+	"snaptask/internal/telemetry"
 )
 
 // Config tunes map construction. Zero fields take paper defaults.
@@ -382,7 +383,16 @@ type Incremental struct {
 	contribs  []Contribution
 	obstacles *grid.Map // occupancy basis the cached casts were made against
 	rayStep   float64   // resolved angular step of the cached casts
+
+	// trace is the stage-span sink of the rebuild in progress; nil (the
+	// default) disables span collection.
+	trace *telemetry.Trace
 }
+
+// SetTrace sets the stage-span sink for subsequent Update calls; the owner
+// points it at the current batch's trace and clears it after. A nil trace
+// makes every span a no-op.
+func (inc *Incremental) SetTrace(tr *telemetry.Trace) { inc.trace = tr }
 
 // NewIncremental returns an incremental builder producing maps on the given
 // layout with the given config (raw, as passed to Build).
@@ -405,7 +415,9 @@ func (inc *Incremental) Invalidate() {
 // append-only between calls (SfM registration only adds views); any other
 // change falls back to a full rebuild.
 func (inc *Incremental) Update(cloud *pointcloud.Cloud, views []View) (*Maps, error) {
+	sp := inc.trace.Span("map.obstacles")
 	obstacles, err := ObstaclesMap(cloud, inc.layout, inc.cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -454,15 +466,20 @@ func (inc *Incremental) Update(cloud *pointcloud.Cloud, views []View) (*Maps, er
 		}
 	}
 	freshContribs := make([]Contribution, len(fresh))
+	sp = inc.trace.Span("map.cast")
 	if err := castViews(freshContribs, fresh, obstacles, resolved); err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 	for k, i := range freshIdx {
 		contribs[i] = freshContribs[k]
 	}
 
+	sp = inc.trace.Span("map.merge")
 	vis, aspects := mergeContributions(contribs, inc.layout)
 	coverage, err := obstacles.Union(vis)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("mapping: coverage union: %w", err)
 	}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"snaptask/internal/telemetry"
 )
 
 // IncrementalSOR is a statistical-outlier-removal filter that caches per-point
@@ -38,7 +40,16 @@ type IncrementalSOR struct {
 	// internal indices (internal order interleaves per-batch A/B chunks).
 	extA []int
 	extB []int
+
+	// trace is the stage-span sink of the batch being filtered; nil (the
+	// default) disables span collection.
+	trace *telemetry.Trace
 }
+
+// SetTrace sets the stage-span sink for subsequent Filter calls; the owner
+// points it at the current batch's trace and clears it after. A nil trace
+// makes every span a no-op.
+func (s *IncrementalSOR) SetTrace(tr *telemetry.Trace) { s.trace = tr }
 
 // NewIncrementalSOR returns an incremental filter equivalent to
 // StatisticalOutlierRemoval with the same options.
@@ -138,9 +149,13 @@ func (s *IncrementalSOR) filter(c *Cloud, split int) (*Cloud, int, error) {
 	// An existing point's k nearest distances change only if a new point
 	// landed within its cached k-th-nearest distance ( <= also re-checks
 	// exact ties, which is redundant but cheap).
+	sp := s.trace.Span("sor.stale_scan")
 	targets := s.staleOld(oldCount, added)
+	sp.End()
 	targets = append(targets, added...)
+	sp = s.trace.Span("sor.knn")
 	parallelMeanKNN(s.idx, s.opts.K, targets, s.meanDists, s.kth)
+	sp.End()
 
 	// Re-derive the global cutoff from cached distances, summing in cloud
 	// index order to match the full filter bit for bit.

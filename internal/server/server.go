@@ -31,6 +31,7 @@ import (
 	"snaptask/internal/metrics"
 	"snaptask/internal/nav"
 	"snaptask/internal/taskgen"
+	"snaptask/internal/telemetry"
 )
 
 // TaskDTO is the wire form of a crowdsourcing task.
@@ -199,25 +200,56 @@ type Server struct {
 	// owner path.
 	locateMu  sync.Mutex
 	locateRNG *rand.Rand
+
+	// Observability (nil-safe when the server runs without telemetry).
+	tel   *telemetry.Telemetry
+	snapM *telemetry.SnapshotMetrics
+}
+
+// Option configures optional server behaviour.
+type Option func(*Server)
+
+// WithTelemetry wires the observability bundle into the server: every
+// route gains request-ID assignment, per-route metrics and access logging,
+// GET /metrics serves the registry's exposition, snapshot publications are
+// counted, and upload request IDs propagate into the system's batch traces.
+func WithTelemetry(tel *telemetry.Telemetry) Option {
+	return func(s *Server) { s.tel = tel }
 }
 
 // New returns a server for the given system. The rng drives all stochastic
 // backend steps and is owned by the server afterwards.
-func New(sys *core.System, rng *rand.Rand) (*Server, error) {
+func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 	if sys == nil || rng == nil {
 		return nil, fmt.Errorf("server: nil system or rng")
 	}
 	s := &Server{sys: sys, rng: rng, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	var httpI *telemetry.HTTP
+	if s.tel != nil {
+		httpI = telemetry.NewHTTP(telemetry.NewHTTPMetrics(s.tel.Registry), s.tel.Logger)
+		s.snapM = telemetry.NewSnapshotMetrics(s.tel.Registry)
+	}
 	s.locateRNG = rand.New(rand.NewSource(rng.Int63()))
 	s.publishLocked()
-	s.mux.HandleFunc("GET /v1/task", s.handleTask)
-	s.mux.HandleFunc("POST /v1/photos", s.handlePhotos)
-	s.mux.HandleFunc("POST /v1/annotations", s.handleAnnotations)
-	s.mux.HandleFunc("GET /v1/map", s.handleMap)
-	s.mux.HandleFunc("GET /v1/map.pgm", s.handleMapPGM)
-	s.mux.HandleFunc("POST /v1/locate", s.handleLocate)
-	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, httpI.Route(pattern, h))
+	}
+	handle("GET /v1/task", s.handleTask)
+	handle("POST /v1/photos", s.handlePhotos)
+	handle("POST /v1/annotations", s.handleAnnotations)
+	handle("GET /v1/map", s.handleMap)
+	handle("GET /v1/map.pgm", s.handleMapPGM)
+	handle("POST /v1/locate", s.handleLocate)
+	handle("GET /v1/status", s.handleStatus)
+	handle("GET /v1/snapshot", s.handleSnapshot)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
+	if s.tel != nil && s.tel.Registry != nil {
+		handle("GET /metrics", s.tel.Registry.Handler().ServeHTTP)
+	}
 	return s, nil
 }
 
@@ -281,6 +313,27 @@ func (s *Server) publishLocked() {
 		Visibility: visibility,
 		Features:   features,
 	})
+	s.snapM.Published()
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: ready once the first ReadSnapshot
+// has been published (the read endpoints would panic without one).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.snap.Load() == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "no snapshot published\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ready\n")
 }
 
 // ServeHTTP implements http.Handler.
@@ -380,6 +433,8 @@ func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sys.SetRequestID(telemetry.RequestID(r.Context()))
+	defer s.sys.SetRequestID("")
 	var out core.BatchOutcome
 	var err error
 	if req.Bootstrap {
@@ -428,6 +483,8 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sys.SetRequestID(telemetry.RequestID(r.Context()))
+	defer s.sys.SetRequestID("")
 	seed := uploadSeed(req.HasSeed, req.SeedX, req.SeedY, req.LocX, req.LocY)
 	out, err := s.sys.ProcessAnnotation(task, seed, anns, s.rng)
 	if err != nil {

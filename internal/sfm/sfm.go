@@ -29,6 +29,7 @@ import (
 	"snaptask/internal/camera"
 	"snaptask/internal/geom"
 	"snaptask/internal/pointcloud"
+	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
 
@@ -156,6 +157,10 @@ type Model struct {
 	cloudMarkPts int
 	cloudMarkOut int
 
+	// trace is the stage-span sink of the batch currently being ingested;
+	// nil (the default) disables span collection entirely.
+	trace *telemetry.Trace
+
 	nextPhotoID int
 }
 
@@ -189,6 +194,11 @@ func (m *Model) AddWorldFeatures(features []venue.Feature) {
 		m.featPos[f.ID] = featureInfo{pos: f.Pos, artificial: f.Artificial}
 	}
 }
+
+// SetTrace sets the stage-span sink for subsequent RegisterBatch calls —
+// the owner points it at the current batch's trace and clears it after.
+// A nil trace (the default) makes every span a no-op.
+func (m *Model) SetTrace(tr *telemetry.Trace) { m.trace = tr }
 
 // NumViews returns the number of registered views.
 func (m *Model) NumViews() int { return len(m.views) }
@@ -258,6 +268,7 @@ func (m *Model) RegisterBatch(photos []camera.Photo, rng *rand.Rand) (BatchResul
 	var res BatchResult
 	pointsBefore := len(m.pts)
 
+	sp := m.trace.Span("sfm.match")
 	var pending []cand
 	for _, p := range photos {
 		if p.ID == 0 {
@@ -282,12 +293,15 @@ func (m *Model) RegisterBatch(photos []camera.Photo, rng *rand.Rand) (BatchResul
 		}
 		pending = append(pending, cand{photo: p, obs: obs})
 	}
+	sp.End()
 
 	// Seed: an empty model needs an initial pair with enough mutual
 	// matches.
 	if len(m.views) == 0 {
+		sp = m.trace.Span("sfm.seed")
 		i, j, ok := m.findSeedPair(pending)
 		if !ok {
+			sp.End()
 			for _, c := range pending {
 				res.Unregistered = append(res.Unregistered, c.photo.ID)
 			}
@@ -297,11 +311,16 @@ func (m *Model) RegisterBatch(photos []camera.Photo, rng *rand.Rand) (BatchResul
 		m.register(pending[j], rng)
 		res.Registered = append(res.Registered, pending[i].photo.ID, pending[j].photo.ID)
 		pending = removeTwo(pending, i, j)
+		sp.End()
 	}
 
+	sp = m.trace.Span("sfm.register_sweep")
 	m.registerSweep(pending, &res, rng)
+	sp.End()
 
+	sp = m.trace.Span("sfm.triangulate")
 	m.triangulate(rng)
+	sp.End()
 	res.NewPoints = len(m.pts) - pointsBefore
 	return res, nil
 }

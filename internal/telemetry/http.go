@@ -1,0 +1,118 @@
+// HTTP instrumentation: per-route request counters, latency histograms
+// and in-flight gauges, plus the request-ID middleware and structured
+// access logging. Routes are labelled at registration time (the server
+// wraps each handler as it mounts it), so the hot path never inspects mux
+// state and the in-flight gauge can be bumped before dispatch.
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the instrument set for one HTTP surface.
+type HTTPMetrics struct {
+	// Requests counts completed requests by route, method and status code.
+	Requests *CounterVec
+	// Duration observes per-route request latency in seconds.
+	Duration *HistogramVec
+	// InFlight gauges requests currently being served per route.
+	InFlight *GaugeVec
+}
+
+// NewHTTPMetrics registers the HTTP instrument set on reg. With a nil
+// registry the returned bundle holds nil instruments, all of which no-op.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: reg.CounterVec("snaptask_http_requests_total",
+			"Completed HTTP requests.", "route", "method", "code"),
+		Duration: reg.HistogramVec("snaptask_http_request_duration_seconds",
+			"HTTP request latency.", DurationBuckets(), "route"),
+		InFlight: reg.GaugeVec("snaptask_http_in_flight_requests",
+			"Requests currently being served.", "route"),
+	}
+}
+
+// HTTP wraps route handlers with metrics and access logging. A nil *HTTP
+// returns handlers unchanged.
+type HTTP struct {
+	metrics *HTTPMetrics
+	logger  *slog.Logger
+}
+
+// NewHTTP builds the route instrumenter; logger may be nil (no access
+// log).
+func NewHTTP(metrics *HTTPMetrics, logger *slog.Logger) *HTTP {
+	if metrics == nil && logger == nil {
+		return nil
+	}
+	return &HTTP{metrics: metrics, logger: logger}
+}
+
+// statusRecorder captures the response status for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Route wraps one route's handler: assigns a request ID, tracks in-flight
+// and completed requests, observes latency, and emits one structured
+// access-log line per request.
+func (h *HTTP) Route(route string, next http.Handler) http.Handler {
+	if h == nil {
+		return next
+	}
+	var (
+		inFlight *Gauge
+		duration *Histogram
+	)
+	if h.metrics != nil {
+		inFlight = h.metrics.InFlight.With(route)
+		duration = h.metrics.Duration.With(route)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := RequestID(r.Context())
+		if id == "" {
+			id = NewRequestID()
+			r = r.WithContext(ContextWithRequestID(r.Context(), id))
+		}
+		start := time.Now()
+		inFlight.Inc()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		inFlight.Dec()
+		if rec.status == 0 {
+			// Handler wrote nothing; net/http sends 200 on return.
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		duration.Observe(elapsed.Seconds())
+		if h.metrics != nil {
+			h.metrics.Requests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
+		}
+		if h.logger != nil {
+			h.logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("request_id", id),
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("status", rec.status),
+				slog.Duration("duration", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

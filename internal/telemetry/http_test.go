@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRouteInstrumentation(t *testing.T) {
+	reg := NewRegistry()
+	var buf strings.Builder
+	var mu sync.Mutex
+	lg, err := NewLogger(syncWriter{&mu, &buf}, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHTTP(NewHTTPMetrics(reg), lg)
+
+	var gotID string
+	handler := h.Route("GET /v1/status", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotID = RequestID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/status", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if gotID == "" {
+		t.Error("handler saw no request ID")
+	}
+	out := reg.Expose()
+	for _, want := range []string{
+		`snaptask_http_requests_total{route="GET /v1/status",method="GET",code="418"} 1`,
+		`snaptask_http_request_duration_seconds_count{route="GET /v1/status"} 1`,
+		`snaptask_http_in_flight_requests{route="GET /v1/status"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "http request") || !strings.Contains(logged, gotID) {
+		t.Errorf("access log missing request line or ID: %q", logged)
+	}
+}
+
+func TestRouteImplicit200(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHTTP(NewHTTPMetrics(reg), nil)
+	handler := h.Route("GET /ok", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Neither WriteHeader nor Write: net/http sends an implicit 200.
+	}))
+	handler.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+	if !strings.Contains(reg.Expose(), `snaptask_http_requests_total{route="GET /ok",method="GET",code="200"} 1`) {
+		t.Errorf("implicit 200 not counted:\n%s", reg.Expose())
+	}
+}
+
+func TestNilHTTPPassthrough(t *testing.T) {
+	var h *HTTP
+	base := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := h.Route("GET /x", base); got == nil {
+		t.Fatal("nil HTTP returned nil handler")
+	}
+	if NewHTTP(nil, nil) != nil {
+		t.Error("NewHTTP(nil, nil) should be nil")
+	}
+}
+
+// syncWriter serialises writes so the race detector stays quiet when the
+// logger is shared across goroutines in tests.
+type syncWriter struct {
+	mu *sync.Mutex
+	b  *strings.Builder
+}
+
+func (w syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}

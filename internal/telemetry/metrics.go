@@ -1,0 +1,461 @@
+// Metrics: a hand-rolled, stdlib-only registry of counters, gauges and
+// fixed-bucket histograms rendered in the Prometheus text exposition
+// format. The hot path — Inc/Add/Set/Observe and vec lookups — is
+// lock-free: instruments are atomics and vec series live in a sync.Map,
+// so concurrent request handlers never contend on a registry mutex.
+// Registration and rendering are cold paths and take a mutex.
+//
+// Every constructor is nil-receiver safe: a nil *Registry hands out nil
+// instruments, and every instrument method on a nil receiver is a no-op,
+// so library code can be instrumented unconditionally and pays (almost)
+// nothing when no registry is configured.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (callers pass non-negative deltas; counters only go up).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float-valued metric that can go up and down. The value is
+// stored as float64 bits and swapped atomically.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DurationBuckets is the default bucket layout for stage and request
+// durations in seconds: half a millisecond to ten seconds.
+func DurationBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	sort.Float64s(h.bounds)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one metric name: its metadata plus the series keyed by joined
+// label values ("" for the unlabelled singleton).
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	bounds     []float64 // histograms only
+
+	series sync.Map // joined label values -> instrument (hot-path lookups)
+	fn     func() float64
+}
+
+const labelSep = "\x00"
+
+// newSeries creates the family's instrument type.
+func (f *family) newSeries() any {
+	switch f.kind {
+	case kindCounter:
+		return &Counter{}
+	case kindGauge:
+		return &Gauge{}
+	default:
+		return newHistogram(f.bounds)
+	}
+}
+
+// lookup returns the instrument for the joined key, creating it on first
+// use. The fast path is a lock-free sync.Map load.
+func (f *family) lookup(key string) any {
+	if v, ok := f.series.Load(key); ok {
+		return v
+	}
+	v, _ := f.series.LoadOrStore(key, f.newSeries())
+	return v
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero registry is not usable; a nil *Registry is a
+// valid no-op source of nil instruments.
+type Registry struct {
+	mu      sync.Mutex
+	ordered []*family
+	byName  map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register returns the family for name, creating it with the given shape.
+// Re-registering an existing name returns the existing family when the
+// shape matches and panics otherwise — two call sites disagreeing on a
+// metric's type is a programming error worth failing loudly on.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || !equalStrings(f.labelNames, labels) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labels...),
+		bounds:     append([]float64(nil), bounds...)}
+	r.byName[name] = f
+	r.ordered = append(r.ordered, f)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or finds) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, nil, nil).lookup("").(*Counter)
+}
+
+// Gauge registers (or finds) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, nil, nil).lookup("").(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at render
+// time (render is a cold path, so the callback may do real work).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, kindGauge, nil, nil)
+	f.fn = fn
+}
+
+// Histogram registers (or finds) an unlabelled histogram with the given
+// upper bucket bounds (an implicit +Inf bucket is appended).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, nil, bounds).lookup("").(*Histogram)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the series for the given label values (order matches the
+// registered label names).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.lookup(strings.Join(values, labelSep)).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the series for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.lookup(strings.Join(values, labelSep)).(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the series for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.lookup(strings.Join(values, labelSep)).(*Histogram)
+}
+
+// Render writes every registered family in the Prometheus text exposition
+// format: families in registration order, series within a family sorted by
+// label values, histograms expanded to _bucket/_sum/_count.
+func (r *Registry) Render(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	families := append([]*family(nil), r.ordered...)
+	r.mu.Unlock()
+
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
+			continue
+		}
+		type row struct {
+			key  string
+			inst any
+		}
+		var rows []row
+		f.series.Range(func(k, v any) bool {
+			rows = append(rows, row{k.(string), v})
+			return true
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+		for _, rw := range rows {
+			labels := labelPairs(f.labelNames, rw.key)
+			switch inst := rw.inst.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(labels), inst.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(labels), formatValue(inst.Value()))
+			case *Histogram:
+				cum := uint64(0)
+				for i, bound := range inst.bounds {
+					cum += inst.counts[i].Load()
+					le := append(append([][2]string(nil), labels...), [2]string{"le", formatValue(bound)})
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(le), cum)
+				}
+				cum += inst.counts[len(inst.bounds)].Load()
+				le := append(append([][2]string(nil), labels...), [2]string{"le", "+Inf"})
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(le), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(labels), formatValue(inst.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(labels), inst.Count())
+			}
+		}
+	}
+}
+
+// Expose returns the full exposition as a string.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// Handler serves the exposition at GET level (any method; scrape tools use
+// GET) with the text-format content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(r.Expose()))
+	})
+}
+
+// labelPairs splits a joined series key back into (name, value) pairs.
+func labelPairs(names []string, key string) [][2]string {
+	if len(names) == 0 {
+		return nil
+	}
+	values := strings.Split(key, labelSep)
+	pairs := make([][2]string, 0, len(names))
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		pairs = append(pairs, [2]string{n, v})
+	}
+	return pairs
+}
+
+// renderLabels renders {a="x",b="y"}, or "" when empty.
+func renderLabels(pairs [][2]string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash, quote
+// and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,199 @@
+// Stage spans: a lightweight per-batch trace of the ingest pipeline. The
+// model owner starts one Trace per processed batch, the pipeline stages
+// (sfm matching, seeding, register sweep, triangulation, SOR, map rebuild,
+// task generation) open Spans on it, and Finish feeds the per-stage
+// duration histograms and pushes the completed trace into a bounded ring
+// buffer served as JSON — the "where did this slow upload spend its time"
+// view at GET /debug/traces.
+//
+// A Trace is written by the single model owner; the ring buffer hand-off
+// in Finish is the only synchronised step, so active tracing adds two
+// time.Now calls and one histogram observation per stage. Every method is
+// nil-receiver safe: with no Tracer configured, Start returns a nil Trace
+// and the entire span tree degrades to no-ops without branching at call
+// sites.
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// StageRecord is one completed span inside a batch trace.
+type StageRecord struct {
+	Stage      string  `json:"stage"`
+	DurationMS float64 `json:"durationMs"`
+}
+
+// TraceRecord is one completed batch trace as served by /debug/traces.
+type TraceRecord struct {
+	// Seq is a process-unique, monotonically increasing trace number.
+	Seq uint64 `json:"seq"`
+	// RequestID correlates the trace with the HTTP request log lines that
+	// produced it (empty for batches not driven by a request).
+	RequestID string `json:"requestId,omitempty"`
+	// Kind is the batch kind: bootstrap, photo_batch or annotation.
+	Kind  string    `json:"kind"`
+	Start time.Time `json:"start"`
+	// DurationMS is the end-to-end batch duration.
+	DurationMS float64 `json:"durationMs"`
+	// Stages lists per-stage durations in completion order.
+	Stages []StageRecord `json:"stages"`
+	// Counts carries batch outcome counters (photos, registered, new
+	// points, coverage cells, ...).
+	Counts map[string]int `json:"counts,omitempty"`
+	// Err records a failed batch's error text.
+	Err string `json:"err,omitempty"`
+}
+
+// Tracer collects batch traces into a bounded ring buffer and, when built
+// over a Registry, per-stage and per-batch duration histograms.
+type Tracer struct {
+	stageDur *HistogramVec
+	batchDur *HistogramVec
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	size int
+	seq  uint64
+}
+
+// NewTracer returns a tracer keeping the last capacity traces (default 64
+// when capacity <= 0). reg may be nil: traces still accumulate, only the
+// duration histograms are skipped.
+func NewTracer(reg *Registry, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{
+		stageDur: reg.HistogramVec("snaptask_ingest_stage_duration_seconds",
+			"Duration of one ingest pipeline stage.", DurationBuckets(), "stage"),
+		batchDur: reg.HistogramVec("snaptask_ingest_batch_duration_seconds",
+			"End-to-end duration of one ingested batch.", DurationBuckets(), "kind"),
+		ring: make([]TraceRecord, 0, capacity),
+		size: capacity,
+	}
+}
+
+// Trace is one in-flight batch trace. It is owned by a single goroutine
+// (the model owner) until Finish; a nil Trace is a valid no-op.
+type Trace struct {
+	t   *Tracer
+	rec TraceRecord
+}
+
+// Start opens a trace for one batch. requestID may be empty.
+func (t *Tracer) Start(kind, requestID string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{t: t, rec: TraceRecord{
+		Kind:      kind,
+		RequestID: requestID,
+		Start:     time.Now(),
+	}}
+}
+
+// Span is one in-flight stage measurement.
+type Span struct {
+	tr    *Trace
+	stage string
+	start time.Time
+}
+
+// Span opens a stage span on the trace.
+func (tr *Trace) Span(stage string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return &Span{tr: tr, stage: stage, start: time.Now()}
+}
+
+// End closes the span, appending it to the trace and observing the stage
+// duration histogram.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	d := time.Since(sp.start)
+	sp.tr.rec.Stages = append(sp.tr.rec.Stages, StageRecord{
+		Stage:      sp.stage,
+		DurationMS: float64(d) / 1e6,
+	})
+	sp.tr.t.stageDur.With(sp.stage).Observe(d.Seconds())
+}
+
+// SetCount attaches an outcome counter to the trace.
+func (tr *Trace) SetCount(key string, v int) {
+	if tr == nil {
+		return
+	}
+	if tr.rec.Counts == nil {
+		tr.rec.Counts = make(map[string]int, 8)
+	}
+	tr.rec.Counts[key] = v
+}
+
+// SetError records the batch error on the trace.
+func (tr *Trace) SetError(err error) {
+	if tr == nil || err == nil {
+		return
+	}
+	tr.rec.Err = err.Error()
+}
+
+// Finish completes the trace: stamps the total duration, observes the
+// batch histogram and publishes the record into the ring buffer. The trace
+// must not be used afterwards.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	d := time.Since(tr.rec.Start)
+	tr.rec.DurationMS = float64(d) / 1e6
+	tr.t.batchDur.With(tr.rec.Kind).Observe(d.Seconds())
+
+	t := tr.t
+	t.mu.Lock()
+	tr.rec.Seq = t.seq
+	t.seq++
+	if len(t.ring) < t.size {
+		t.ring = append(t.ring, tr.rec)
+	} else {
+		t.ring[t.next] = tr.rec
+		t.next = (t.next + 1) % t.size
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the retained traces, newest first.
+func (t *Tracer) Recent() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, len(t.ring))
+	// Ring order: t.next is the oldest slot once the buffer wrapped.
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		out = append(out, t.ring[(t.next+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Handler serves the retained traces as JSON, newest first — mount it next
+// to pprof on the debug listener, not on the public API mux.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Traces []TraceRecord `json:"traces"`
+		}{Traces: t.Recent()})
+	})
+}

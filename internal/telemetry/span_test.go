@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	tracer := NewTracer(reg, 4)
+
+	tr := tracer.Start("photo_batch", "req-1")
+	sp := tr.Span("sfm.match")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Span("sor").End()
+	tr.SetCount("photos", 45)
+	tr.SetError(errors.New("boom"))
+	tr.Finish()
+
+	recent := tracer.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d traces, want 1", len(recent))
+	}
+	rec := recent[0]
+	if rec.Kind != "photo_batch" || rec.RequestID != "req-1" || rec.Err != "boom" {
+		t.Errorf("unexpected record: %+v", rec)
+	}
+	if len(rec.Stages) != 2 || rec.Stages[0].Stage != "sfm.match" || rec.Stages[1].Stage != "sor" {
+		t.Fatalf("stages = %+v", rec.Stages)
+	}
+	if rec.Stages[0].DurationMS < 0.5 {
+		t.Errorf("sfm.match duration = %v ms, want >= 0.5", rec.Stages[0].DurationMS)
+	}
+	if rec.DurationMS < rec.Stages[0].DurationMS {
+		t.Errorf("total %v ms < stage %v ms", rec.DurationMS, rec.Stages[0].DurationMS)
+	}
+	if rec.Counts["photos"] != 45 {
+		t.Errorf("counts = %v", rec.Counts)
+	}
+	// The stage duration histogram saw both spans.
+	out := reg.Expose()
+	if !strings.Contains(out, `snaptask_ingest_stage_duration_seconds_count{stage="sfm.match"} 1`) {
+		t.Errorf("stage histogram missing:\n%s", out)
+	}
+	if !strings.Contains(out, `snaptask_ingest_batch_duration_seconds_count{kind="photo_batch"} 1`) {
+		t.Errorf("batch histogram missing:\n%s", out)
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tracer := NewTracer(nil, 3)
+	for i := 0; i < 10; i++ {
+		tr := tracer.Start("photo_batch", "")
+		tr.SetCount("batch", i)
+		tr.Finish()
+	}
+	recent := tracer.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(recent))
+	}
+	// Newest first: batches 9, 8, 7.
+	for i, want := range []int{9, 8, 7} {
+		if recent[i].Counts["batch"] != want {
+			t.Errorf("recent[%d] = batch %d, want %d", i, recent[i].Counts["batch"], want)
+		}
+	}
+	if recent[0].Seq <= recent[1].Seq {
+		t.Errorf("sequence not monotone: %d then %d", recent[0].Seq, recent[1].Seq)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tracer *Tracer
+	tr := tracer.Start("photo_batch", "id")
+	if tr != nil {
+		t.Fatal("nil tracer produced a trace")
+	}
+	sp := tr.Span("stage")
+	sp.End()
+	tr.SetCount("k", 1)
+	tr.SetError(errors.New("x"))
+	tr.Finish()
+	if got := tracer.Recent(); got != nil {
+		t.Errorf("nil tracer Recent = %v", got)
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tracer := NewTracer(nil, 8)
+	tr := tracer.Start("annotation", "req-9")
+	tr.Span("map.cast").End()
+	tr.Finish()
+
+	rec := httptest.NewRecorder()
+	tracer.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var payload struct {
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(payload.Traces) != 1 || payload.Traces[0].RequestID != "req-9" {
+		t.Errorf("payload = %+v", payload)
+	}
+	if len(payload.Traces[0].Stages) != 1 || payload.Traces[0].Stages[0].Stage != "map.cast" {
+		t.Errorf("stages = %+v", payload.Traces[0].Stages)
+	}
+}
+
+// TestTracerConcurrentFinishAndScrape races trace completion against ring
+// reads; run under -race this proves the hand-off is sound.
+func TestTracerConcurrentFinishAndScrape(t *testing.T) {
+	tracer := NewTracer(nil, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			tr := tracer.Start("photo_batch", fmt.Sprintf("req-%d", i))
+			tr.Span("sfm.match").End()
+			tr.Finish()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if n := len(tracer.Recent()); n != 16 {
+				t.Errorf("final ring size %d, want 16", n)
+			}
+			return
+		default:
+			for _, rec := range tracer.Recent() {
+				if rec.Kind != "photo_batch" {
+					t.Fatalf("torn record: %+v", rec)
+				}
+			}
+		}
+	}
+}

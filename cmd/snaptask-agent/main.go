@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -23,6 +25,7 @@ import (
 	"snaptask/internal/client"
 	"snaptask/internal/core"
 	"snaptask/internal/crowd"
+	"snaptask/internal/events"
 	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
@@ -43,6 +46,8 @@ func run(args []string) error {
 	bootstrap := fs.Bool("bootstrap", false, "upload the initial entrance capture first")
 	maxTasks := fs.Int("tasks", 300, "maximum tasks to execute")
 	blurProb := fs.Float64("blur", 0, "probability of a careless blurred sweep")
+	tailEvents := fs.Bool("events", false,
+		"tail the server's campaign event stream (GET /v1/events) while running; requires snaptask-server -journal")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +83,36 @@ func run(args []string) error {
 		},
 		Venue:   v,
 		WalkMap: v.WalkMap(gt),
+	}
+
+	if *tailEvents {
+		// Log each lifecycle event as the server journals it, concurrently
+		// with the run. A slow-consumer eviction reconnects from the last
+		// seen sequence, so the feed stays gap-free.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			var last uint64
+			for ctx.Err() == nil {
+				err := cl.Events(ctx, last, func(e events.Event) error {
+					last = e.Seq
+					logger.Info("campaign event",
+						slog.Uint64("seq", e.Seq),
+						slog.String("kind", string(e.Kind)),
+						slog.String("cause", e.Cause),
+						slog.Int("photos", e.Photos),
+						slog.Int("coverage_cells", e.CoverageCells))
+					return nil
+				})
+				if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+					return
+				}
+				if !errors.Is(err, client.ErrEvicted) && err != nil {
+					logger.Warn("event stream ended", slog.String("err", err.Error()))
+					return
+				}
+			}
+		}()
 	}
 
 	if *bootstrap {

@@ -14,7 +14,10 @@
 // ablate-window, ablate-sor. The extra experiment `ingest` (not part of
 // 'all') benchmarks per-batch upload latency on the incremental vs
 // full-recompute paths and, with -ingest-out, writes the machine-readable
-// BENCH_ingest.json used to track the perf trajectory across PRs.
+// BENCH_ingest.json used to track the perf trajectory across PRs;
+// -ingest-gate compares the run against a committed BENCH_ingest.json and
+// fails on regression (identical flipping false, or the largest-size
+// speedup dropping below half the committed value).
 package main
 
 import (
@@ -56,11 +59,12 @@ func main() {
 }
 
 type bench struct {
-	setup     *experiments.Setup
-	seed      int64
-	quick     bool
-	ingestOut string
-	log       *slog.Logger
+	setup      *experiments.Setup
+	seed       int64
+	quick      bool
+	ingestOut  string
+	ingestGate string
+	log        *slog.Logger
 
 	// lazily computed shared artefacts
 	guided *experiments.GuidedResult
@@ -76,6 +80,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "experiment seed")
 	quick := fs.Bool("quick", false, "small venue, fast smoke run")
 	ingestOut := fs.String("ingest-out", "", "write the ingest experiment's JSON report to this file")
+	ingestGate := fs.String("ingest-gate", "",
+		"regression gate: compare the ingest experiment against this committed BENCH_ingest.json and fail on identical=false or a largest-size speedup below half the committed value")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -89,7 +95,7 @@ func run(args []string) error {
 		return err
 	}
 
-	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut, log: logger}
+	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut, ingestGate: *ingestGate, log: logger}
 	var v *venue.Venue
 	if *quick {
 		v, err = venue.SmallRoom()
@@ -520,6 +526,20 @@ type ingestReport struct {
 // The two models must stay byte-identical throughout; any divergence is
 // reported in the `identical` column and fails the experiment.
 func (b *bench) ingest() error {
+	// Load the committed baseline before anything is written: -ingest-gate
+	// and -ingest-out may name the same file.
+	var gate *ingestReport
+	if b.ingestGate != "" {
+		data, err := os.ReadFile(b.ingestGate)
+		if err != nil {
+			return fmt.Errorf("ingest gate: %w", err)
+		}
+		gate = &ingestReport{}
+		if err := json.Unmarshal(data, gate); err != nil {
+			return fmt.Errorf("ingest gate: parse %s: %w", b.ingestGate, err)
+		}
+	}
+
 	v := b.setup.Venue
 	world := b.setup.World
 	sizes := []int{100, 500, 1000}
@@ -665,6 +685,12 @@ func (b *bench) ingest() error {
 	if !identical {
 		return fmt.Errorf("ingest: incremental and full models diverged")
 	}
+	if gate != nil {
+		if err := checkIngestGate(gate, &report); err != nil {
+			return err
+		}
+		fmt.Printf("  regression gate passed against %s\n", b.ingestGate)
+	}
 	if b.ingestOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -674,6 +700,33 @@ func (b *bench) ingest() error {
 			return err
 		}
 		fmt.Printf("  wrote %s\n", b.ingestOut)
+	}
+	return nil
+}
+
+// checkIngestGate fails when the fresh ingest report regresses against the
+// committed baseline: the incremental/full `identical` invariant may never
+// flip to false, and the speedup at the largest model size may not fall
+// below half the committed value (half, not equal, because CI runners are
+// noisy — a real regression from losing the delta path is an order of
+// magnitude, not a factor of two).
+func checkIngestGate(committed, fresh *ingestReport) error {
+	if len(committed.Sizes) == 0 || len(fresh.Sizes) == 0 {
+		return fmt.Errorf("ingest gate: empty report (committed %d sizes, fresh %d)",
+			len(committed.Sizes), len(fresh.Sizes))
+	}
+	if committed.Quick != fresh.Quick || committed.Venue != fresh.Venue {
+		return fmt.Errorf("ingest gate: baseline ran venue=%q quick=%v but this run is venue=%q quick=%v — not comparable",
+			committed.Venue, committed.Quick, fresh.Venue, fresh.Quick)
+	}
+	base := committed.Sizes[len(committed.Sizes)-1]
+	cur := fresh.Sizes[len(fresh.Sizes)-1]
+	if base.Identical && !cur.Identical {
+		return fmt.Errorf("ingest gate: incremental and full models no longer identical (baseline was)")
+	}
+	if floor := base.Speedup * 0.5; cur.Speedup < floor {
+		return fmt.Errorf("ingest gate: largest-size speedup %.2fx fell below floor %.2fx (0.5 x committed %.2fx at %d views)",
+			cur.Speedup, floor, base.Speedup, base.Views)
 	}
 	return nil
 }

@@ -13,6 +13,13 @@
 // separate debug listener with net/http/pprof plus GET /debug/traces, the
 // per-stage span ring of recent ingest batches (off by default).
 //
+// Pass -journal campaign.jsonl to record every campaign lifecycle
+// transition to an append-only JSONL journal: GET /v1/events streams the
+// feed live over SSE (resumable via Last-Event-ID), GET /v1/progress serves
+// the derived coverage/photos/tasks time series, and restarting over the
+// same journal restores campaign counters and history exactly. Pair it with
+// -load/-save, which persist the model itself.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // on both listeners drain (bounded by -shutdown-timeout) and, when -save
 // is given, the final backend state is written there so a later run can
@@ -41,6 +48,7 @@ import (
 
 	"snaptask/internal/camera"
 	"snaptask/internal/core"
+	"snaptask/internal/events"
 	"snaptask/internal/server"
 	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
@@ -65,6 +73,8 @@ func run(ctx context.Context, args []string) error {
 	margin := fs.Float64("margin", 12, "map margin beyond the venue bounds (m)")
 	statePath := fs.String("load", "", "resume from a snapshot file (see GET /v1/snapshot)")
 	savePath := fs.String("save", "", "write a state snapshot here on graceful shutdown")
+	journalPath := fs.String("journal", "",
+		"append campaign lifecycle events to this JSONL journal; on startup an existing journal is replayed to restore campaign counters and progress history (enables GET /v1/events and /v1/progress)")
 	drain := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain limit")
 	pprofAddr := fs.String("pprof-addr", "",
 		"serve net/http/pprof and /debug/traces on this address (e.g. localhost:6060); empty disables")
@@ -111,9 +121,33 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 	sys.SetTelemetry(tel)
-	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)), server.WithTelemetry(tel))
+	opts := []server.Option{server.WithTelemetry(tel)}
+	var evlog *events.Log
+	if *journalPath != "" {
+		evlog, err = events.Open(*journalPath, telemetry.NewEventMetrics(tel.Registry))
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := evlog.Close(); err != nil {
+				logger.Error("journal close failed", slog.String("err", err.Error()))
+			}
+		}()
+		opts = append(opts, server.WithEvents(evlog))
+	}
+	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)), opts...)
 	if err != nil {
 		return err
+	}
+	if evlog != nil {
+		c := evlog.Campaign().Counters()
+		logger.Info("journal replayed",
+			slog.String("path", *journalPath),
+			slog.Uint64("events", evlog.LastSeq()),
+			slog.Int("batches_accepted", c.BatchesAccepted),
+			slog.Int("photos", c.PhotosProcessed),
+			slog.Int("coverage_cells", c.CoverageCells),
+			slog.Bool("covered", c.Covered))
 	}
 
 	var pprofServer *http.Server

@@ -1,0 +1,136 @@
+// Command snaptask-tail follows a SnapTask server's campaign event stream
+// (GET /v1/events, Server-Sent Events) and renders a live one-line campaign
+// summary: coverage cells, photos, tasks issued/retried/escalated, batches
+// accepted and rejected by cause. It folds the same event stream the server
+// journals, so the summary matches /v1/status exactly.
+//
+// The stream resumes automatically: on disconnect or slow-consumer
+// eviction, the tail reconnects with the last seen sequence number and
+// misses nothing.
+//
+// Usage:
+//
+//	snaptask-tail -server http://127.0.0.1:8080
+//	snaptask-tail -server http://127.0.0.1:8080 -events   # one line per event
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"snaptask/internal/client"
+	"snaptask/internal/events"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "snaptask-tail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("snaptask-tail", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8080", "backend base URL")
+	after := fs.Uint64("after", 0, "start after this sequence number (0 = full history)")
+	perEvent := fs.Bool("events", false, "print one line per event instead of the live summary")
+	exitCovered := fs.Bool("exit-on-covered", false, "exit once the campaign is covered")
+	retry := fs.Duration("retry", 2*time.Second, "reconnect delay after a dropped stream")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c := client.New(*serverURL, nil)
+	camp := events.NewCampaign()
+	last := *after
+	covered := errors.New("campaign covered") // sentinel to unwind the tail
+	// The summary line is rewritten in place on a terminal-ish stream; each
+	// event also moves the cursor, so plain redirection still yields one
+	// line per update.
+	for {
+		err := c.Events(ctx, last, func(e events.Event) error {
+			camp.Apply(e)
+			last = e.Seq
+			if *perEvent {
+				fmt.Fprintf(out, "%s seq=%d kind=%s%s\n",
+					e.T.Format(time.RFC3339), e.Seq, e.Kind, eventDetail(e))
+			} else {
+				fmt.Fprintf(out, "\r\033[K%s", summaryLine(camp.Counters()))
+			}
+			if *exitCovered && camp.Counters().Covered {
+				return covered
+			}
+			return nil
+		})
+		switch {
+		case errors.Is(err, covered):
+			if !*perEvent {
+				fmt.Fprintln(out)
+			}
+			return nil
+		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+			if !*perEvent {
+				fmt.Fprintln(out)
+			}
+			return ctx.Err()
+		case errors.Is(err, client.ErrEvicted):
+			// Fell behind: reconnect immediately from the last seen seq.
+			continue
+		default:
+			// Transient disconnect or server not up yet; keep tailing.
+			fmt.Fprintf(os.Stderr, "snaptask-tail: stream interrupted (%v), retrying\n", err)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(*retry):
+			}
+		}
+	}
+}
+
+// summaryLine renders the one-line campaign summary.
+func summaryLine(c events.Counters) string {
+	state := "mapping"
+	if c.Covered {
+		state = "covered"
+	}
+	return fmt.Sprintf(
+		"[%s] coverage=%d cells | photos=%d | tasks=%d (photo=%d ann=%d retried=%d escalated=%d) | batches ok=%d rejected blur=%d reg=%d growth=%d err=%d | ann rounds=%d | seq=%d",
+		state, c.CoverageCells, c.PhotosProcessed,
+		c.PhotoTasksIssued+c.AnnotationTasksIssued,
+		c.PhotoTasksIssued, c.AnnotationTasksIssued, c.TasksRetried, c.TasksEscalated,
+		c.BatchesAccepted, c.RejectedBlur, c.RejectedRegistration, c.RejectedNoGrowth,
+		c.RejectedError, c.AnnotationRounds, c.LastSeq)
+}
+
+// eventDetail renders the kind-specific fields for -events mode.
+func eventDetail(e events.Event) string {
+	switch e.Kind {
+	case events.KindTaskIssued, events.KindBlurRetry, events.KindEscalated:
+		return fmt.Sprintf(" task=%d kind=%s retry=%d loc=(%.1f,%.1f)",
+			e.TaskID, e.TaskKind, e.Retry, e.X, e.Y)
+	case events.KindBatchAccepted:
+		return fmt.Sprintf(" batch=%s photos=%d registered=%d newPoints=%d req=%s",
+			e.Batch, e.Photos, e.Registered, e.NewPoints, e.RequestID)
+	case events.KindBatchRejected:
+		return fmt.Sprintf(" batch=%s cause=%s photos=%d registered=%d blurry=%d req=%s",
+			e.Batch, e.Cause, e.Photos, e.Registered, e.Blurry, e.RequestID)
+	case events.KindAnnotationDone:
+		return fmt.Sprintf(" photos=%d identified=%d reconstructed=%d req=%s",
+			e.Photos, e.Identified, e.Reconstructed, e.RequestID)
+	case events.KindCoverageDelta:
+		return fmt.Sprintf(" cells=%d delta=%+d", e.CoverageCells, e.Delta)
+	case events.KindCovered:
+		return fmt.Sprintf(" cells=%d", e.CoverageCells)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,87 @@
+// Campaign event consumption: an SSE client for GET /v1/events and a
+// fetcher for GET /v1/progress. snaptask-tail builds its live summary on
+// these.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"snaptask/internal/events"
+	"snaptask/internal/server"
+)
+
+// Progress fetches the campaign history (counters + time series) from
+// GET /v1/progress.
+func (c *Client) Progress() (server.ProgressResponse, error) {
+	var resp server.ProgressResponse
+	err := c.getJSON("/v1/progress", &resp)
+	return resp, err
+}
+
+// Events streams campaign events from GET /v1/events, invoking fn for each
+// one in order, starting after sequence number `after` (0 = from the
+// beginning). It blocks until the stream ends: ctx cancellation returns
+// ctx.Err(), a server-side eviction (the consumer fell behind) returns
+// ErrEvicted — reconnect with after = the last seen sequence — and an fn
+// error aborts the stream and is returned.
+func (c *Client) Events(ctx context.Context, after uint64, fn func(events.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/events?after=%d", c.base, after), nil)
+	if err != nil {
+		return fmt.Errorf("client: events request: %w", err)
+	}
+	req.Header.Set("Last-Event-ID", strconv.FormatUint(after, 10))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: GET /v1/events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return &APIError{Status: resp.StatusCode, Body: string(body)}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	evicted := false
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": dropped"):
+			evicted = true
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var e events.Event
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				return fmt.Errorf("client: decode event: %w", err)
+			}
+			data = ""
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+	}
+	if evicted {
+		return ErrEvicted
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("client: events stream: %w", err)
+	}
+	return ctx.Err()
+}
+
+// ErrEvicted reports that the server dropped this event subscriber for
+// falling behind; reconnect with Events(ctx, lastSeenSeq, fn).
+var ErrEvicted = fmt.Errorf("client: event stream evicted (fell behind); reconnect with last seen sequence")

@@ -17,6 +17,7 @@ import (
 
 	"snaptask/internal/annotation"
 	"snaptask/internal/camera"
+	"snaptask/internal/events"
 	"snaptask/internal/geom"
 	"snaptask/internal/grid"
 	"snaptask/internal/imaging"
@@ -113,6 +114,12 @@ type System struct {
 	logger   *slog.Logger
 	reqID    string
 	curTrace *telemetry.Trace
+
+	// Campaign event journal; nil (no-op) until SetEvents. lastCovCells is
+	// the coverage-cell count at the previous batch boundary, the baseline
+	// for coverage_delta events.
+	evlog        *events.Log
+	lastCovCells int
 }
 
 // NewSystem creates a backend for a venue. The world must be built over the
@@ -191,6 +198,26 @@ func (s *System) SetTelemetry(tel *telemetry.Telemetry) {
 	s.logger = tel.Logger
 }
 
+// SetEvents wires the campaign event log into the owner path: every
+// lifecycle transition — task issued, batch accepted/rejected with cause,
+// blur retry, TT escalation, annotation round, coverage delta, campaign
+// covered — is emitted to it, and each processed batch ends with a journal
+// commit (fsync). Call before processing starts (single-owner, not
+// synchronised). A nil log leaves emission a no-op.
+func (s *System) SetEvents(log *events.Log) {
+	s.evlog = log
+	s.lastCovCells = s.maps.CoverageCells()
+}
+
+// emit stamps the in-flight request ID onto e and records it.
+func (s *System) emit(e events.Event) {
+	if s.evlog == nil {
+		return
+	}
+	e.RequestID = s.reqID
+	s.evlog.Emit(e)
+}
+
 // SetRequestID stamps subsequent batch traces and log lines with the HTTP
 // request ID that delivered the upload, correlating them with the access
 // log. The server's owner goroutine sets it before each Process* call and
@@ -225,6 +252,18 @@ func (s *System) endBatch(tr *telemetry.Trace, kind string, err error) {
 	if err != nil {
 		result = "error"
 		tr.SetError(err)
+		// Pipeline failures never reach the success-path emissions, so the
+		// journal still records one terminal event per batch. Photos stays
+		// zero: failed batches are not counted into photosProcessed either.
+		s.emit(events.Event{Kind: events.KindBatchRejected, Batch: kind,
+			Cause: events.CauseError})
+		if s.ingestM != nil {
+			s.ingestM.BatchRejected.With(events.CauseError).Inc()
+		}
+	}
+	if err := s.evlog.Commit(); err != nil && s.logger != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelError,
+			"event journal commit failed", slog.String("error", err.Error()))
 	}
 	if s.ingestM != nil {
 		s.ingestM.Batches.With(kind, result).Inc()
@@ -247,16 +286,28 @@ func (s *System) endBatch(tr *telemetry.Trace, kind string, err error) {
 }
 
 // recordBatchResult folds one sfm.BatchResult into the trace counts and
-// ingest counters.
-func (s *System) recordBatchResult(tr *telemetry.Trace, batch sfm.BatchResult, photos int) {
-	tr.SetCount("photos", photos)
+// ingest counters, and observes each photo's sharpness score.
+func (s *System) recordBatchResult(tr *telemetry.Trace, batch sfm.BatchResult, photos []camera.Photo) {
+	tr.SetCount("photos", len(photos))
 	tr.SetCount("registered", len(batch.Registered))
 	tr.SetCount("blurry", len(batch.RejectedBlurry))
 	tr.SetCount("unregistered", len(batch.Unregistered))
 	if s.ingestM != nil {
-		s.ingestM.PhotosProcessed.Add(uint64(photos))
+		s.ingestM.PhotosProcessed.Add(uint64(len(photos)))
 		s.ingestM.BlurryRejected.Add(uint64(len(batch.RejectedBlurry)))
 		s.ingestM.Unregistered.Add(uint64(len(batch.Unregistered)))
+		s.observeSharpness(photos)
+	}
+}
+
+// observeSharpness feeds the blur-variance histogram with every photo's
+// Laplacian-variance score.
+func (s *System) observeSharpness(photos []camera.Photo) {
+	if s.ingestM == nil {
+		return
+	}
+	for _, p := range photos {
+		s.ingestM.BlurVariance.Observe(p.Sharpness)
 	}
 }
 
@@ -382,6 +433,7 @@ func (s *System) step(in taskgen.StepInput) (taskgen.StepOutput, error) {
 	in.Visibility = s.effectiveVisibility()
 	in.Start = s.venue.Entrance()
 	sp := s.curTrace.Span("taskgen")
+	wasCovered := s.covered
 	out, err := s.gen.Step(in)
 	sp.End()
 	if err != nil {
@@ -389,6 +441,17 @@ func (s *System) step(in taskgen.StepInput) (taskgen.StepOutput, error) {
 	}
 	if out.VenueCovered {
 		s.covered = true
+	}
+	// Decision events precede the tasks they produced.
+	if out.RetriedForBlur && len(out.Tasks) > 0 {
+		t := out.Tasks[0]
+		s.emit(events.Event{Kind: events.KindBlurRetry, TaskID: t.ID,
+			TaskKind: t.Kind.String(), Retry: t.Retry, X: t.Location.X, Y: t.Location.Y})
+	}
+	if out.EscalatedToAnnotation && len(out.Tasks) > 0 {
+		t := out.Tasks[0]
+		s.emit(events.Event{Kind: events.KindEscalated, TaskID: t.ID,
+			TaskKind: t.Kind.String(), X: t.Location.X, Y: t.Location.Y})
 	}
 	for _, t := range out.Tasks {
 		switch t.Kind {
@@ -403,10 +466,57 @@ func (s *System) step(in taskgen.StepInput) (taskgen.StepOutput, error) {
 				s.ingestM.TasksIssued.With("annotation").Inc()
 			}
 		}
+		s.emit(events.Event{Kind: events.KindTaskIssued, TaskID: t.ID,
+			TaskKind: t.Kind.String(), Retry: t.Retry, X: t.Location.X, Y: t.Location.Y})
+	}
+	if !wasCovered && s.covered {
+		s.emit(events.Event{Kind: events.KindCovered,
+			CoverageCells: s.maps.CoverageCells()})
 	}
 	s.curTrace.SetCount("tasks_issued", len(out.Tasks))
 	s.pending = append(s.pending, out.Tasks...)
 	return out, nil
+}
+
+// emitBatchEvent records the terminal accepted/rejected event of a photo
+// (or bootstrap) batch. The rejection cause mirrors Algorithm 1's failure
+// precedence: blurry input first, then registration failure, then
+// registered-but-no-coverage-growth (the stuck-location signal).
+func (s *System) emitBatchEvent(kind string, batch sfm.BatchResult, photos []camera.Photo, grew bool) {
+	e := events.Event{
+		Batch:        kind,
+		Photos:       len(photos),
+		Registered:   len(batch.Registered),
+		Blurry:       len(batch.RejectedBlurry),
+		Unregistered: len(batch.Unregistered),
+		NewPoints:    batch.NewPoints,
+	}
+	if len(batch.Registered) > 0 && grew {
+		e.Kind = events.KindBatchAccepted
+	} else {
+		e.Kind = events.KindBatchRejected
+		switch {
+		case medianSharpness(photos) <= s.gen.Config().LowQualitySharpness:
+			e.Cause = events.CauseBlur
+		case len(batch.Registered) == 0:
+			e.Cause = events.CauseRegistration
+		default:
+			e.Cause = events.CauseNoGrowth
+		}
+		if s.ingestM != nil {
+			s.ingestM.BatchRejected.With(e.Cause).Inc()
+		}
+	}
+	s.emit(e)
+}
+
+// emitCoverageDelta records the coverage-cells change of the batch just
+// processed — one progress point per batch.
+func (s *System) emitCoverageDelta() {
+	cur := s.maps.CoverageCells()
+	s.emit(events.Event{Kind: events.KindCoverageDelta,
+		CoverageCells: cur, Delta: cur - s.lastCovCells})
+	s.lastCovCells = cur
 }
 
 // BatchOutcome reports one processed photo batch.
@@ -435,10 +545,12 @@ func (s *System) ProcessBootstrap(photos []camera.Photo, rng *rand.Rand) (outcom
 		return BatchOutcome{}, fmt.Errorf("core: bootstrap photos failed to seed a model")
 	}
 	s.photosProcessed += len(photos)
-	s.recordBatchResult(tr, batch, len(photos))
+	s.recordBatchResult(tr, batch, photos)
 	if err := s.rebuildMaps(); err != nil {
 		return BatchOutcome{}, err
 	}
+	s.emitBatchEvent("bootstrap", batch, photos, true)
+	s.emitCoverageDelta()
 	out, err := s.step(taskgen.StepInput{Bootstrap: true})
 	if err != nil {
 		return BatchOutcome{}, err
@@ -467,12 +579,14 @@ func (s *System) ProcessPhotoBatch(taskLoc, taskSeed geom.Vec2, photos []camera.
 		return BatchOutcome{}, fmt.Errorf("core: register batch: %w", err)
 	}
 	s.photosProcessed += len(photos)
-	s.recordBatchResult(tr, batch, len(photos))
+	s.recordBatchResult(tr, batch, photos)
 	if err := s.rebuildMaps(); err != nil {
 		return BatchOutcome{}, err
 	}
 	after := s.progressCells()
 	grew := after >= before+s.growthThreshold(before)
+	s.emitBatchEvent("photo_batch", batch, photos, grew)
+	s.emitCoverageDelta()
 
 	out, err := s.step(taskgen.StepInput{
 		BatchRegistered:   len(batch.Registered) > 0,
@@ -530,6 +644,7 @@ func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, ann
 	tr.SetCount("reconstructed", recon.Reconstructed)
 	if s.ingestM != nil {
 		s.ingestM.PhotosProcessed.Add(uint64(len(task.Photos)))
+		s.observeSharpness(task.Photos)
 	}
 	// The annotation pipeline injects artificial structure into the model
 	// beyond plain view registration; drop the cast and SOR caches and take
@@ -540,6 +655,10 @@ func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, ann
 		return AnnotationOutcome{}, err
 	}
 	after := s.progressCells()
+	s.emit(events.Event{Kind: events.KindAnnotationDone, Batch: "annotation",
+		Photos: len(task.Photos), Identified: recon.Identified,
+		Reconstructed: recon.Reconstructed})
+	s.emitCoverageDelta()
 
 	out, err := s.step(taskgen.StepInput{
 		BatchRegistered:   recon.Reconstructed > 0,

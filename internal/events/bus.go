@@ -1,0 +1,102 @@
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bus fans emitted events out to live subscribers (the SSE streams). The
+// publisher is the model owner, so Publish must never block: every
+// subscriber gets a buffered channel, and a subscriber whose buffer is full
+// when an event arrives is evicted — its channel is closed and the consumer
+// is expected to reconnect and catch up from the journal via Last-Event-ID.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[*Subscriber]struct{}
+	// dropped counts evictions (mirrored into the telemetry counter by the
+	// Log, which owns the instruments).
+	dropped atomic.Uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscriber is one live event consumer.
+type Subscriber struct {
+	// C delivers events in emission order. It is closed when the consumer
+	// is evicted (buffer overflow) or unsubscribed; check Evicted to tell
+	// the two apart.
+	C <-chan Event
+
+	ch      chan Event
+	evicted atomic.Bool
+	closed  bool // guarded by the bus mutex
+}
+
+// Evicted reports whether the bus dropped this subscriber for falling
+// behind. Meaningful once C is closed.
+func (s *Subscriber) Evicted() bool { return s.evicted.Load() }
+
+// Subscribe registers a consumer with the given channel buffer (minimum 1).
+// The caller must Unsubscribe when done.
+func (b *Bus) Subscribe(buf int) *Subscriber {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscriber{ch: make(chan Event, buf)}
+	s.C = s.ch
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes a consumer and closes its channel. Safe to call after
+// an eviction (it is then a no-op).
+func (b *Bus) Unsubscribe(s *Subscriber) {
+	if s == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.removeLocked(s)
+}
+
+func (b *Bus) removeLocked(s *Subscriber) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(b.subs, s)
+	close(s.ch)
+}
+
+// Publish delivers e to every subscriber without blocking: a subscriber
+// whose buffer is full is evicted on the spot, so a stalled SSE consumer can
+// never hold up the model owner.
+func (b *Bus) Publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.evicted.Store(true)
+			b.removeLocked(s)
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped returns how many subscribers have been evicted for falling
+// behind.
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }

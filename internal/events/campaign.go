@@ -1,0 +1,133 @@
+package events
+
+import (
+	"sync"
+	"time"
+)
+
+// Counters are the campaign lifecycle totals. They are derived exclusively
+// by folding events — the same fold runs live (as the owner emits) and on
+// journal replay, which is what makes /v1/status identical before and after
+// a restart.
+type Counters struct {
+	PhotoTasksIssued      int  `json:"photoTasksIssued"`
+	AnnotationTasksIssued int  `json:"annotationTasksIssued"`
+	TasksRetried          int  `json:"tasksRetried"`
+	TasksEscalated        int  `json:"tasksEscalated"`
+	BatchesAccepted       int  `json:"batchesAccepted"`
+	RejectedBlur          int  `json:"rejectedBlur"`
+	RejectedRegistration  int  `json:"rejectedRegistration"`
+	RejectedNoGrowth      int  `json:"rejectedNoGrowth"`
+	RejectedError         int  `json:"rejectedError"`
+	AnnotationRounds      int  `json:"annotationRounds"`
+	PhotosProcessed       int  `json:"photosProcessed"`
+	CoverageCells         int  `json:"coverageCells"`
+	Covered               bool `json:"covered"`
+	// LastSeq is the sequence number of the last folded event — after replay
+	// it equals the journal's LastSeq, a cheap restored-exactly check.
+	LastSeq uint64 `json:"lastSeq"`
+}
+
+// Point is one sample of the campaign progress time series, recorded at
+// every coverage_delta event (one per processed batch).
+type Point struct {
+	Seq           uint64    `json:"seq"`
+	T             time.Time `json:"t"`
+	CoverageCells int       `json:"coverageCells"`
+	Photos        int       `json:"photos"`
+	TasksIssued   int       `json:"tasksIssued"`
+	Retries       int       `json:"retries"`
+	Escalations   int       `json:"escalations"`
+}
+
+// Campaign folds the event stream into counters and a progress time series.
+// It has its own mutex so HTTP handlers can read snapshots while the owner
+// keeps applying events.
+type Campaign struct {
+	mu     sync.Mutex
+	c      Counters
+	points []Point
+}
+
+// NewCampaign returns an empty aggregate.
+func NewCampaign() *Campaign { return &Campaign{} }
+
+// Apply folds one event. Events must be applied in sequence order (the Log
+// guarantees this for both the live path and journal replay).
+func (a *Campaign) Apply(e Event) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := &a.c
+	switch e.Kind {
+	case KindTaskIssued:
+		if e.TaskKind == "annotation" {
+			c.AnnotationTasksIssued++
+		} else {
+			c.PhotoTasksIssued++
+		}
+	case KindBlurRetry:
+		c.TasksRetried++
+	case KindEscalated:
+		c.TasksEscalated++
+	case KindBatchAccepted:
+		c.BatchesAccepted++
+		c.PhotosProcessed += e.Photos
+	case KindBatchRejected:
+		switch e.Cause {
+		case CauseBlur:
+			c.RejectedBlur++
+		case CauseRegistration:
+			c.RejectedRegistration++
+		case CauseNoGrowth:
+			c.RejectedNoGrowth++
+		default:
+			c.RejectedError++
+		}
+		c.PhotosProcessed += e.Photos
+	case KindAnnotationDone:
+		c.AnnotationRounds++
+		c.PhotosProcessed += e.Photos
+	case KindCoverageDelta:
+		c.CoverageCells = e.CoverageCells
+		a.points = append(a.points, Point{
+			Seq:           e.Seq,
+			T:             e.T,
+			CoverageCells: e.CoverageCells,
+			Photos:        c.PhotosProcessed,
+			TasksIssued:   c.PhotoTasksIssued + c.AnnotationTasksIssued,
+			Retries:       c.TasksRetried,
+			Escalations:   c.TasksEscalated,
+		})
+	case KindCovered:
+		c.Covered = true
+		if e.CoverageCells > 0 {
+			c.CoverageCells = e.CoverageCells
+		}
+	}
+	c.LastSeq = e.Seq
+}
+
+// Counters returns a copy of the current totals.
+func (a *Campaign) Counters() Counters {
+	if a == nil {
+		return Counters{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.c
+}
+
+// Progress returns a copy of the progress time series.
+func (a *Campaign) Progress() []Point {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Point, len(a.points))
+	copy(out, a.points)
+	return out
+}

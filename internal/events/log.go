@@ -1,0 +1,163 @@
+package events
+
+import (
+	"sync"
+	"time"
+
+	"snaptask/internal/telemetry"
+)
+
+// Log is the campaign event hub: it assigns sequence numbers, appends to the
+// journal, folds the campaign aggregate and fans out to live subscribers —
+// in that order, so any event a subscriber misses is already durable and
+// recoverable via ReadAfter (the SSE catch-up path).
+//
+// A nil *Log is a no-op for Emit and Commit, so core code records events
+// unconditionally.
+type Log struct {
+	mu   sync.Mutex
+	j    *Journal
+	bus  *Bus
+	camp *Campaign
+	m    *telemetry.EventMetrics
+	seq  uint64
+	// lastDropped mirrors bus evictions into the telemetry counter.
+	lastDropped uint64
+}
+
+// Open opens (or creates) the journal at path and returns a hub over it.
+// Call Replay before serving to fold stored history into the campaign
+// aggregate. metrics may be nil.
+func Open(path string, m *telemetry.EventMetrics) (*Log, error) {
+	j, err := OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLog(m)
+	l.j = j
+	l.seq = j.LastSeq()
+	return l, nil
+}
+
+// NewLog returns a journal-less hub (bus + campaign only) — used by tests
+// and by servers that want live events without durability.
+func NewLog(m *telemetry.EventMetrics) *Log {
+	if m == nil {
+		// A bundle over a nil registry: every instrument no-ops, so the emit
+		// path never branches on telemetry presence.
+		m = telemetry.NewEventMetrics(nil)
+	}
+	return &Log{bus: NewBus(), camp: NewCampaign(), m: m}
+}
+
+// Replay folds every stored event into the campaign aggregate, restoring
+// counters and progress history exactly as an uninterrupted run would have
+// produced them. Call once, before Emit.
+func (l *Log) Replay() error {
+	if l == nil || l.j == nil {
+		return nil
+	}
+	return l.j.ReadAfter(0, func(e Event) error {
+		l.camp.Apply(e)
+		return nil
+	})
+}
+
+// Emit stamps, numbers, journals, folds and publishes one event. The caller
+// is the model owner (single producer); the mutex only orders Emit against
+// itself for safety. Journal errors are remembered by the journal and
+// surfaced on Commit/Close — emission never fails the ingest path.
+func (l *Log) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if e.T.IsZero() {
+		e.T = time.Now().UTC()
+	}
+	if l.j != nil {
+		if err := l.j.Append(e); err == nil {
+			l.m.Appended.Inc()
+		}
+	} else {
+		l.m.Appended.Inc()
+	}
+	l.camp.Apply(e)
+	l.bus.Publish(e)
+	if d := l.bus.Dropped(); d != l.lastDropped {
+		l.m.DroppedSubscribers.Add(d - l.lastDropped)
+		l.lastDropped = d
+		l.m.Subscribers.Set(float64(l.bus.Subscribers()))
+	}
+}
+
+// Commit makes every emitted event durable (journal fsync) and observes the
+// fsync latency. The model owner calls it once per processed batch.
+func (l *Log) Commit() error {
+	if l == nil || l.j == nil {
+		return nil
+	}
+	start := time.Now()
+	err := l.j.Sync()
+	l.m.FsyncSeconds.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// Subscribe registers a live event consumer with the given channel buffer.
+func (l *Log) Subscribe(buf int) *Subscriber {
+	if l == nil {
+		return nil
+	}
+	s := l.bus.Subscribe(buf)
+	l.m.Subscribers.Set(float64(l.bus.Subscribers()))
+	return s
+}
+
+// Unsubscribe removes a consumer (idempotent, eviction-safe).
+func (l *Log) Unsubscribe(s *Subscriber) {
+	if l == nil || s == nil {
+		return
+	}
+	l.bus.Unsubscribe(s)
+	l.m.Subscribers.Set(float64(l.bus.Subscribers()))
+}
+
+// ReadAfter streams stored events with Seq > after, in order — the SSE
+// catch-up and /v1/progress source. Without a journal it is a no-op.
+func (l *Log) ReadAfter(after uint64, fn func(Event) error) error {
+	if l == nil || l.j == nil {
+		return nil
+	}
+	return l.j.ReadAfter(after, fn)
+}
+
+// LastSeq returns the sequence number of the last emitted (or replayed)
+// event.
+func (l *Log) LastSeq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Campaign returns the live campaign aggregate (nil-safe: a nil Log yields
+// a nil aggregate whose reads return zero values).
+func (l *Log) Campaign() *Campaign {
+	if l == nil {
+		return nil
+	}
+	return l.camp
+}
+
+// Close flushes and fsyncs the journal. Emit must not be called after.
+func (l *Log) Close() error {
+	if l == nil || l.j == nil {
+		return nil
+	}
+	return l.j.Close()
+}

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/events"
+	"snaptask/internal/geom"
+	"snaptask/internal/telemetry"
+	"snaptask/internal/venue"
+)
+
+// newEventsTestServer builds a backend over the small test room with a
+// journal-backed event log (and telemetry, so events carry request IDs).
+func newEventsTestServer(t *testing.T, journalPath string) (*httptest.Server, *Server, *events.Log, *camera.World, *venue.Venue) {
+	t.Helper()
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(1)))
+	w := camera.NewWorld(v, feats)
+	sys, err := core.NewSystem(v, w, core.Config{Margin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(slog.New(slog.NewTextHandler(io.Discard, nil)), 8)
+	log, err := events.Open(journalPath, telemetry.NewEventMetrics(tel.Registry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	srv, err := New(sys, rand.New(rand.NewSource(2)), WithTelemetry(tel), WithEvents(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv, log, w, v
+}
+
+// driveCampaign runs the guided loop over HTTP: bootstrap, then fetch and
+// fulfil tasks until the venue is covered (or maxBatches uploads happened).
+// Returns the number of processed batches including the bootstrap.
+func driveCampaign(t *testing.T, ts *httptest.Server, w *camera.World, v *venue.Venue, maxBatches int) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	photos, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := UploadRequest{Bootstrap: true}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, PhotoToDTO(p))
+	}
+	var up UploadResponse
+	if code := postJSON(t, ts.URL+"/v1/photos", req, &up); code != http.StatusOK {
+		t.Fatalf("bootstrap code %d", code)
+	}
+	batches := 1
+	for batches < maxBatches {
+		var task TaskDTO
+		code := getJSON(t, ts.URL+"/v1/task", &task)
+		if code == http.StatusNotFound {
+			t.Fatalf("no task pending after %d batches (venue not covered either)", batches)
+		}
+		if task.Covered {
+			return batches
+		}
+		if task.Kind != "photo" {
+			// Keep the driver simple: skip annotation tasks by reporting a
+			// sharp-but-unproductive batch from the same spot is not needed
+			// for these tests; small-room campaigns stay photo-only.
+			t.Fatalf("unexpected task kind %q", task.Kind)
+		}
+		sweep, err := w.Sweep(sweepPos(v, task), camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upReq := UploadRequest{TaskID: task.ID, LocX: task.X, LocY: task.Y,
+			SeedX: task.SeedX, SeedY: task.SeedY, HasSeed: task.HasSeed}
+		for _, p := range sweep {
+			upReq.Photos = append(upReq.Photos, PhotoToDTO(p))
+		}
+		if code := postJSON(t, ts.URL+"/v1/photos", upReq, &up); code != http.StatusOK {
+			t.Fatalf("sweep upload code %d", code)
+		}
+		batches++
+		if up.VenueCovered {
+			return batches
+		}
+	}
+	return batches
+}
+
+// sweepPos picks where the simulated worker stands for a task: the task
+// location when walkable, the entrance otherwise.
+func sweepPos(v *venue.Venue, task TaskDTO) geom.Vec2 {
+	p := geom.V2(task.X, task.Y)
+	if v.Blocked(p) {
+		return v.Entrance()
+	}
+	return p
+}
+
+// sseFrame is one parsed SSE frame.
+type sseFrame struct {
+	id   uint64
+	kind string
+	ev   events.Event
+}
+
+// readSSE parses frames from an event stream until want frames arrived or
+// the stream ends.
+func readSSE(t *testing.T, body io.Reader, want int) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.kind != "" {
+				frames = append(frames, cur)
+				if len(frames) >= want {
+					return frames
+				}
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		}
+	}
+	return frames
+}
+
+// TestEventsStreamFullCampaign drives a complete simulated campaign and then
+// verifies GET /v1/events replays every lifecycle event in order: contiguous
+// sequence numbers from 1, the expected kinds present, batch events tagged
+// with their request IDs, and the final campaign_covered transition.
+func TestEventsStreamFullCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	ts, _, log, w, v := newEventsTestServer(t, path)
+	driveCampaign(t, ts, w, v, 40)
+
+	var status StatusResponse
+	if code := getJSON(t, ts.URL+"/v1/status", &status); code != http.StatusOK {
+		t.Fatal("status fetch failed")
+	}
+	if status.Lifecycle == nil {
+		t.Fatal("status has no lifecycle counts despite event log")
+	}
+	if !status.Lifecycle.Covered || !status.Covered {
+		t.Fatalf("campaign not covered: %+v", status.Lifecycle)
+	}
+	total := int(status.Lifecycle.LastSeq)
+	if total == 0 || uint64(total) != log.LastSeq() {
+		t.Fatalf("lifecycle LastSeq %d != journal LastSeq %d", total, log.LastSeq())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/events?after=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	frames := readSSE(t, resp.Body, total)
+	cancel()
+	if len(frames) != total {
+		t.Fatalf("streamed %d events, want %d", len(frames), total)
+	}
+	kinds := map[string]int{}
+	for i, f := range frames {
+		if f.id != uint64(i+1) || f.ev.Seq != f.id {
+			t.Fatalf("frame %d: id %d seq %d, want contiguous from 1", i, f.id, f.ev.Seq)
+		}
+		kinds[f.kind]++
+		if (f.kind == string(events.KindBatchAccepted) || f.kind == string(events.KindBatchRejected)) && f.ev.RequestID == "" {
+			t.Errorf("frame %d (%s) missing request ID", i, f.kind)
+		}
+	}
+	for _, want := range []events.Kind{events.KindTaskIssued, events.KindBatchAccepted,
+		events.KindCoverageDelta, events.KindCovered} {
+		if kinds[string(want)] == 0 {
+			t.Errorf("no %s events in campaign stream", want)
+		}
+	}
+	if last := frames[len(frames)-1]; last.kind != string(events.KindCovered) {
+		t.Errorf("campaign stream ends with %s, want %s", last.kind, events.KindCovered)
+	}
+	if kinds[string(events.KindCovered)] != 1 {
+		t.Errorf("campaign_covered emitted %d times, want once", kinds[string(events.KindCovered)])
+	}
+
+	// A resumed stream starts exactly after the requested offset.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	req2, _ := http.NewRequestWithContext(ctx2, "GET", ts.URL+"/v1/events", nil)
+	req2.Header.Set("Last-Event-ID", strconv.Itoa(total-3))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	tail := readSSE(t, resp2.Body, 3)
+	cancel2()
+	if len(tail) != 3 {
+		t.Fatalf("Last-Event-ID resume returned %d frames, want 3", len(tail))
+	}
+	if tail[0].id != uint64(total-2) {
+		t.Fatalf("Last-Event-ID resume starts at %d, want %d", tail[0].id, total-2)
+	}
+}
+
+// TestRestartWithJournalRestoresStatusAndProgress kills the server
+// mid-campaign and restarts it over the same journal plus a state snapshot:
+// /v1/status (including lifecycle counts) and the full /v1/progress history
+// must be byte-identical to the pre-restart responses.
+func TestRestartWithJournalRestoresStatusAndProgress(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	ts, srv, log, w, v := newEventsTestServer(t, path)
+	driveCampaign(t, ts, w, v, 6) // mid-campaign: a handful of batches
+
+	statusBefore := rawGET(t, ts.URL+"/v1/status")
+	progressBefore := rawGET(t, ts.URL+"/v1/progress")
+	var state bytes.Buffer
+	if err := srv.WriteState(&state); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: reload the model snapshot and reopen the journal; server.New
+	// replays it into a fresh campaign aggregate.
+	sys2, err := core.LoadSystem(&state, v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, err := events.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	srv2, err := New(sys2, rand.New(rand.NewSource(9)), WithEvents(log2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	if got := rawGET(t, ts2.URL+"/v1/status"); got != statusBefore {
+		t.Errorf("status differs after restart:\nbefore: %s\nafter:  %s", statusBefore, got)
+	}
+	if got := rawGET(t, ts2.URL+"/v1/progress"); got != progressBefore {
+		t.Errorf("progress differs after restart:\nbefore: %s\nafter:  %s", progressBefore, got)
+	}
+
+	// The restarted campaign keeps appending where the old one stopped.
+	if log2.LastSeq() == 0 || log2.LastSeq() != log2.Campaign().Counters().LastSeq {
+		t.Fatalf("replayed campaign out of sync: journal %d, fold %d",
+			log2.LastSeq(), log2.Campaign().Counters().LastSeq)
+	}
+}
+
+func rawGET(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: code %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestReadyzDuringJournalReplay verifies the readiness probe reports 503
+// while a journal replay is in progress and recovers afterwards.
+func TestReadyzDuringJournalReplay(t *testing.T) {
+	ts, srv, _, _, _ := newEventsTestServer(t, filepath.Join(t.TempDir(), "j.jsonl"))
+
+	srv.replaying.Store(true)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during replay: code %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "replay") {
+		t.Fatalf("readyz during replay body %q", body)
+	}
+
+	srv.replaying.Store(false)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after replay: code %d", resp.StatusCode)
+	}
+}
+
+// TestEventsEndpointsRequireLog verifies the event endpoints are not
+// mounted on a server running without an event log.
+func TestEventsEndpointsRequireLog(t *testing.T) {
+	ts, _, _, _ := newTestServer(t)
+	for _, path := range []string{"/v1/events", "/v1/progress"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without event log: code %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSSESlowSubscriberDuringUploads runs concurrent uploads against a
+// deliberately slow subscriber (bus buffer of one, never drained) plus a
+// live SSE reader. The owner path must never block: all uploads complete,
+// the slow subscriber is evicted, and the SSE reader sees an ordered,
+// gap-free stream. Run under -race, this is also the data-race check for
+// the emit/subscribe/evict paths.
+func TestSSESlowSubscriberDuringUploads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	ts, srv, log, w, v := newEventsTestServer(t, path)
+
+	// Bootstrap so photo uploads are meaningful.
+	rng := rand.New(rand.NewSource(5))
+	photos, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := UploadRequest{Bootstrap: true}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, PhotoToDTO(p))
+	}
+	if code := postJSON(t, ts.URL+"/v1/photos", req, new(UploadResponse)); code != http.StatusOK {
+		t.Fatal("bootstrap failed")
+	}
+
+	// The deliberately slow consumer: buffer of one, never read.
+	slow := log.Subscribe(1)
+	defer log.Unsubscribe(slow)
+
+	// A live SSE reader consuming from the current offset, with a tiny
+	// server-side buffer to exercise the eviction path under load too.
+	srv.sseBuf = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sseReq, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/events", nil)
+	sseResp, err := http.DefaultClient.Do(sseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	var sseSeqs []uint64
+	var sseDone sync.WaitGroup
+	sseDone.Add(1)
+	go func() {
+		defer sseDone.Done()
+		sc := bufio.NewScanner(sseResp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "id: ") {
+				id, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+				if err == nil {
+					sseSeqs = append(sseSeqs, id)
+				}
+			}
+		}
+	}()
+
+	// Concurrent uploads from several goroutines.
+	var sweeps [][]camera.Photo
+	for i := 0; i < 4; i++ {
+		pos := v.Entrance()
+		pos.X += float64(i) * 0.8
+		pos.Y += 1.5
+		s, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps = append(sweeps, s)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			upReq := UploadRequest{LocX: 5, LocY: 5}
+			for _, p := range sweeps[i] {
+				upReq.Photos = append(upReq.Photos, PhotoToDTO(p))
+			}
+			if code := postJSONNoFatal(ts.URL+"/v1/photos", upReq, new(UploadResponse)); code != http.StatusOK {
+				errs <- fmt.Errorf("upload %d: code %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if !slow.Evicted() {
+		t.Error("slow subscriber was not evicted")
+	}
+	cancel()
+	sseDone.Wait()
+	// The SSE reader must have seen a strictly increasing sequence — gaps
+	// are allowed only via an eviction, which ends the stream.
+	for i := 1; i < len(sseSeqs); i++ {
+		if sseSeqs[i] <= sseSeqs[i-1] {
+			t.Fatalf("SSE ids not strictly increasing: %v", sseSeqs)
+		}
+	}
+}

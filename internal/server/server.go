@@ -22,10 +22,12 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snaptask/internal/annotation"
 	"snaptask/internal/camera"
 	"snaptask/internal/core"
+	"snaptask/internal/events"
 	"snaptask/internal/geom"
 	"snaptask/internal/grid"
 	"snaptask/internal/metrics"
@@ -164,6 +166,11 @@ type StatusResponse struct {
 	AnnotationTasks int    `json:"annotationTasks"`
 	Covered         bool   `json:"covered"`
 	PendingTasks    int    `json:"pendingTasks"`
+	// Lifecycle carries the per-lifecycle campaign counts folded from the
+	// event stream (present only when the server runs with an event log).
+	// They are sourced from the same fold the journal replays, so status is
+	// identical before and after a restart.
+	Lifecycle *events.Counters `json:"lifecycle,omitempty"`
 }
 
 // ReadSnapshot is the immutable state the read endpoints serve from. The
@@ -204,6 +211,15 @@ type Server struct {
 	// Observability (nil-safe when the server runs without telemetry).
 	tel   *telemetry.Telemetry
 	snapM *telemetry.SnapshotMetrics
+
+	// Campaign event log (nil when the server runs without one). replaying
+	// is set while New folds a pre-existing journal into the campaign
+	// aggregate; /readyz reports not-ready until it clears. sseHeartbeat
+	// and sseBuf tune the event stream (overridable in tests).
+	evlog        *events.Log
+	replaying    atomic.Bool
+	sseHeartbeat time.Duration
+	sseBuf       int
 }
 
 // Option configures optional server behaviour.
@@ -217,13 +233,23 @@ func WithTelemetry(tel *telemetry.Telemetry) Option {
 	return func(s *Server) { s.tel = tel }
 }
 
+// WithEvents wires a campaign event log into the server: the system emits
+// lifecycle events to it, New replays any pre-existing journal to restore
+// campaign counters and progress history (with /readyz reporting not-ready
+// until the fold completes), GET /v1/events streams the live feed over SSE
+// and GET /v1/progress serves the derived time series.
+func WithEvents(log *events.Log) Option {
+	return func(s *Server) { s.evlog = log }
+}
+
 // New returns a server for the given system. The rng drives all stochastic
 // backend steps and is owned by the server afterwards.
 func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 	if sys == nil || rng == nil {
 		return nil, fmt.Errorf("server: nil system or rng")
 	}
-	s := &Server{sys: sys, rng: rng, mux: http.NewServeMux()}
+	s := &Server{sys: sys, rng: rng, mux: http.NewServeMux(),
+		sseHeartbeat: 15 * time.Second, sseBuf: 256}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -231,6 +257,19 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 	if s.tel != nil {
 		httpI = telemetry.NewHTTP(telemetry.NewHTTPMetrics(s.tel.Registry), s.tel.Logger)
 		s.snapM = telemetry.NewSnapshotMetrics(s.tel.Registry)
+	}
+	if s.evlog != nil {
+		// Fold the journal's history into the campaign aggregate before the
+		// first snapshot publication, so restored counters appear in the very
+		// first /v1/status. The replaying flag keeps /readyz honest while the
+		// fold runs.
+		s.replaying.Store(true)
+		err := s.evlog.Replay()
+		s.replaying.Store(false)
+		if err != nil {
+			return nil, fmt.Errorf("server: journal replay: %w", err)
+		}
+		sys.SetEvents(s.evlog)
 	}
 	s.locateRNG = rand.New(rand.NewSource(rng.Int63()))
 	s.publishLocked()
@@ -247,6 +286,10 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 	handle("GET /v1/snapshot", s.handleSnapshot)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /readyz", s.handleReadyz)
+	if s.evlog != nil {
+		handle("GET /v1/events", s.handleEvents)
+		handle("GET /v1/progress", s.handleProgress)
+	}
 	if s.tel != nil && s.tel.Registry != nil {
 		handle("GET /metrics", s.tel.Registry.Handler().ServeHTTP)
 	}
@@ -289,6 +332,12 @@ func (s *Server) publishLocked() {
 		}
 	}
 
+	var lifecycle *events.Counters
+	if s.evlog != nil {
+		c := s.evlog.Campaign().Counters()
+		lifecycle = &c
+	}
+
 	photoTasks, annTasks := s.sys.TasksIssued()
 	s.snap.Store(&ReadSnapshot{
 		Map: MapResponse{
@@ -308,6 +357,7 @@ func (s *Server) publishLocked() {
 			AnnotationTasks: annTasks,
 			Covered:         s.sys.Covered(),
 			PendingTasks:    len(s.sys.PendingTasks()),
+			Lifecycle:       lifecycle,
 		},
 		Obstacles:  obstacles,
 		Visibility: visibility,
@@ -324,9 +374,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: ready once the first ReadSnapshot
-// has been published (the read endpoints would panic without one).
+// has been published (the read endpoints would panic without one) and any
+// journal replay has completed (counters would read zero mid-fold).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.replaying.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "journal replay in progress\n")
+		return
+	}
 	if s.snap.Load() == nil {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = io.WriteString(w, "no snapshot published\n")

@@ -188,6 +188,9 @@ type StepOutput struct {
 	// EscalatedToAnnotation is true when a photo task was converted into
 	// an annotation task at the same location.
 	EscalatedToAnnotation bool
+	// RetriedForBlur is true when the batch was rejected as blurry input
+	// and the same task was re-issued without counting a TT strike.
+	RetriedForBlur bool
 }
 
 // Step runs one iteration of Algorithm 1 (lines 6–20: the task-decision
@@ -224,13 +227,16 @@ func (g *Generator) Step(in StepInput) (StepOutput, error) {
 		// Blurry input: re-issue the same task to other participants
 		// without counting an attempt.
 		g.nextID++
-		return StepOutput{Tasks: []Task{{
-			ID:       g.nextID,
-			Kind:     KindPhoto,
-			Location: in.TaskLocation,
-			Seed:     in.TaskSeed,
-			Retry:    g.tried[key],
-		}}}, nil
+		return StepOutput{
+			Tasks: []Task{{
+				ID:       g.nextID,
+				Kind:     KindPhoto,
+				Location: in.TaskLocation,
+				Seed:     in.TaskSeed,
+				Retry:    g.tried[key],
+			}},
+			RetriedForBlur: true,
+		}, nil
 	}
 	g.tried[key]++
 	if g.tried[key] > g.cfg.TT {

@@ -69,6 +69,10 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers (the SSE event stream) can flush through the wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // Route wraps one route's handler: assigns a request ID, tracks in-flight
 // and completed requests, observes latency, and emits one structured
 // access-log line per request.

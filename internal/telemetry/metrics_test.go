@@ -105,8 +105,11 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 		t.Errorf("nil registry rendered %q", out)
 	}
 	NewIngestMetrics(nil).ModelViews.Set(3)
+	NewIngestMetrics(nil).BlurVariance.Observe(150)
 	NewSnapshotMetrics(nil).Published()
 	NewHTTPMetrics(nil).Requests.With("r", "GET", "200").Inc()
+	NewEventMetrics(nil).Appended.Inc()
+	NewEventMetrics(nil).FsyncSeconds.Observe(0.001)
 }
 
 func TestConcurrentInstrumentUse(t *testing.T) {
@@ -154,6 +157,7 @@ func fullExposition(t *testing.T) string {
 	httpM := NewHTTPMetrics(reg)
 	ingest := NewIngestMetrics(reg)
 	snap := NewSnapshotMetrics(reg)
+	ev := NewEventMetrics(reg)
 	tracer := NewTracer(reg, 8)
 
 	httpM.Requests.With("POST /v1/photos", "POST", "200").Inc()
@@ -169,7 +173,15 @@ func fullExposition(t *testing.T) string {
 	ingest.ModelPoints.Set(4031)
 	ingest.SOROutliers.Set(6)
 	ingest.CoverageCells.Set(20571)
+	ingest.BlurVariance.Observe(180.5)
+	ingest.BlurVariance.Observe(42)
+	ingest.BatchRejected.With("blur").Inc()
+	ingest.BatchRejected.With("no_coverage_growth").Inc()
 	snap.Published()
+	ev.Appended.Add(12)
+	ev.DroppedSubscribers.Inc()
+	ev.Subscribers.Set(2)
+	ev.FsyncSeconds.Observe(0.0004)
 	tr := tracer.Start("photo_batch", "abc-1")
 	tr.Span("sfm.match").End()
 	tr.Finish()
@@ -244,6 +256,9 @@ func TestExpositionIsValidPrometheusText(t *testing.T) {
 		"snaptask_model_sor_outliers", "snaptask_coverage_cells",
 		"snaptask_snapshot_publishes_total", "snaptask_snapshot_age_seconds",
 		"snaptask_ingest_stage_duration_seconds", "snaptask_ingest_batch_duration_seconds",
+		"snaptask_blur_variance", "snaptask_ingest_batch_rejected_total",
+		"snaptask_events_appended_total", "snaptask_events_dropped_subscribers_total",
+		"snaptask_events_subscribers", "snaptask_events_journal_fsync_seconds",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("metric %s missing from exposition", want)

@@ -26,6 +26,7 @@ import (
 	"snaptask/internal/core"
 	"snaptask/internal/crowd"
 	"snaptask/internal/events"
+	"snaptask/internal/server"
 	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
@@ -44,8 +45,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "world seed (must match the server)")
 	agentSeed := fs.Int64("agent-seed", 7, "agent behaviour seed")
 	bootstrap := fs.Bool("bootstrap", false, "upload the initial entrance capture first")
-	maxTasks := fs.Int("tasks", 300, "maximum tasks to execute")
+	maxTasks := fs.Int("tasks", 300, "maximum tasks to execute (per worker in fleet mode)")
 	blurProb := fs.Float64("blur", 0, "probability of a careless blurred sweep")
+	workers := fs.Int("workers", 1,
+		"simulated workers; each registers with the dispatcher and claims tasks under leases (0 = legacy anonymous GET /v1/task loop)")
+	crashProb := fs.Float64("crash", 0,
+		"per-claim probability a worker vanishes mid-lease without heartbeating, exercising expiry requeue")
 	tailEvents := fs.Bool("events", false,
 		"tail the server's campaign event stream (GET /v1/events) while running; requires snaptask-server -journal")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -72,18 +77,23 @@ func run(args []string) error {
 
 	rng := rand.New(rand.NewSource(*agentSeed))
 	cl := client.New(*serverURL, nil)
-	agent := &client.Agent{
-		Client: cl,
-		Worker: &crowd.GuidedWorker{
-			World:      world,
-			Venue:      v,
-			Intrinsics: camera.DefaultIntrinsics(),
-			Pos:        v.Entrance(),
-			BlurProb:   *blurProb,
-		},
-		Venue:   v,
-		WalkMap: v.WalkMap(gt),
+	walkMap := v.WalkMap(gt)
+	newAgent := func(crash float64) *client.Agent {
+		return &client.Agent{
+			Client: cl,
+			Worker: &crowd.GuidedWorker{
+				World:      world,
+				Venue:      v,
+				Intrinsics: camera.DefaultIntrinsics(),
+				Pos:        v.Entrance(),
+				BlurProb:   *blurProb,
+			},
+			Venue:     v,
+			WalkMap:   walkMap,
+			CrashProb: crash,
+		}
 	}
+	agent := newAgent(*crashProb)
 
 	if *tailEvents {
 		// Log each lifecycle event as the server journals it, concurrently
@@ -129,15 +139,24 @@ func run(args []string) error {
 			slog.Int("points", resp.NewPoints))
 	}
 
-	stats, err := agent.Run(*maxTasks, rng)
-	if err != nil {
-		return err
+	if *workers <= 0 {
+		// Legacy anonymous loop over the deprecated GET /v1/task peek; kept
+		// for servers without dispatch-aware clients.
+		stats, err := agent.Run(*maxTasks, rng)
+		if err != nil {
+			return err
+		}
+		logger.Info("agent done",
+			slog.Int("photo_tasks", stats.PhotoTasks),
+			slog.Int("annotation_tasks", stats.AnnotationTasks),
+			slog.Int("photos_uploaded", stats.PhotosUploaded),
+			slog.Bool("covered", stats.Covered))
+	} else {
+		factory := func() *client.Agent { return newAgent(*crashProb) }
+		if err := runFleet(logger, cl, factory, *workers, *maxTasks, *agentSeed); err != nil {
+			return err
+		}
 	}
-	logger.Info("agent done",
-		slog.Int("photo_tasks", stats.PhotoTasks),
-		slog.Int("annotation_tasks", stats.AnnotationTasks),
-		slog.Int("photos_uploaded", stats.PhotosUploaded),
-		slog.Bool("covered", stats.Covered))
 
 	status, err := cl.Status()
 	if err != nil {
@@ -151,6 +170,55 @@ func run(args []string) error {
 		slog.Int("annotation_tasks", status.AnnotationTasks),
 		slog.Bool("covered", status.Covered))
 	return nil
+}
+
+// runFleet registers n workers with the dispatcher and runs each one's
+// lease-aware claim loop concurrently, each with its own simulated body and
+// behaviour seed. Per-worker stats are logged as each finishes; the first
+// worker error (if any) is returned after all have stopped.
+func runFleet(logger *slog.Logger, cl *client.Client, newAgent func() *client.Agent, n, maxTasks int, agentSeed int64) error {
+	type result struct {
+		id    string
+		stats client.AgentStats
+		err   error
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		a := newAgent()
+		wrng := rand.New(rand.NewSource(agentSeed + int64(i)))
+		go func() {
+			pos := a.Worker.Pos
+			reg, err := cl.RegisterWorker(server.RegisterWorkerRequest{
+				X: pos.X, Y: pos.Y, HasLoc: true,
+			})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			stats, err := a.RunWorker(reg.ID, maxTasks, wrng)
+			results <- result{id: reg.ID, stats: stats, err: err}
+		}()
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		logger.Info("worker done",
+			slog.String("worker", r.id),
+			slog.Int("claims", r.stats.Claims),
+			slog.Int("photo_tasks", r.stats.PhotoTasks),
+			slog.Int("annotation_tasks", r.stats.AnnotationTasks),
+			slog.Int("crashes", r.stats.Crashes),
+			slog.Int("lost_leases", r.stats.LostLeases),
+			slog.Int("duplicates", r.stats.Duplicates),
+			slog.Bool("covered", r.stats.Covered))
+	}
+	return firstErr
 }
 
 func buildVenue(name string, seed int64) (*venue.Venue, error) {

@@ -48,6 +48,7 @@ import (
 
 	"snaptask/internal/camera"
 	"snaptask/internal/core"
+	"snaptask/internal/dispatch"
 	"snaptask/internal/events"
 	"snaptask/internal/server"
 	"snaptask/internal/telemetry"
@@ -75,6 +76,10 @@ func run(ctx context.Context, args []string) error {
 	savePath := fs.String("save", "", "write a state snapshot here on graceful shutdown")
 	journalPath := fs.String("journal", "",
 		"append campaign lifecycle events to this JSONL journal; on startup an existing journal is replayed to restore campaign counters and progress history (enables GET /v1/events and /v1/progress)")
+	leaseTTL := fs.Duration("lease-ttl", 60*time.Second,
+		"task lease duration: a claimed task whose worker stops heartbeating this long is requeued for other workers")
+	incentiveBudget := fs.Float64("incentive-budget", 0,
+		"campaign incentive budget; >0 enables incentive-aware task assignment for workers that report a location")
 	drain := fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain limit")
 	pprofAddr := fs.String("pprof-addr", "",
 		"serve net/http/pprof and /debug/traces on this address (e.g. localhost:6060); empty disables")
@@ -121,7 +126,13 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 	sys.SetTelemetry(tel)
-	opts := []server.Option{server.WithTelemetry(tel)}
+	opts := []server.Option{
+		server.WithTelemetry(tel),
+		server.WithDispatch(dispatch.New(dispatch.Config{
+			LeaseTTL: *leaseTTL,
+			Budget:   *incentiveBudget,
+		})),
+	}
 	var evlog *events.Log
 	if *journalPath != "" {
 		evlog, err = events.Open(*journalPath, telemetry.NewEventMetrics(tel.Registry))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"math/rand"
 	"net"
 	"net/http"
@@ -11,7 +12,9 @@ import (
 	"time"
 
 	"snaptask/internal/camera"
+	"snaptask/internal/client"
 	"snaptask/internal/core"
+	"snaptask/internal/server"
 )
 
 func TestBuildVenue(t *testing.T) {
@@ -141,4 +144,164 @@ func TestGracefulShutdown(t *testing.T) {
 	if _, err := core.LoadSystem(f, v, world); err != nil {
 		t.Fatalf("saved state does not load: %v", err)
 	}
+}
+
+// TestLeaseLifecycleE2E drives the full dispatch story against the real
+// server entrypoint: registration, claims, reassignment after the holder
+// stops heartbeating, blur exclusion, and a restart over the journal that
+// restores the /v1/status dispatch section byte-identically.
+func TestLeaseLifecycleE2E(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	args := []string{
+		"-addr", addr, "-venue", "small", "-journal", journal,
+		"-lease-ttl", "1s", "-log-level", "error",
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args) }()
+	waitReady(t, addr)
+
+	// The same simulated world the server derives from -venue/-seed.
+	v, err := buildVenue("small", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := camera.NewWorld(v, v.GenerateFeatures(rand.New(rand.NewSource(42))))
+	rng := rand.New(rand.NewSource(9))
+	cl := client.New("http://"+addr, nil)
+
+	photos, err := core.BootstrapCapture(world, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadBootstrap(photos); err != nil {
+		t.Fatal(err)
+	}
+
+	w1, err := cl.RegisterWorker(server.RegisterWorkerRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cl.RegisterWorker(server.RegisterWorkerRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// w1 claims and goes silent; past the TTL the task is w2's.
+	task1, ok, err := cl.Claim(w1.ID, nil)
+	if err != nil || !ok {
+		t.Fatalf("w1 claim: ok=%v err=%v", ok, err)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	task2, ok, err := cl.Claim(w2.ID, nil)
+	if err != nil || !ok {
+		t.Fatalf("w2 claim after expiry: ok=%v err=%v", ok, err)
+	}
+	if task2.ID != task1.ID {
+		t.Fatalf("w2 got task %d, want the abandoned task %d", task2.ID, task1.ID)
+	}
+
+	// w2 uploads a careless, fully blurred sweep: the task is re-issued
+	// with w2 excluded.
+	if _, err := cl.Heartbeat(w2.ID); err != nil {
+		t.Fatal(err)
+	}
+	blurry, err := world.Sweep(task2.Location, camera.DefaultIntrinsics(),
+		camera.CaptureOptions{MotionBlurLen: 14}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadPhotos(task2, blurry); err != nil {
+		t.Fatalf("blurry upload: %v", err)
+	}
+	if _, ok, err := cl.Claim(w2.ID, nil); err != nil || ok {
+		t.Fatalf("blur-excluded worker was reassigned the task: ok=%v err=%v", ok, err)
+	}
+	task3, ok, err := cl.Claim(w1.ID, nil)
+	if err != nil || !ok {
+		t.Fatalf("w1 claim of re-issued task: ok=%v err=%v", ok, err)
+	}
+	if task3.ID == task2.ID {
+		t.Fatal("re-issued task kept the old ID")
+	}
+
+	before := dispatchStatusJSON(t, addr)
+
+	// Restart over the same journal.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("first run did not stop")
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2 := make(chan error, 1)
+	go func() { done2 <- run(ctx2, args) }()
+	defer func() {
+		cancel2()
+		select {
+		case <-done2:
+		case <-time.After(30 * time.Second):
+			t.Fatal("second run did not stop")
+		}
+	}()
+	waitReady(t, addr)
+
+	after := dispatchStatusJSON(t, addr)
+	if before != after {
+		t.Fatalf("dispatch status diverged across restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// waitReady polls /readyz until the server answers.
+func waitReady(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// dispatchStatusJSON fetches /v1/status and renders its dispatch section
+// canonically (map keys sort on marshal).
+func dispatchStatusJSON(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := status["dispatch"]
+	if !ok {
+		t.Fatal("status has no dispatch section")
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

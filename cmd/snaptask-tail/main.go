@@ -19,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,7 +38,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string, out *os.File) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("snaptask-tail", flag.ContinueOnError)
 	serverURL := fs.String("server", "http://127.0.0.1:8080", "backend base URL")
 	after := fs.Uint64("after", 0, "start after this sequence number (0 = full history)")
@@ -103,12 +104,13 @@ func summaryLine(c events.Counters) string {
 		state = "covered"
 	}
 	return fmt.Sprintf(
-		"[%s] coverage=%d cells | photos=%d | tasks=%d (photo=%d ann=%d retried=%d escalated=%d) | batches ok=%d rejected blur=%d reg=%d growth=%d err=%d | ann rounds=%d | seq=%d",
+		"[%s] coverage=%d cells | photos=%d | tasks=%d (photo=%d ann=%d retried=%d escalated=%d) | batches ok=%d rejected blur=%d reg=%d growth=%d err=%d | ann rounds=%d | dispatch workers=%d claims=%d expired=%d requeued=%d | seq=%d",
 		state, c.CoverageCells, c.PhotosProcessed,
 		c.PhotoTasksIssued+c.AnnotationTasksIssued,
 		c.PhotoTasksIssued, c.AnnotationTasksIssued, c.TasksRetried, c.TasksEscalated,
 		c.BatchesAccepted, c.RejectedBlur, c.RejectedRegistration, c.RejectedNoGrowth,
-		c.RejectedError, c.AnnotationRounds, c.LastSeq)
+		c.RejectedError, c.AnnotationRounds,
+		c.WorkersRegistered, c.TasksClaimed, c.LeasesExpired, c.TasksRequeued, c.LastSeq)
 }
 
 // eventDetail renders the kind-specific fields for -events mode.
@@ -130,6 +132,15 @@ func eventDetail(e events.Event) string {
 		return fmt.Sprintf(" cells=%d delta=%+d", e.CoverageCells, e.Delta)
 	case events.KindCovered:
 		return fmt.Sprintf(" cells=%d", e.CoverageCells)
+	case events.KindWorkerRegistered:
+		return fmt.Sprintf(" worker=%s", e.Worker)
+	case events.KindTaskClaimed:
+		return fmt.Sprintf(" task=%d kind=%s worker=%s lease=%s",
+			e.TaskID, e.TaskKind, e.Worker, e.LeaseID)
+	case events.KindLeaseExpired:
+		return fmt.Sprintf(" task=%d worker=%s lease=%s", e.TaskID, e.Worker, e.LeaseID)
+	case events.KindTaskRequeued:
+		return fmt.Sprintf(" task=%d kind=%s", e.TaskID, e.TaskKind)
 	default:
 		return ""
 	}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"snaptask/internal/events"
+)
+
+// cannedEventServer serves a fixed SSE stream on GET /v1/events: a full
+// dispatch lifecycle — registration, claim, expiry, requeue, re-claim,
+// completion — ending with campaign_covered so -exit-on-covered unwinds
+// the tail cleanly.
+func cannedEventServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	evs := []events.Event{
+		{Seq: 1, Kind: events.KindWorkerRegistered, Worker: "w1"},
+		{Seq: 2, Kind: events.KindWorkerRegistered, Worker: "w2"},
+		{Seq: 3, Kind: events.KindTaskIssued, TaskID: 1, TaskKind: "photo", X: 2, Y: 3},
+		{Seq: 4, Kind: events.KindTaskClaimed, TaskID: 1, TaskKind: "photo", Worker: "w1", LeaseID: "l1"},
+		{Seq: 5, Kind: events.KindLeaseExpired, TaskID: 1, Worker: "w1", LeaseID: "l1"},
+		{Seq: 6, Kind: events.KindTaskRequeued, TaskID: 1, TaskKind: "photo"},
+		{Seq: 7, Kind: events.KindTaskClaimed, TaskID: 1, TaskKind: "photo", Worker: "w2", LeaseID: "l2"},
+		{Seq: 8, Kind: events.KindBatchAccepted, Batch: "photo_batch", Photos: 8, Worker: "w2", LeaseID: "l2"},
+		{Seq: 9, Kind: events.KindCovered, CoverageCells: 64},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		for _, e := range evs {
+			payload, err := json.Marshal(e)
+			if err != nil {
+				t.Errorf("marshal: %v", err)
+				return
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, payload)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunPerEventRendersDispatchLifecycle(t *testing.T) {
+	ts := cannedEventServer(t)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-server", ts.URL, "-events", "-exit-on-covered",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"kind=worker_registered worker=w1",
+		"kind=task_claimed task=1 kind=photo worker=w1 lease=l1",
+		"kind=lease_expired task=1 worker=w1 lease=l1",
+		"kind=task_requeued task=1 kind=photo",
+		"kind=task_claimed task=1 kind=photo worker=w2 lease=l2",
+		"kind=campaign_covered cells=64",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("per-event output missing %q:\n%s", want, got)
+		}
+	}
+	if lines := strings.Count(got, "\n"); lines != 9 {
+		t.Errorf("expected 9 event lines, got %d:\n%s", lines, got)
+	}
+}
+
+func TestRunSummaryFoldsDispatchCounters(t *testing.T) {
+	ts := cannedEventServer(t)
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-server", ts.URL, "-exit-on-covered",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	// The last rewrite of the summary line reflects the whole stream.
+	if !strings.Contains(got, "dispatch workers=2 claims=2 expired=1 requeued=1") {
+		t.Errorf("summary missing dispatch counts:\n%q", got)
+	}
+	if !strings.Contains(got, "[covered]") {
+		t.Errorf("summary missing covered state:\n%q", got)
+	}
+}

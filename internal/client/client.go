@@ -12,6 +12,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
+	"time"
 
 	"snaptask/internal/annotation"
 	"snaptask/internal/camera"
@@ -97,6 +99,10 @@ type Task struct {
 	HasSeed bool
 	// Covered is true when the backend has declared the venue complete.
 	Covered bool
+	// WorkerID and LeaseID are set on tasks obtained through Claim; the
+	// upload helpers forward them so the backend validates the lease.
+	WorkerID string
+	LeaseID  string
 }
 
 // aimPoint returns the capture aim: the seed when the backend sent one.
@@ -136,6 +142,57 @@ func (c *Client) NextTask() (Task, bool, error) {
 	}, true, nil
 }
 
+// RegisterWorker registers this client in the backend's dispatch registry
+// (POST /v1/workers). An empty ID in the request is assigned by the server.
+func (c *Client) RegisterWorker(req server.RegisterWorkerRequest) (server.RegisterWorkerResponse, error) {
+	var resp server.RegisterWorkerResponse
+	err := c.postJSON("/v1/workers", req, &resp)
+	return resp, err
+}
+
+// Heartbeat marks the worker alive (POST /v1/workers/{id}/heartbeat),
+// extending its active lease.
+func (c *Client) Heartbeat(workerID string) (server.HeartbeatResponse, error) {
+	var resp server.HeartbeatResponse
+	err := c.postJSON("/v1/workers/"+workerID+"/heartbeat", struct{}{}, &resp)
+	return resp, err
+}
+
+// Claim requests a task lease (POST /v1/task/claim). ok=false means no
+// eligible task is pending right now; a Covered task means mapping is done.
+// A reported position enables the backend's incentive-aware assignment.
+func (c *Client) Claim(workerID string, pos *geom.Vec2) (Task, bool, error) {
+	req := server.ClaimRequest{WorkerID: workerID}
+	if pos != nil {
+		req.X, req.Y, req.HasLoc = pos.X, pos.Y, true
+	}
+	var resp server.ClaimResponse
+	if err := c.postJSON("/v1/task/claim", req, &resp); err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound &&
+			!strings.Contains(apiErr.Body, "unknown worker") {
+			return Task{}, false, nil
+		}
+		return Task{}, false, err
+	}
+	if resp.Task.Covered {
+		return Task{Covered: true}, true, nil
+	}
+	kind, err := server.TaskKindFromString(resp.Task.Kind)
+	if err != nil {
+		return Task{}, false, err
+	}
+	return Task{
+		ID:       resp.Task.ID,
+		Kind:     kind,
+		Location: geom.V2(resp.Task.X, resp.Task.Y),
+		Seed:     geom.V2(resp.Task.SeedX, resp.Task.SeedY),
+		HasSeed:  resp.Task.HasSeed,
+		WorkerID: resp.WorkerID,
+		LeaseID:  resp.LeaseID,
+	}, true, nil
+}
+
 // UploadBootstrap sends the initial capture set.
 func (c *Client) UploadBootstrap(photos []camera.Photo) (server.UploadResponse, error) {
 	req := server.UploadRequest{Bootstrap: true}
@@ -150,12 +207,14 @@ func (c *Client) UploadBootstrap(photos []camera.Photo) (server.UploadResponse, 
 // UploadPhotos sends a completed photo task's batch.
 func (c *Client) UploadPhotos(task Task, photos []camera.Photo) (server.UploadResponse, error) {
 	req := server.UploadRequest{
-		TaskID:  task.ID,
-		LocX:    task.Location.X,
-		LocY:    task.Location.Y,
-		SeedX:   task.Seed.X,
-		SeedY:   task.Seed.Y,
-		HasSeed: task.HasSeed,
+		TaskID:   task.ID,
+		LocX:     task.Location.X,
+		LocY:     task.Location.Y,
+		SeedX:    task.Seed.X,
+		SeedY:    task.Seed.Y,
+		HasSeed:  task.HasSeed,
+		WorkerID: task.WorkerID,
+		LeaseID:  task.LeaseID,
 	}
 	for _, p := range photos {
 		req.Photos = append(req.Photos, server.PhotoToDTO(p))
@@ -168,12 +227,14 @@ func (c *Client) UploadPhotos(task Task, photos []camera.Photo) (server.UploadRe
 // UploadAnnotations sends an annotation task's photos and worker marks.
 func (c *Client) UploadAnnotations(task Task, atask annotation.Task, anns []annotation.Annotation) (server.AnnotateResponse, error) {
 	req := server.AnnotateRequest{
-		TaskID:  task.ID,
-		LocX:    atask.Location.X,
-		LocY:    atask.Location.Y,
-		SeedX:   task.Seed.X,
-		SeedY:   task.Seed.Y,
-		HasSeed: task.HasSeed,
+		TaskID:   task.ID,
+		LocX:     atask.Location.X,
+		LocY:     atask.Location.Y,
+		SeedX:    task.Seed.X,
+		SeedY:    task.Seed.Y,
+		HasSeed:  task.HasSeed,
+		WorkerID: task.WorkerID,
+		LeaseID:  task.LeaseID,
 	}
 	for _, p := range atask.Photos {
 		req.Photos = append(req.Photos, server.PhotoToDTO(p))
@@ -223,6 +284,17 @@ type Agent struct {
 	// Workers configures simulated annotation workers (the online tool's
 	// crowd).
 	Workers annotation.WorkerOptions
+	// CrashProb is the per-claim probability (RunWorker only) that the
+	// agent vanishes mid-lease: it claims a task and then neither
+	// heartbeats nor uploads, exercising the backend's expiry-and-requeue
+	// recovery.
+	CrashProb float64
+	// Poll is the idle wait between claim attempts when no task is
+	// pending (RunWorker; default 50ms).
+	Poll time.Duration
+	// MaxIdle bounds consecutive empty claim attempts before RunWorker
+	// gives up (default 40).
+	MaxIdle int
 }
 
 // AgentStats summarises an agent session.
@@ -231,6 +303,12 @@ type AgentStats struct {
 	AnnotationTasks int
 	PhotosUploaded  int
 	Covered         bool
+	// RunWorker bookkeeping: leases claimed, simulated mid-lease crashes,
+	// and leases lost to expiry or conflict before the upload landed.
+	Claims     int
+	Crashes    int
+	LostLeases int
+	Duplicates int
 }
 
 // Run executes tasks until the venue is covered, no tasks remain, or
@@ -277,4 +355,111 @@ func (a *Agent) Run(maxTasks int, rng *rand.Rand) (AgentStats, error) {
 		}
 	}
 	return stats, nil
+}
+
+// RunWorker is the lease-aware task loop: the agent claims tasks under the
+// given registered worker ID, heartbeats while performing them, and uploads
+// under the lease. With CrashProb set it sometimes abandons a claim
+// mid-lease (no heartbeat, no upload) to exercise the backend's
+// expiry-and-requeue path; leases lost to expiry or conflict are counted
+// and the loop moves on. The loop ends when the venue is covered, maxTasks
+// tasks have been attempted, or MaxIdle consecutive claims found nothing.
+func (a *Agent) RunWorker(workerID string, maxTasks int, rng *rand.Rand) (AgentStats, error) {
+	var stats AgentStats
+	poll := a.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	maxIdle := a.MaxIdle
+	if maxIdle <= 0 {
+		maxIdle = 40
+	}
+	idle := 0
+	for done := 0; done < maxTasks; {
+		pos := a.Worker.Pos
+		task, ok, err := a.Client.Claim(workerID, &pos)
+		if err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict {
+				// Incentive budget exhausted: no more paid work for us.
+				return stats, nil
+			}
+			return stats, err
+		}
+		if !ok {
+			idle++
+			if idle >= maxIdle {
+				return stats, nil
+			}
+			time.Sleep(poll)
+			continue
+		}
+		if task.Covered {
+			stats.Covered = true
+			return stats, nil
+		}
+		idle = 0
+		stats.Claims++
+		done++
+		if a.CrashProb > 0 && rng.Float64() < a.CrashProb {
+			stats.Crashes++ // vanish mid-lease; the backend will requeue
+			continue
+		}
+		if _, err := a.Client.Heartbeat(workerID); err != nil {
+			return stats, err
+		}
+		switch task.Kind {
+		case taskgen.KindPhoto:
+			res, err := a.Worker.DoPhotoTask(a.WalkMap, task.Location, rng)
+			if err != nil {
+				return stats, err
+			}
+			resp, err := a.Client.UploadPhotos(task, res.Photos)
+			if lost := leaseLost(err); lost {
+				stats.LostLeases++
+				continue
+			} else if err != nil {
+				return stats, err
+			}
+			if resp.Duplicate {
+				stats.Duplicates++
+				continue
+			}
+			stats.PhotoTasks++
+			stats.PhotosUploaded += len(res.Photos)
+		case taskgen.KindAnnotation:
+			atask, err := a.Worker.DoAnnotationTask(a.WalkMap, task.aimPoint(), rng)
+			if err != nil {
+				return stats, err
+			}
+			anns, err := annotation.SimulateWorkers(atask, a.Venue, a.Workers, rng)
+			if err != nil {
+				return stats, err
+			}
+			resp, err := a.Client.UploadAnnotations(task, atask, anns)
+			if lost := leaseLost(err); lost {
+				stats.LostLeases++
+				continue
+			} else if err != nil {
+				return stats, err
+			}
+			if resp.Duplicate {
+				stats.Duplicates++
+				continue
+			}
+			stats.AnnotationTasks++
+			stats.PhotosUploaded += len(atask.Photos)
+		}
+	}
+	return stats, nil
+}
+
+// leaseLost reports whether an upload error means the lease is gone
+// (expired and requeued, or granted to someone else) rather than broken.
+func leaseLost(err error) bool {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Status == http.StatusGone || apiErr.Status == http.StatusConflict
 }

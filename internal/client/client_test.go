@@ -6,12 +6,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"snaptask/internal/geom"
 
 	"snaptask/internal/camera"
 	"snaptask/internal/core"
 	"snaptask/internal/crowd"
+	"snaptask/internal/dispatch"
 	"snaptask/internal/server"
 	"snaptask/internal/venue"
 )
@@ -273,5 +275,122 @@ func TestNextTaskSeedRoundTrip(t *testing.T) {
 	}
 	if task.Seed != (geom.Vec2{}) || task.aimPoint() != (geom.Vec2{}) {
 		t.Errorf("origin seed not honoured: seed=%v aim=%v", task.Seed, task.aimPoint())
+	}
+}
+
+// TestWorkerFleetWithCrashes drives the lease-aware loop the way the paper's
+// crowd behaves: one worker that always vanishes mid-lease plus two reliable
+// workers running concurrently. The abandoned leases must expire and requeue,
+// and the reliable pair must still cover the venue.
+func TestWorkerFleetWithCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fleet test")
+	}
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(1)))
+	w := camera.NewWorld(v, feats)
+	sys, err := core.NewSystem(v, w, core.Config{Margin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(sys, rand.New(rand.NewSource(2)),
+		server.WithDispatch(dispatch.New(dispatch.Config{LeaseTTL: 3 * time.Second})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	cl := New(ts.URL, nil)
+
+	gt, err := v.GroundTruthAt(sys.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	walkMap := v.WalkMap(gt)
+	newAgent := func(crash float64) *Agent {
+		return &Agent{
+			Client: cl,
+			Worker: &crowd.GuidedWorker{
+				World: w, Venue: v, Intrinsics: camera.DefaultIntrinsics(), Pos: v.Entrance(),
+			},
+			Venue: v, WalkMap: walkMap,
+			CrashProb: crash,
+			Poll:      25 * time.Millisecond,
+			MaxIdle:   400,
+		}
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	boot, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadBootstrap(boot); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crasher claims twice and abandons both leases.
+	crasher, err := cl.RegisterWorker(server.RegisterWorkerRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashStats, err := newAgent(1).RunWorker(crasher.ID, 2, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashStats.Crashes != 2 || crashStats.Claims != 2 {
+		t.Fatalf("crasher stats: %+v", crashStats)
+	}
+
+	// Two reliable workers race to finish the venue.
+	type result struct {
+		stats AgentStats
+		err   error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		a := newAgent(0)
+		seed := int64(10 + i)
+		go func() {
+			reg, err := cl.RegisterWorker(server.RegisterWorkerRequest{})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			stats, err := a.RunWorker(reg.ID, 120, rand.New(rand.NewSource(seed)))
+			results <- result{stats: stats, err: err}
+		}()
+	}
+	covered := false
+	var totalDone int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("fleet worker: %v", r.err)
+		}
+		covered = covered || r.stats.Covered
+		totalDone += r.stats.PhotoTasks + r.stats.AnnotationTasks
+	}
+	if !sys.Covered() {
+		st, _ := cl.Status()
+		t.Fatalf("fleet failed to cover the venue (covered flag %v): %+v", covered, st)
+	}
+	if totalDone == 0 {
+		t.Fatal("reliable workers completed nothing")
+	}
+
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.Dispatch
+	if d == nil || d.Expiries < 1 || d.Requeues < 1 {
+		t.Fatalf("crashed leases never recycled: %+v", d)
+	}
+	if pw := d.PerWorker[crasher.ID]; pw.Completions != 0 {
+		t.Fatalf("crasher completed work: %+v", pw)
 	}
 }

@@ -113,6 +113,8 @@ type System struct {
 	ingestM  *telemetry.IngestMetrics
 	logger   *slog.Logger
 	reqID    string
+	workerID string
+	leaseID  string
 	curTrace *telemetry.Trace
 
 	// Campaign event journal; nil (no-op) until SetEvents. lastCovCells is
@@ -209,12 +211,20 @@ func (s *System) SetEvents(log *events.Log) {
 	s.lastCovCells = s.maps.CoverageCells()
 }
 
-// emit stamps the in-flight request ID onto e and records it.
+// emit stamps the in-flight request ID and worker/lease context onto e and
+// records it. Worker attribution on the batch events is what lets the
+// dispatcher's replay fold complete leases and re-apply blur exclusions.
 func (s *System) emit(e events.Event) {
 	if s.evlog == nil {
 		return
 	}
 	e.RequestID = s.reqID
+	if e.Worker == "" {
+		e.Worker = s.workerID
+	}
+	if e.LeaseID == "" {
+		e.LeaseID = s.leaseID
+	}
 	s.evlog.Emit(e)
 }
 
@@ -223,6 +233,15 @@ func (s *System) emit(e events.Event) {
 // log. The server's owner goroutine sets it before each Process* call and
 // clears it after.
 func (s *System) SetRequestID(id string) { s.reqID = id }
+
+// SetWorker stamps subsequent emitted events with the worker and lease that
+// produced the upload being processed. The server's owner goroutine sets it
+// before each lease-validated Process* call and clears it after; anonymous
+// uploads leave both empty.
+func (s *System) SetWorker(workerID, leaseID string) {
+	s.workerID = workerID
+	s.leaseID = leaseID
+}
 
 // beginBatch opens a per-batch trace and points every pipeline stage's
 // span sink at it. Returns nil (a valid no-op trace) when no tracer is
@@ -351,6 +370,27 @@ func (s *System) NextTask() (taskgen.Task, bool) {
 	return t, true
 }
 
+// PeekTask returns the next pending task without removing it — the
+// anonymous GET /v1/task path, which no longer owns assignment.
+func (s *System) PeekTask() (taskgen.Task, bool) {
+	if len(s.pending) == 0 {
+		return taskgen.Task{}, false
+	}
+	return s.pending[0], true
+}
+
+// TakeTask removes the pending task with the given ID and returns it. ok is
+// false when no such task is pending (already claimed or completed).
+func (s *System) TakeTask(id int) (taskgen.Task, bool) {
+	for i, t := range s.pending {
+		if t.ID == id {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return t, true
+		}
+	}
+	return taskgen.Task{}, false
+}
+
 // PendingTasks returns a copy of the pending task queue.
 func (s *System) PendingTasks() []taskgen.Task {
 	return append([]taskgen.Task(nil), s.pending...)
@@ -432,6 +472,7 @@ func (s *System) step(in taskgen.StepInput) (taskgen.StepOutput, error) {
 	in.Obstacles = s.maps.Obstacles
 	in.Visibility = s.effectiveVisibility()
 	in.Start = s.venue.Entrance()
+	in.WorkerID = s.workerID
 	sp := s.curTrace.Span("taskgen")
 	wasCovered := s.covered
 	out, err := s.gen.Step(in)
@@ -526,6 +567,10 @@ type BatchOutcome struct {
 	CoverageIncreased bool
 	TasksIssued       []taskgen.Task
 	VenueCovered      bool
+	// RetriedForBlur is true when the batch was rejected as blurry and the
+	// task was re-issued; the uploading worker then joins the re-issued
+	// task's exclusion set.
+	RetriedForBlur bool
 }
 
 // ProcessBootstrap ingests the initial capture set (the paper's 2-minute
@@ -604,6 +649,7 @@ func (s *System) ProcessPhotoBatch(taskLoc, taskSeed geom.Vec2, photos []camera.
 		CoverageIncreased: grew,
 		TasksIssued:       out.Tasks,
 		VenueCovered:      out.VenueCovered,
+		RetriedForBlur:    out.RetriedForBlur,
 	}, nil
 }
 
@@ -613,6 +659,9 @@ type AnnotationOutcome struct {
 	CoverageCells int
 	TasksIssued   []taskgen.Task
 	VenueCovered  bool
+	// RetriedForBlur mirrors BatchOutcome: a blurry annotation photo set
+	// re-issues the task for other workers.
+	RetriedForBlur bool
 }
 
 // ProcessAnnotation runs Algorithms 5 and 6 over the collected photo set
@@ -672,10 +721,11 @@ func (s *System) ProcessAnnotation(task annotation.Task, taskSeed geom.Vec2, ann
 		return AnnotationOutcome{}, err
 	}
 	return AnnotationOutcome{
-		Recon:         recon,
-		CoverageCells: after,
-		TasksIssued:   out.Tasks,
-		VenueCovered:  out.VenueCovered,
+		Recon:          recon,
+		CoverageCells:  after,
+		TasksIssued:    out.Tasks,
+		VenueCovered:   out.VenueCovered,
+		RetriedForBlur: out.RetriedForBlur,
 	}, nil
 }
 

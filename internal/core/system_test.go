@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"snaptask/internal/annotation"
@@ -342,7 +343,7 @@ func TestIncrementalRebuildDeterminism(t *testing.T) {
 		t.Fatalf("pending queues diverge: %d vs %d", len(pInc), len(pFull))
 	}
 	for i := range pInc {
-		if pInc[i] != pFull[i] {
+		if !reflect.DeepEqual(pInc[i], pFull[i]) {
 			t.Fatalf("pending task %d diverges: %+v vs %+v", i, pInc[i], pFull[i])
 		}
 	}

@@ -23,6 +23,10 @@ type Counters struct {
 	PhotosProcessed       int  `json:"photosProcessed"`
 	CoverageCells         int  `json:"coverageCells"`
 	Covered               bool `json:"covered"`
+	WorkersRegistered     int  `json:"workersRegistered"`
+	TasksClaimed          int  `json:"tasksClaimed"`
+	LeasesExpired         int  `json:"leasesExpired"`
+	TasksRequeued         int  `json:"tasksRequeued"`
 	// LastSeq is the sequence number of the last folded event — after replay
 	// it equals the journal's LastSeq, a cheap restored-exactly check.
 	LastSeq uint64 `json:"lastSeq"`
@@ -106,6 +110,14 @@ func (a *Campaign) Apply(e Event) {
 		if e.CoverageCells > 0 {
 			c.CoverageCells = e.CoverageCells
 		}
+	case KindWorkerRegistered:
+		c.WorkersRegistered++
+	case KindTaskClaimed:
+		c.TasksClaimed++
+	case KindLeaseExpired:
+		c.LeasesExpired++
+	case KindTaskRequeued:
+		c.TasksRequeued++
 	}
 	c.LastSeq = e.Seq
 }

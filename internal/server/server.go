@@ -16,6 +16,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -27,6 +28,7 @@ import (
 	"snaptask/internal/annotation"
 	"snaptask/internal/camera"
 	"snaptask/internal/core"
+	"snaptask/internal/dispatch"
 	"snaptask/internal/events"
 	"snaptask/internal/geom"
 	"snaptask/internal/grid"
@@ -88,6 +90,10 @@ type UploadRequest struct {
 	// aims the task loop at the task location instead.
 	HasSeed bool       `json:"hasSeed"`
 	Photos  []PhotoDTO `json:"photos"`
+	// WorkerID and LeaseID validate the upload against the dispatch lease
+	// granted by POST /v1/task/claim. Empty for anonymous-compat uploads.
+	WorkerID string `json:"workerId,omitempty"`
+	LeaseID  string `json:"leaseId,omitempty"`
 }
 
 // UploadResponse reports the batch outcome.
@@ -98,6 +104,9 @@ type UploadResponse struct {
 	NewPoints     int  `json:"newPoints"`
 	CoverageCells int  `json:"coverageCells"`
 	VenueCovered  bool `json:"venueCovered"`
+	// Duplicate is true when the lease had already completed: the upload
+	// was acknowledged idempotently without reprocessing the batch.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // AnnotationDTO is one worker's corner marks on one photo.
@@ -119,6 +128,10 @@ type AnnotateRequest struct {
 	HasSeed bool            `json:"hasSeed"`
 	Photos  []PhotoDTO      `json:"photos"`
 	Marks   []AnnotationDTO `json:"marks"`
+	// WorkerID and LeaseID validate against the dispatch lease (see
+	// UploadRequest).
+	WorkerID string `json:"workerId,omitempty"`
+	LeaseID  string `json:"leaseId,omitempty"`
 }
 
 // AnnotateResponse reports the reconstruction outcome.
@@ -127,6 +140,9 @@ type AnnotateResponse struct {
 	Reconstructed int  `json:"reconstructed"`
 	CoverageCells int  `json:"coverageCells"`
 	VenueCovered  bool `json:"venueCovered"`
+	// Duplicate mirrors UploadResponse: idempotent re-upload of a
+	// completed lease.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // MapResponse carries the current 2D map for the client's floor-plan view.
@@ -171,6 +187,11 @@ type StatusResponse struct {
 	// They are sourced from the same fold the journal replays, so status is
 	// identical before and after a restart.
 	Lifecycle *events.Counters `json:"lifecycle,omitempty"`
+	// Dispatch carries the task-dispatch section: registry size, active
+	// leases, expiry/requeue totals and per-worker counters. Like
+	// Lifecycle, it is journal-restorable, so it too survives restarts
+	// byte-identically.
+	Dispatch *dispatch.Status `json:"dispatch,omitempty"`
 }
 
 // ReadSnapshot is the immutable state the read endpoints serve from. The
@@ -212,6 +233,11 @@ type Server struct {
 	tel   *telemetry.Telemetry
 	snapM *telemetry.SnapshotMetrics
 
+	// Task dispatch: always present (New builds a default when no option
+	// supplies one), so the worker/claim endpoints are always live.
+	disp  *dispatch.Dispatcher
+	dispM *telemetry.DispatchMetrics
+
 	// Campaign event log (nil when the server runs without one). replaying
 	// is set while New folds a pre-existing journal into the campaign
 	// aggregate; /readyz reports not-ready until it clears. sseHeartbeat
@@ -240,6 +266,12 @@ func WithTelemetry(tel *telemetry.Telemetry) Option {
 // and GET /v1/progress serves the derived time series.
 func WithEvents(log *events.Log) Option {
 	return func(s *Server) { s.evlog = log }
+}
+
+// WithDispatch replaces the default task dispatcher — used to configure the
+// lease TTL, an incentive budget, or (in tests) an injected clock.
+func WithDispatch(d *dispatch.Dispatcher) Option {
+	return func(s *Server) { s.disp = d }
 }
 
 // New returns a server for the given system. The rng drives all stochastic
@@ -271,12 +303,34 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 		}
 		sys.SetEvents(s.evlog)
 	}
+	if s.disp == nil {
+		s.disp = dispatch.New(dispatch.Config{})
+	}
+	if s.tel != nil {
+		s.dispM = telemetry.NewDispatchMetrics(s.tel.Registry)
+		s.disp.SetMetrics(s.dispM)
+	}
+	s.disp.AttachLog(s.evlog)
+	if s.evlog != nil {
+		// Fold the journal into the dispatcher too: registry, per-worker
+		// counters and active leases (re-armed with a fresh TTL) come back,
+		// making the status dispatch section byte-identical post-restart.
+		if err := s.evlog.ReadAfter(0, func(e events.Event) error {
+			s.disp.Restore(e)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("server: dispatch restore: %w", err)
+		}
+	}
 	s.locateRNG = rand.New(rand.NewSource(rng.Int63()))
 	s.publishLocked()
 	handle := func(pattern string, h http.HandlerFunc) {
 		s.mux.Handle(pattern, httpI.Route(pattern, h))
 	}
 	handle("GET /v1/task", s.handleTask)
+	handle("POST /v1/workers", s.handleRegisterWorker)
+	handle("POST /v1/workers/{id}/heartbeat", s.handleHeartbeat)
+	handle("POST /v1/task/claim", s.handleClaim)
 	handle("POST /v1/photos", s.handlePhotos)
 	handle("POST /v1/annotations", s.handleAnnotations)
 	handle("GET /v1/map", s.handleMap)
@@ -358,6 +412,7 @@ func (s *Server) publishLocked() {
 			Covered:         s.sys.Covered(),
 			PendingTasks:    len(s.sys.PendingTasks()),
 			Lifecycle:       lifecycle,
+			Dispatch:        s.disp.Status(),
 		},
 		Obstacles:  obstacles,
 		Visibility: visibility,
@@ -409,33 +464,38 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// handleTask is the deprecated anonymous-compat path: it PEEKS at the next
+// pending task without removing it — POST /v1/task/claim owns assignment
+// now. The task leaves the queue when its upload arrives (TakeTask) or when
+// a registered worker claims it.
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
-	// Popping a task mutates the queue, so this is an owner-path
-	// endpoint even though it is a GET.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.sys.Covered() {
 		writeJSON(w, http.StatusOK, TaskDTO{Covered: true})
 		return
 	}
-	task, ok := s.sys.NextTask()
+	task, ok := s.sys.PeekTask()
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no task pending"})
 		return
 	}
-	s.publishLocked()
-	writeJSON(w, http.StatusOK, TaskDTO{
-		ID:   task.ID,
-		Kind: task.Kind.String(),
-		X:    task.Location.X,
-		Y:    task.Location.Y,
-		// The generator's zero-valued seed means "aim at the task
-		// location"; the wire form carries that explicitly so a real
-		// frontier at the origin survives the round trip.
+	writeJSON(w, http.StatusOK, taskToDTO(task))
+}
+
+// taskToDTO converts a task to its wire form. The generator's zero-valued
+// seed means "aim at the task location"; the wire form carries that
+// explicitly so a real frontier at the origin survives the round trip.
+func taskToDTO(task taskgen.Task) TaskDTO {
+	return TaskDTO{
+		ID:      task.ID,
+		Kind:    task.Kind.String(),
+		X:       task.Location.X,
+		Y:       task.Location.Y,
 		SeedX:   task.Seed.X,
 		SeedY:   task.Seed.Y,
 		HasSeed: task.Seed != (geom.Vec2{}),
-	})
+	}
 }
 
 func photoFromDTO(d PhotoDTO) camera.Photo {
@@ -489,19 +549,40 @@ func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	leased, dup, err := s.beginLeasedUpload(req.WorkerID, req.LeaseID)
+	if err != nil {
+		writeError(w, leaseErrorStatus(err), err)
+		return
+	}
+	if dup {
+		writeJSON(w, http.StatusOK, UploadResponse{Duplicate: true})
+		return
+	}
 	s.sys.SetRequestID(telemetry.RequestID(r.Context()))
 	defer s.sys.SetRequestID("")
+	if leased {
+		s.sys.SetWorker(req.WorkerID, req.LeaseID)
+		defer s.sys.SetWorker("", "")
+	}
 	var out core.BatchOutcome
-	var err error
 	if req.Bootstrap {
 		out, err = s.sys.ProcessBootstrap(photos, s.rng)
 	} else {
+		// Peek-era completion: the upload removes the task from the queue
+		// (claimed tasks are already out; TakeTask then no-ops).
+		s.sys.TakeTask(req.TaskID)
 		seed := uploadSeed(req.HasSeed, req.SeedX, req.SeedY, req.LocX, req.LocY)
 		out, err = s.sys.ProcessPhotoBatch(geom.V2(req.LocX, req.LocY), seed, photos, s.rng)
+	}
+	if leased {
+		s.disp.FinishUpload(req.WorkerID, req.LeaseID, err == nil)
 	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
+	}
+	if leased && out.RetriedForBlur && len(out.TasksIssued) > 0 {
+		s.disp.NoteBlur(req.WorkerID, out.TasksIssued[0].ID)
 	}
 	s.publishLocked()
 	writeJSON(w, http.StatusOK, UploadResponse{
@@ -512,6 +593,40 @@ func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
 		CoverageCells: out.CoverageCells,
 		VenueCovered:  out.VenueCovered,
 	})
+}
+
+// beginLeasedUpload validates an upload's lease fields. leased reports
+// whether the upload runs under a lease (both fields present); dup marks an
+// idempotent re-upload of a completed lease. Uploads naming only one of
+// worker/lease are rejected outright.
+func (s *Server) beginLeasedUpload(workerID, leaseID string) (leased, dup bool, err error) {
+	if workerID == "" && leaseID == "" {
+		return false, false, nil
+	}
+	if workerID == "" || leaseID == "" {
+		return false, false, fmt.Errorf("workerId and leaseId must be presented together")
+	}
+	dup, err = s.disp.BeginUpload(workerID, leaseID)
+	if err != nil {
+		return false, false, err
+	}
+	return true, dup, nil
+}
+
+// leaseErrorStatus maps dispatch sentinels onto HTTP statuses: a foreign
+// lease conflicts (409), an expired lease is gone (410), an unknown lease
+// was never granted (404).
+func leaseErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, dispatch.ErrForeignLease):
+		return http.StatusConflict
+	case errors.Is(err, dispatch.ErrLeaseExpired):
+		return http.StatusGone
+	case errors.Is(err, dispatch.ErrUnknownLease), errors.Is(err, dispatch.ErrUnknownWorker):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
@@ -539,13 +654,33 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	leased, dup, err := s.beginLeasedUpload(req.WorkerID, req.LeaseID)
+	if err != nil {
+		writeError(w, leaseErrorStatus(err), err)
+		return
+	}
+	if dup {
+		writeJSON(w, http.StatusOK, AnnotateResponse{Duplicate: true})
+		return
+	}
 	s.sys.SetRequestID(telemetry.RequestID(r.Context()))
 	defer s.sys.SetRequestID("")
+	if leased {
+		s.sys.SetWorker(req.WorkerID, req.LeaseID)
+		defer s.sys.SetWorker("", "")
+	}
+	s.sys.TakeTask(req.TaskID)
 	seed := uploadSeed(req.HasSeed, req.SeedX, req.SeedY, req.LocX, req.LocY)
 	out, err := s.sys.ProcessAnnotation(task, seed, anns, s.rng)
+	if leased {
+		s.disp.FinishUpload(req.WorkerID, req.LeaseID, err == nil)
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
+	}
+	if leased && out.RetriedForBlur && len(out.TasksIssued) > 0 {
+		s.disp.NoteBlur(req.WorkerID, out.TasksIssued[0].ID)
 	}
 	s.publishLocked()
 	writeJSON(w, http.StatusOK, AnnotateResponse{

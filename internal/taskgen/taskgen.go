@@ -52,6 +52,10 @@ type Task struct {
 	Seed geom.Vec2
 	// Retry counts how many times this location has been re-issued.
 	Retry int
+	// Exclude lists workers that must not receive this task: participants
+	// whose blurry uploads caused it to be re-issued. Algorithm 1 retries
+	// blurry spots "with other workers" — this carries the "other".
+	Exclude []string
 }
 
 // AimPoint returns where a worker should direct the capture: the discovery
@@ -126,6 +130,9 @@ type Generator struct {
 	// escalations counts annotation escalations per retry bucket; buckets
 	// at GiveUpAfter are exhausted and no longer receive tasks.
 	escalations map[grid.Cell]int
+	// blurred lists, per retry bucket, the workers whose uploads there
+	// were rejected as blurry; re-issued tasks exclude them.
+	blurred map[grid.Cell][]string
 }
 
 // retryKey buckets a location for retry counting.
@@ -142,6 +149,7 @@ func NewGenerator(cfg Config) *Generator {
 		cfg:         cfg.withDefaults(),
 		tried:       make(map[grid.Cell]int),
 		escalations: make(map[grid.Cell]int),
+		blurred:     make(map[grid.Cell][]string),
 	}
 }
 
@@ -176,6 +184,11 @@ type StepInput struct {
 	// TaskSeed is the discovery seed of the task that produced this
 	// batch, propagated to retries and escalations.
 	TaskSeed geom.Vec2
+	// WorkerID identifies the participant whose upload is being judged.
+	// On a blur rejection the worker joins the location's exclusion set so
+	// the re-issued task goes to other participants. Empty (anonymous
+	// uploads) records nothing.
+	WorkerID string
 }
 
 // StepOutput is Algorithm 1's result.
@@ -225,7 +238,11 @@ func (g *Generator) Step(in StepInput) (StepOutput, error) {
 	}
 	if in.BatchSharpness <= g.cfg.LowQualitySharpness {
 		// Blurry input: re-issue the same task to other participants
-		// without counting an attempt.
+		// without counting an attempt. The offending worker joins the
+		// bucket's exclusion set so "other" is enforceable downstream.
+		if in.WorkerID != "" && !contains(g.blurred[key], in.WorkerID) {
+			g.blurred[key] = append(g.blurred[key], in.WorkerID)
+		}
 		g.nextID++
 		return StepOutput{
 			Tasks: []Task{{
@@ -234,6 +251,7 @@ func (g *Generator) Step(in StepInput) (StepOutput, error) {
 				Location: in.TaskLocation,
 				Seed:     in.TaskSeed,
 				Retry:    g.tried[key],
+				Exclude:  append([]string(nil), g.blurred[key]...),
 			}},
 			RetriedForBlur: true,
 		}, nil
@@ -262,6 +280,16 @@ func (g *Generator) Step(in StepInput) (StepOutput, error) {
 		Seed:     in.TaskSeed,
 		Retry:    g.tried[key],
 	}}}, nil
+}
+
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // searchTasks runs the unvisited-area search and converts surviving areas
@@ -359,6 +387,8 @@ type Snapshot struct {
 	TriedCounts     []int
 	EscalationKeys  []grid.Cell
 	EscalationCount []int
+	BlurKeys        []grid.Cell
+	BlurWorkers     [][]string
 }
 
 // Snapshot captures the generator state for persistence.
@@ -372,12 +402,17 @@ func (g *Generator) Snapshot() Snapshot {
 		s.EscalationKeys = append(s.EscalationKeys, k)
 		s.EscalationCount = append(s.EscalationCount, v)
 	}
+	for k, v := range g.blurred {
+		s.BlurKeys = append(s.BlurKeys, k)
+		s.BlurWorkers = append(s.BlurWorkers, append([]string(nil), v...))
+	}
 	return s
 }
 
 // FromSnapshot reconstructs a generator from a snapshot.
 func FromSnapshot(s Snapshot) (*Generator, error) {
-	if len(s.TriedKeys) != len(s.TriedCounts) || len(s.EscalationKeys) != len(s.EscalationCount) {
+	if len(s.TriedKeys) != len(s.TriedCounts) || len(s.EscalationKeys) != len(s.EscalationCount) ||
+		len(s.BlurKeys) != len(s.BlurWorkers) {
 		return nil, fmt.Errorf("taskgen: snapshot array mismatch")
 	}
 	g := NewGenerator(s.Cfg)
@@ -387,6 +422,9 @@ func FromSnapshot(s Snapshot) (*Generator, error) {
 	}
 	for i, k := range s.EscalationKeys {
 		g.escalations[k] = s.EscalationCount[i]
+	}
+	for i, k := range s.BlurKeys {
+		g.blurred[k] = append([]string(nil), s.BlurWorkers[i]...)
 	}
 	return g, nil
 }

@@ -414,3 +414,93 @@ func TestTaskAimPoint(t *testing.T) {
 		t.Error("location fallback broken")
 	}
 }
+
+func TestBlurRetryRecordsExclusion(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	loc := geom.V2(5.5, 5.5)
+	in := StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:           geom.V2(0.5, 0.5),
+		BatchRegistered: false, CoverageIncreased: false,
+		BatchSharpness: 10, // blurry
+		TaskLocation:   loc,
+		WorkerID:       "w1",
+	}
+	out, err := g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.RetriedForBlur {
+		t.Fatalf("expected blur retry: %+v", out)
+	}
+	if got := out.Tasks[0].Exclude; len(got) != 1 || got[0] != "w1" {
+		t.Fatalf("exclusion set = %v, want [w1]", got)
+	}
+
+	// A second careless worker at the same spot joins the set; the first
+	// is not duplicated.
+	in.WorkerID = "w2"
+	out, err = g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Tasks[0].Exclude; len(got) != 2 || got[0] != "w1" || got[1] != "w2" {
+		t.Fatalf("exclusion set = %v, want [w1 w2]", got)
+	}
+	in.WorkerID = "w1"
+	out, err = g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Tasks[0].Exclude; len(got) != 2 {
+		t.Fatalf("repeat offender duplicated: %v", got)
+	}
+
+	// Anonymous uploads record nothing.
+	in.WorkerID = ""
+	out, err = g.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Tasks[0].Exclude; len(got) != 2 {
+		t.Fatalf("anonymous blur changed the set: %v", got)
+	}
+}
+
+func TestSnapshotCarriesBlurExclusions(t *testing.T) {
+	ob, vis := maps(t, 1, 10, 10)
+	g := NewGenerator(Config{})
+	loc := geom.V2(5.5, 5.5)
+	in := StepInput{
+		Obstacles: ob, Visibility: vis,
+		Start:          geom.V2(0.5, 0.5),
+		BatchSharpness: 10,
+		TaskLocation:   loc,
+		WorkerID:       "w7",
+	}
+	if _, err := g.Step(in); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromSnapshot(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored generator still knows who blurred here: the next blur
+	// retry re-issues the task with the old worker excluded.
+	in.WorkerID = ""
+	out, err := g2.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Tasks[0].Exclude; len(got) != 1 || got[0] != "w7" {
+		t.Fatalf("restored exclusion set = %v, want [w7]", got)
+	}
+}
+
+func TestFromSnapshotBlurMismatch(t *testing.T) {
+	bad := Snapshot{BlurKeys: []grid.Cell{{I: 1, J: 1}}}
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("mismatched blur arrays accepted")
+	}
+}

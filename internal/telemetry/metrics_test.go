@@ -110,6 +110,9 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 	NewHTTPMetrics(nil).Requests.With("r", "GET", "200").Inc()
 	NewEventMetrics(nil).Appended.Inc()
 	NewEventMetrics(nil).FsyncSeconds.Observe(0.001)
+	NewDispatchMetrics(nil).Workers.Set(2)
+	NewDispatchMetrics(nil).Claims.With("granted").Inc()
+	NewDispatchMetrics(nil).ClaimSeconds.Observe(0.001)
 }
 
 func TestConcurrentInstrumentUse(t *testing.T) {
@@ -158,6 +161,7 @@ func fullExposition(t *testing.T) string {
 	ingest := NewIngestMetrics(reg)
 	snap := NewSnapshotMetrics(reg)
 	ev := NewEventMetrics(reg)
+	disp := NewDispatchMetrics(reg)
 	tracer := NewTracer(reg, 8)
 
 	httpM.Requests.With("POST /v1/photos", "POST", "200").Inc()
@@ -182,6 +186,13 @@ func fullExposition(t *testing.T) string {
 	ev.DroppedSubscribers.Inc()
 	ev.Subscribers.Set(2)
 	ev.FsyncSeconds.Observe(0.0004)
+	disp.Workers.Set(3)
+	disp.ActiveLeases.Set(1)
+	disp.Claims.With("granted").Inc()
+	disp.Claims.With("no_task").Inc()
+	disp.LeaseExpiries.Inc()
+	disp.TaskRequeues.Inc()
+	disp.ClaimSeconds.Observe(0.002)
 	tr := tracer.Start("photo_batch", "abc-1")
 	tr.Span("sfm.match").End()
 	tr.Finish()
@@ -259,6 +270,9 @@ func TestExpositionIsValidPrometheusText(t *testing.T) {
 		"snaptask_blur_variance", "snaptask_ingest_batch_rejected_total",
 		"snaptask_events_appended_total", "snaptask_events_dropped_subscribers_total",
 		"snaptask_events_subscribers", "snaptask_events_journal_fsync_seconds",
+		"snaptask_dispatch_workers", "snaptask_dispatch_active_leases",
+		"snaptask_dispatch_claims_total", "snaptask_dispatch_lease_expiries_total",
+		"snaptask_dispatch_task_requeues_total", "snaptask_dispatch_claim_seconds",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("metric %s missing from exposition", want)

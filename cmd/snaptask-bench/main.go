@@ -18,6 +18,13 @@
 // -ingest-gate compares the run against a committed BENCH_ingest.json and
 // fails on regression (identical flipping false, or the largest-size
 // speedup dropping below half the committed value).
+//
+// The extra experiment `restart` (also not part of 'all') benchmarks server
+// restart cost over the checkpointing event store versus a full journal
+// replay, at 1x and 100x dispatch-churn event volume. With -restart-out it
+// writes BENCH_restart.json; -restart-gate compares a fresh run against the
+// committed baseline and fails when the checkpointed restart stops being
+// flat (100x/1x ratio above 2).
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"snaptask/internal/geom"
 
 	"snaptask/internal/core"
+	"snaptask/internal/events"
 	"snaptask/internal/experiments"
 	"snaptask/internal/floorplan"
 	"snaptask/internal/grid"
@@ -59,12 +67,14 @@ func main() {
 }
 
 type bench struct {
-	setup      *experiments.Setup
-	seed       int64
-	quick      bool
-	ingestOut  string
-	ingestGate string
-	log        *slog.Logger
+	setup       *experiments.Setup
+	seed        int64
+	quick       bool
+	ingestOut   string
+	ingestGate  string
+	restartOut  string
+	restartGate string
+	log         *slog.Logger
 
 	// lazily computed shared artefacts
 	guided *experiments.GuidedResult
@@ -82,6 +92,9 @@ func run(args []string) error {
 	ingestOut := fs.String("ingest-out", "", "write the ingest experiment's JSON report to this file")
 	ingestGate := fs.String("ingest-gate", "",
 		"regression gate: compare the ingest experiment against this committed BENCH_ingest.json and fail on identical=false or a largest-size speedup below half the committed value")
+	restartOut := fs.String("restart-out", "", "write the restart experiment's JSON report to this file")
+	restartGate := fs.String("restart-gate", "",
+		"regression gate: compare the restart experiment against this committed BENCH_restart.json and fail when the checkpointed 100x/1x restart ratio exceeds 2 (restart no longer flat)")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +108,8 @@ func run(args []string) error {
 		return err
 	}
 
-	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut, ingestGate: *ingestGate, log: logger}
+	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut, ingestGate: *ingestGate,
+		restartOut: *restartOut, restartGate: *restartGate, log: logger}
 	var v *venue.Venue
 	if *quick {
 		v, err = venue.SmallRoom()
@@ -129,6 +143,7 @@ func run(args []string) error {
 		"ablate-window":    b.ablateWindow,
 		"ablate-sor":       b.ablateSOR,
 		"ingest":           b.ingest,
+		"restart":          b.restart,
 	}
 	order := []string{
 		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
@@ -727,6 +742,275 @@ func checkIngestGate(committed, fresh *ingestReport) error {
 	if floor := base.Speedup * 0.5; cur.Speedup < floor {
 		return fmt.Errorf("ingest gate: largest-size speedup %.2fx fell below floor %.2fx (0.5 x committed %.2fx at %d views)",
 			cur.Speedup, floor, base.Speedup, base.Views)
+	}
+	return nil
+}
+
+// restartRow is one event-volume point of the restart benchmark.
+type restartRow struct {
+	Mult       int    `json:"mult"`
+	Events     uint64 `json:"events"`
+	TailEvents uint64 `json:"tail_events"`
+	// CheckpointMS: open the checkpointing directory store and replay —
+	// newest checkpoint + tail only.
+	CheckpointMS float64 `json:"checkpoint_restart_ms"`
+	// FullReplayMS: open the single-file journal and fold every event from
+	// seq 1 — the O(lifetime) path the checkpoint store replaces.
+	FullReplayMS float64 `json:"full_replay_restart_ms"`
+}
+
+// restartReport is the machine-readable BENCH_restart.json payload.
+type restartReport struct {
+	Seed           int64        `json:"seed"`
+	Quick          bool         `json:"quick"`
+	GoMaxProcs     int          `json:"gomaxprocs"`
+	CampaignEvents int          `json:"campaign_events"`
+	ChurnBase      int          `json:"churn_base_events"`
+	Rows           []restartRow `json:"rows"`
+	// Ratio is checkpointed restart at the largest multiplier over the 1x
+	// baseline — the flat-restart claim says this stays near 1, and the
+	// gate fails above 2.
+	Ratio float64 `json:"checkpoint_restart_ratio"`
+}
+
+// restart measures server restart cost as a function of campaign lifetime.
+// The event history models a deployed campaign: a fixed mapping phase (the
+// venue converges once) followed by dispatch churn — claims, expiries,
+// requeues — that keeps growing for as long as the deployment runs. The
+// churn phase is scaled 1x vs 100x and the restart (open + replay) is timed
+// over the checkpointing directory store and over a plain single-file
+// journal. The journal restart is O(lifetime); the checkpointed restart
+// replays only the tail after the newest checkpoint and must stay flat.
+func (b *bench) restart() error {
+	// Load the committed baseline before anything is written: -restart-gate
+	// and -restart-out may name the same file.
+	var gate *restartReport
+	if b.restartGate != "" {
+		data, err := os.ReadFile(b.restartGate)
+		if err != nil {
+			return fmt.Errorf("restart gate: %w", err)
+		}
+		gate = &restartReport{}
+		if err := json.Unmarshal(data, gate); err != nil {
+			return fmt.Errorf("restart gate: parse %s: %w", b.restartGate, err)
+		}
+	}
+
+	campaignN, churnBase := 2000, 5000
+	if b.quick {
+		campaignN, churnBase = 500, 1000
+	}
+	report := restartReport{
+		Seed:           b.seed,
+		Quick:          b.quick,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		CampaignEvents: campaignN,
+		ChurnBase:      churnBase,
+	}
+
+	fmt.Println("Restart cost — checkpointed store vs full journal replay:")
+	fmt.Println("  churn      events   tail  checkpoint(ms)  full-replay(ms)")
+	for _, mult := range []int{1, 100} {
+		row, err := b.restartAt(mult, campaignN, churnBase*mult)
+		if err != nil {
+			return fmt.Errorf("restart at %dx: %w", mult, err)
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("  %4dx  %10d  %5d  %14.1f  %15.1f\n",
+			row.Mult, row.Events, row.TailEvents, row.CheckpointMS, row.FullReplayMS)
+	}
+	base, top := report.Rows[0], report.Rows[len(report.Rows)-1]
+	if base.CheckpointMS > 0 {
+		report.Ratio = top.CheckpointMS / base.CheckpointMS
+	}
+	fmt.Printf("  checkpointed restart at %dx volume: %.2fx the 1x baseline (flat <= 2.0)\n",
+		top.Mult, report.Ratio)
+	if top.CheckpointMS > 0 {
+		fmt.Printf("  full replay at %dx is %.0fx slower than the checkpointed restart\n",
+			top.Mult, top.FullReplayMS/top.CheckpointMS)
+	}
+
+	if gate != nil {
+		if err := checkRestartGate(gate, &report); err != nil {
+			return err
+		}
+		fmt.Printf("  regression gate passed against %s\n", b.restartGate)
+	}
+	if b.restartOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(b.restartOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", b.restartOut)
+	}
+	return nil
+}
+
+// restartAt builds one synthetic campaign history at the given churn volume
+// in both store layouts and returns the median restart timings.
+func (b *bench) restartAt(mult, campaignN, churnN int) (restartRow, error) {
+	dir, err := os.MkdirTemp("", "snaptask-restart-*")
+	if err != nil {
+		return restartRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	ckptDir := dir + "/campaign.d"
+	journalPath := dir + "/campaign.jsonl"
+
+	// The checkpointing store compacts as it goes, so even the 100x history
+	// stays small on disk; the flat journal keeps everything.
+	lc, err := events.OpenDir(ckptDir, nil,
+		events.DirStoreOptions{SegmentMaxBytes: 1 << 20},
+		events.CheckpointPolicy{Every: 4096})
+	if err != nil {
+		return restartRow{}, err
+	}
+	lj, err := events.Open(journalPath, nil)
+	if err != nil {
+		return restartRow{}, err
+	}
+
+	emit := func(e events.Event) {
+		lc.Emit(e)
+		lj.Emit(e)
+	}
+	sync := func() error {
+		if err := lc.Commit(); err != nil {
+			return err
+		}
+		if lc.CheckpointDue() {
+			if err := lc.WriteCheckpoint(nil); err != nil {
+				return err
+			}
+		}
+		return lj.Commit()
+	}
+	// Fixed mapping phase: tasks issued, batches accepted, coverage grows.
+	for i := 0; i < campaignN/4; i++ {
+		x, y := float64(i%40)*0.5, float64(i/40)*0.5
+		emit(events.Event{Kind: events.KindTaskIssued, TaskID: i, TaskKind: "photo", X: x, Y: y})
+		emit(events.Event{Kind: events.KindTaskClaimed, TaskID: i, TaskKind: "photo", X: x, Y: y,
+			Worker: fmt.Sprintf("w%d", i%16), LeaseID: fmt.Sprintf("l%d", i)})
+		emit(events.Event{Kind: events.KindBatchAccepted, Batch: "photo_batch", Photos: 12,
+			Registered: 12, Worker: fmt.Sprintf("w%d", i%16), LeaseID: fmt.Sprintf("l%d", i)})
+		emit(events.Event{Kind: events.KindCoverageDelta, CoverageCells: 40 * (i + 1)})
+		if i%64 == 63 {
+			if err := sync(); err != nil {
+				return restartRow{}, err
+			}
+		}
+	}
+	// Scaled dispatch-churn phase: the venue is mapped, but workers keep
+	// claiming, abandoning and requeueing — one churn triple per iteration.
+	churn := func(from, n int) error {
+		for i := from; i < from+n; i++ {
+			taskID, lease := 100000+i%512, fmt.Sprintf("c%d", i)
+			worker := fmt.Sprintf("w%d", i%16)
+			emit(events.Event{Kind: events.KindTaskClaimed, TaskID: taskID, TaskKind: "photo",
+				Worker: worker, LeaseID: lease})
+			emit(events.Event{Kind: events.KindLeaseExpired, TaskID: taskID, Worker: worker, LeaseID: lease})
+			emit(events.Event{Kind: events.KindTaskRequeued, TaskID: taskID, TaskKind: "photo"})
+			if i%256 == 255 {
+				if err := sync(); err != nil {
+					return err
+				}
+			}
+		}
+		return sync()
+	}
+	if err := churn(0, churnN/3); err != nil {
+		return restartRow{}, err
+	}
+	// The crash point: the checkpoint cadence guarantees a recent checkpoint
+	// exists no matter how long the deployment ran, with a tail bounded by
+	// the cadence. Model it directly — a final checkpoint, then the same
+	// fixed-size un-checkpointed tail at every volume — so the timing
+	// isolates lifetime dependence rather than tail-length jitter.
+	if err := lc.WriteCheckpoint(nil); err != nil {
+		return restartRow{}, err
+	}
+	if err := churn(churnN/3, 512); err != nil {
+		return restartRow{}, err
+	}
+	total := lc.LastSeq()
+	if err := lc.Close(); err != nil {
+		return restartRow{}, err
+	}
+	if err := lj.Close(); err != nil {
+		return restartRow{}, err
+	}
+
+	const trials = 3
+	median := func(ds []time.Duration) float64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return float64(ds[len(ds)/2]) / 1e6
+	}
+	var tail uint64
+	var ckptTimes, fullTimes []time.Duration
+	for i := 0; i < trials; i++ {
+		t0 := time.Now()
+		l, err := events.OpenDir(ckptDir, nil,
+			events.DirStoreOptions{SegmentMaxBytes: 1 << 20},
+			events.CheckpointPolicy{Every: 4096})
+		if err != nil {
+			return restartRow{}, err
+		}
+		if err := l.Replay(); err != nil {
+			return restartRow{}, err
+		}
+		ckptTimes = append(ckptTimes, time.Since(t0))
+		if l.LastSeq() != total {
+			return restartRow{}, fmt.Errorf("checkpointed replay lost events: %d != %d", l.LastSeq(), total)
+		}
+		tail = l.LastSeq() - l.CheckpointSeq()
+		if err := l.Close(); err != nil {
+			return restartRow{}, err
+		}
+
+		t0 = time.Now()
+		l, err = events.Open(journalPath, nil)
+		if err != nil {
+			return restartRow{}, err
+		}
+		if err := l.Replay(); err != nil {
+			return restartRow{}, err
+		}
+		fullTimes = append(fullTimes, time.Since(t0))
+		if l.LastSeq() != total {
+			return restartRow{}, fmt.Errorf("journal replay lost events: %d != %d", l.LastSeq(), total)
+		}
+		if err := l.Close(); err != nil {
+			return restartRow{}, err
+		}
+	}
+	return restartRow{
+		Mult:         mult,
+		Events:       total,
+		TailEvents:   tail,
+		CheckpointMS: median(ckptTimes),
+		FullReplayMS: median(fullTimes),
+	}, nil
+}
+
+// checkRestartGate fails when the fresh restart report breaks the flat-
+// restart invariant: the checkpointed restart at 100x event volume may not
+// exceed 2x the 1x baseline (the ratio is computed within one run, so CI
+// machine speed cancels out). Baselines must be comparable (same -quick).
+func checkRestartGate(committed, fresh *restartReport) error {
+	if len(committed.Rows) == 0 || len(fresh.Rows) == 0 {
+		return fmt.Errorf("restart gate: empty report (committed %d rows, fresh %d)",
+			len(committed.Rows), len(fresh.Rows))
+	}
+	if committed.Quick != fresh.Quick {
+		return fmt.Errorf("restart gate: baseline ran quick=%v but this run is quick=%v — not comparable",
+			committed.Quick, fresh.Quick)
+	}
+	if fresh.Ratio > 2.0 {
+		return fmt.Errorf("restart gate: checkpointed restart at %dx volume is %.2fx the 1x baseline (limit 2.0) — restart cost is no longer flat",
+			fresh.Rows[len(fresh.Rows)-1].Mult, fresh.Ratio)
 	}
 	return nil
 }

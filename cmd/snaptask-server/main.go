@@ -20,6 +20,13 @@
 // same journal restores campaign counters and history exactly. Pair it with
 // -load/-save, which persist the model itself.
 //
+// Pass -journal-dir campaign.d instead for the checkpointing store: events
+// land in rotating segments, a checkpoint of the folded campaign and
+// dispatch state is written periodically (-checkpoint-interval,
+// -checkpoint-every), fully covered segments are compacted away, and a
+// restart replays only the tail after the newest checkpoint — restart cost
+// stays flat no matter how long the campaign has run.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // on both listeners drain (bounded by -shutdown-timeout) and, when -save
 // is given, the final backend state is written there so a later run can
@@ -41,7 +48,6 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -76,6 +82,14 @@ func run(ctx context.Context, args []string) error {
 	savePath := fs.String("save", "", "write a state snapshot here on graceful shutdown")
 	journalPath := fs.String("journal", "",
 		"append campaign lifecycle events to this JSONL journal; on startup an existing journal is replayed to restore campaign counters and progress history (enables GET /v1/events and /v1/progress)")
+	journalDir := fs.String("journal-dir", "",
+		"checkpointing event store directory (segments + periodic checkpoints): restart replays only the tail after the newest checkpoint instead of the full history; mutually exclusive with -journal")
+	checkpointInterval := fs.Duration("checkpoint-interval", time.Minute,
+		"with -journal-dir: write a checkpoint when this much time has passed since the last one (0 disables the time trigger)")
+	checkpointEvery := fs.Uint64("checkpoint-every", 4096,
+		"with -journal-dir: write a checkpoint after this many events since the last one (0 disables the count trigger)")
+	segmentMaxBytes := fs.Int64("journal-segment-bytes", 4<<20,
+		"with -journal-dir: rotate the active journal segment beyond this size")
 	leaseTTL := fs.Duration("lease-ttl", 60*time.Second,
 		"task lease duration: a claimed task whose worker stops heartbeating this long is requeued for other workers")
 	incentiveBudget := fs.Float64("incentive-budget", 0,
@@ -133,12 +147,22 @@ func run(ctx context.Context, args []string) error {
 			Budget:   *incentiveBudget,
 		})),
 	}
+	if *journalPath != "" && *journalDir != "" {
+		return fmt.Errorf("-journal and -journal-dir are mutually exclusive")
+	}
 	var evlog *events.Log
-	if *journalPath != "" {
+	switch {
+	case *journalDir != "":
+		evlog, err = events.OpenDir(*journalDir, telemetry.NewEventMetrics(tel.Registry),
+			events.DirStoreOptions{SegmentMaxBytes: *segmentMaxBytes},
+			events.CheckpointPolicy{Interval: *checkpointInterval, Every: *checkpointEvery})
+	case *journalPath != "":
 		evlog, err = events.Open(*journalPath, telemetry.NewEventMetrics(tel.Registry))
-		if err != nil {
-			return err
-		}
+	}
+	if err != nil {
+		return err
+	}
+	if evlog != nil {
 		defer func() {
 			if err := evlog.Close(); err != nil {
 				logger.Error("journal close failed", slog.String("err", err.Error()))
@@ -151,10 +175,15 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	if evlog != nil {
+		path := *journalPath
+		if *journalDir != "" {
+			path = *journalDir
+		}
 		c := evlog.Campaign().Counters()
 		logger.Info("journal replayed",
-			slog.String("path", *journalPath),
+			slog.String("path", path),
 			slog.Uint64("events", evlog.LastSeq()),
+			slog.Uint64("checkpoint_seq", evlog.CheckpointSeq()),
 			slog.Int("batches_accepted", c.BatchesAccepted),
 			slog.Int("photos", c.PhotosProcessed),
 			slog.Int("coverage_cells", c.CoverageCells),
@@ -238,6 +267,12 @@ func run(ctx context.Context, args []string) error {
 	if pprofShutdown != nil {
 		return fmt.Errorf("debug listener shutdown: %w", pprofShutdown)
 	}
+	if *journalDir != "" {
+		// A final checkpoint makes the next start replay an empty tail.
+		if err := srv.Checkpoint(); err != nil {
+			logger.Error("shutdown checkpoint failed", slog.String("err", err.Error()))
+		}
+	}
 	if *savePath != "" {
 		if err := saveState(srv, *savePath); err != nil {
 			return err
@@ -247,22 +282,13 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
-// saveState writes the backend snapshot atomically: to a temp file in the
-// target directory, renamed into place on success.
+// saveState writes the backend snapshot atomically and durably: temp file
+// in the target directory, fsync, rename, parent-directory fsync. A bare
+// rename is only atomic against process crashes — without the fsyncs a
+// machine crash around the rename can publish a truncated or empty
+// snapshot.
 func saveState(srv *server.Server, path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), "snaptask-save-*")
-	if err != nil {
-		return fmt.Errorf("save snapshot: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := srv.WriteState(tmp); err != nil {
-		tmp.Close()
-		return fmt.Errorf("save snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("save snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := events.WriteFileAtomic(path, srv.WriteState); err != nil {
 		return fmt.Errorf("save snapshot: %w", err)
 	}
 	return nil

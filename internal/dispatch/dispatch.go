@@ -68,6 +68,12 @@ type Config struct {
 	Budget float64
 	// Now is the clock; defaults to time.Now. Tests inject a fake.
 	Now func() time.Time
+	// TombstoneCap bounds the completed/expired lease tombstone sets
+	// (FIFO eviction). Defaults to 8192. The bound is what keeps
+	// checkpoints — and restarts — flat under unbounded lease churn; its
+	// cost is that a duplicate upload for a lease finished more than cap
+	// leases ago gets ErrUnknownLease instead of the precise verdict.
+	TombstoneCap int
 }
 
 // WorkerInfo is a registry entry: identity, last reported position and the
@@ -168,9 +174,9 @@ type Dispatcher struct {
 
 	workers    map[string]*workerState
 	leases     map[string]*leaseState
-	completed  map[string]string // lease ID -> worker (duplicate-upload tombstones)
-	expired    map[string]string // lease ID -> worker (gone-forever tombstones)
-	buffer     []taskgen.Task    // requeued tasks, served before the source queue
+	completed  *tombstones    // lease ID -> worker (duplicate-upload tombstones)
+	expired    *tombstones    // lease ID -> worker (gone-forever tombstones)
+	buffer     []taskgen.Task // requeued tasks, served before the source queue
 	excluded   map[int]map[string]bool
 	lastHolder map[int]string // soft exclusion: who just lost the lease
 
@@ -190,12 +196,15 @@ func New(cfg Config) *Dispatcher {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.TombstoneCap <= 0 {
+		cfg.TombstoneCap = 8192
+	}
 	return &Dispatcher{
 		cfg:        cfg,
 		workers:    make(map[string]*workerState),
 		leases:     make(map[string]*leaseState),
-		completed:  make(map[string]string),
-		expired:    make(map[string]string),
+		completed:  newTombstones(cfg.TombstoneCap),
+		expired:    newTombstones(cfg.TombstoneCap),
 		excluded:   make(map[int]map[string]bool),
 		lastHolder: make(map[int]string),
 	}
@@ -390,13 +399,13 @@ func (d *Dispatcher) BeginUpload(workerID, leaseID string) (dup bool, err error)
 	defer d.mu.Unlock()
 	d.expireLocked()
 	d.commit()
-	if by, ok := d.completed[leaseID]; ok {
+	if by, ok := d.completed.get(leaseID); ok {
 		if by != workerID {
 			return false, ErrForeignLease
 		}
 		return true, nil
 	}
-	if _, ok := d.expired[leaseID]; ok {
+	if _, ok := d.expired.get(leaseID); ok {
 		return false, ErrLeaseExpired
 	}
 	ls, ok := d.leases[leaseID]
@@ -426,7 +435,7 @@ func (d *Dispatcher) FinishUpload(workerID, leaseID string, ok bool) {
 		return
 	}
 	delete(d.leases, leaseID)
-	d.completed[leaseID] = workerID
+	d.completed.add(leaseID, workerID)
 	d.completions++
 	d.spent += ls.cost
 	d.reserved -= ls.cost
@@ -537,7 +546,7 @@ func (d *Dispatcher) Restore(e events.Event) {
 			delete(d.leases, e.LeaseID)
 			d.reserved -= ls.cost
 		}
-		d.expired[e.LeaseID] = e.Worker
+		d.expired.add(e.LeaseID, e.Worker)
 		if w := d.workers[e.Worker]; w != nil {
 			if w.lease == e.LeaseID {
 				w.lease = ""
@@ -567,7 +576,7 @@ func (d *Dispatcher) Restore(e events.Event) {
 			return
 		}
 		delete(d.leases, e.LeaseID)
-		d.completed[e.LeaseID] = e.Worker
+		d.completed.add(e.LeaseID, e.Worker)
 		d.completions++
 		d.spent += ls.cost
 		d.reserved -= ls.cost
@@ -615,7 +624,7 @@ func (d *Dispatcher) expireLocked() {
 	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
 	for _, ls := range due {
 		delete(d.leases, ls.id)
-		d.expired[ls.id] = ls.worker
+		d.expired.add(ls.id, ls.worker)
 		if w := d.workers[ls.worker]; w != nil {
 			if w.lease == ls.id {
 				w.lease = ""

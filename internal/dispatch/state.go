@@ -1,0 +1,350 @@
+// Checkpointable dispatcher state: a deterministic JSON snapshot of
+// everything Restore would otherwise fold from the full journal, so a
+// checkpoint-based restart reproduces /v1/status byte-identically while
+// replaying only the journal tail.
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"snaptask/internal/geom"
+	"snaptask/internal/taskgen"
+)
+
+// State is the dispatcher's serialised state at a checkpoint seq. Every
+// collection is emitted in a canonical order (workers by ID, leases by
+// grant seq, exclusions by task then worker) so the same state always
+// marshals to the same bytes. Lease deadlines are deliberately absent:
+// like the journal fold, restore re-arms every recovered lease with a
+// fresh TTL from the restore-time clock — a restart must not instantly
+// expire leases whose holders had no chance to heartbeat while the server
+// was down.
+type State struct {
+	NextWorker  int     `json:"nextWorker,omitempty"`
+	NextLease   int     `json:"nextLease,omitempty"`
+	LeaseSeq    uint64  `json:"leaseSeq,omitempty"`
+	Claims      int     `json:"claims,omitempty"`
+	Completions int     `json:"completions,omitempty"`
+	Expiries    int     `json:"expiries,omitempty"`
+	Requeues    int     `json:"requeues,omitempty"`
+	Spent       float64 `json:"spent,omitempty"`
+	Reserved    float64 `json:"reserved,omitempty"`
+
+	Workers []WorkerState `json:"workers,omitempty"`
+	Leases  []LeaseState  `json:"leases,omitempty"`
+	// Completed and Expired are the duplicate-upload / gone-forever lease
+	// tombstones, in insertion order so the capped ring survives the
+	// round-trip with the same eviction future.
+	Completed []Tombstone `json:"completed,omitempty"`
+	Expired   []Tombstone `json:"expired,omitempty"`
+	// Buffer is the requeue buffer, in queue order.
+	Buffer     []TaskState  `json:"buffer,omitempty"`
+	Excluded   []Exclusion  `json:"excluded,omitempty"`
+	LastHolder []TaskHolder `json:"lastHolder,omitempty"`
+}
+
+// WorkerState is one registry entry: identity, incentive parameters,
+// lifetime stats and the active lease (if any).
+type WorkerState struct {
+	ID          string         `json:"id"`
+	X           float64        `json:"x,omitempty"`
+	Y           float64        `json:"y,omitempty"`
+	HasPos      bool           `json:"hasPos,omitempty"`
+	BaseReward  float64        `json:"baseReward,omitempty"`
+	PerMetre    float64        `json:"perMetre,omitempty"`
+	Reliability float64        `json:"reliability,omitempty"`
+	Stats       WorkerCounters `json:"stats"`
+	Lease       string         `json:"lease,omitempty"`
+}
+
+// LeaseState is one active lease (no deadline — see State).
+type LeaseState struct {
+	ID     string    `json:"id"`
+	Seq    uint64    `json:"seq"`
+	Worker string    `json:"worker"`
+	Task   TaskState `json:"task"`
+	Cost   float64   `json:"cost,omitempty"`
+}
+
+// Tombstone records a finished lease for idempotent-duplicate and
+// expired-upload answers.
+type Tombstone struct {
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+}
+
+// TaskState serialises a taskgen.Task, including the exclusion list the
+// journal fold reconstructs from blur events.
+type TaskState struct {
+	ID      int      `json:"id"`
+	Kind    string   `json:"kind"`
+	X       float64  `json:"x"`
+	Y       float64  `json:"y"`
+	SeedX   float64  `json:"seedX,omitempty"`
+	SeedY   float64  `json:"seedY,omitempty"`
+	HasSeed bool     `json:"hasSeed,omitempty"`
+	Retry   int      `json:"retry,omitempty"`
+	Exclude []string `json:"exclude,omitempty"`
+}
+
+// Exclusion is one task's hard blur-strike exclusion set.
+type Exclusion struct {
+	Task    int      `json:"task"`
+	Workers []string `json:"workers"`
+}
+
+// TaskHolder records the soft exclusion: who just lost the task's lease.
+type TaskHolder struct {
+	Task   int    `json:"task"`
+	Worker string `json:"worker"`
+}
+
+func taskState(t taskgen.Task) TaskState {
+	s := TaskState{
+		ID:    t.ID,
+		Kind:  t.Kind.String(),
+		X:     t.Location.X,
+		Y:     t.Location.Y,
+		Retry: t.Retry,
+	}
+	if t.Seed != (geom.Vec2{}) {
+		s.SeedX, s.SeedY, s.HasSeed = t.Seed.X, t.Seed.Y, true
+	}
+	if len(t.Exclude) > 0 {
+		s.Exclude = append([]string(nil), t.Exclude...)
+	}
+	return s
+}
+
+func (s TaskState) task() taskgen.Task {
+	t := taskgen.Task{
+		ID:       s.ID,
+		Location: geom.Vec2{X: s.X, Y: s.Y},
+		Retry:    s.Retry,
+	}
+	if s.HasSeed {
+		t.Seed = geom.Vec2{X: s.SeedX, Y: s.SeedY}
+	}
+	if len(s.Exclude) > 0 {
+		t.Exclude = append([]string(nil), s.Exclude...)
+	}
+	if s.Kind == "annotation" {
+		t.Kind = taskgen.KindAnnotation
+	} else {
+		t.Kind = taskgen.KindPhoto
+	}
+	return t
+}
+
+// Checkpoint serialises the dispatcher's state and hands it to fn while
+// the dispatcher lock is held: no dispatch operation (and therefore no
+// dispatch event emission) can interleave between the capture and whatever
+// fn persists alongside it. The server calls this with the owner lock also
+// held, which freezes the core emitters too — the checkpoint's seq,
+// campaign aggregate and dispatch state are one consistent cut.
+func (d *Dispatcher) Checkpoint(fn func(state json.RawMessage) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := json.Marshal(d.stateLocked())
+	if err != nil {
+		return fmt.Errorf("dispatch: encode state: %w", err)
+	}
+	return fn(data)
+}
+
+func (d *Dispatcher) stateLocked() State {
+	st := State{
+		NextWorker:  d.nextWorker,
+		NextLease:   d.nextLease,
+		LeaseSeq:    d.leaseSeq,
+		Claims:      d.claims,
+		Completions: d.completions,
+		Expiries:    d.expiries,
+		Requeues:    d.requeues,
+		Spent:       d.spent,
+		Reserved:    d.reserved,
+		Completed:   d.completed.snapshot(),
+		Expired:     d.expired.snapshot(),
+	}
+	for id, w := range d.workers {
+		st.Workers = append(st.Workers, WorkerState{
+			ID:          id,
+			X:           w.info.Pos.X,
+			Y:           w.info.Pos.Y,
+			HasPos:      w.info.HasPos,
+			BaseReward:  w.info.BaseReward,
+			PerMetre:    w.info.PerMetre,
+			Reliability: w.info.Reliability,
+			Stats:       w.stats,
+			Lease:       w.lease,
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	for _, ls := range d.leases {
+		st.Leases = append(st.Leases, LeaseState{
+			ID:     ls.id,
+			Seq:    ls.seq,
+			Worker: ls.worker,
+			Task:   taskState(ls.task),
+			Cost:   ls.cost,
+		})
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].Seq < st.Leases[j].Seq })
+	for _, t := range d.buffer {
+		st.Buffer = append(st.Buffer, taskState(t))
+	}
+	for task, ex := range d.excluded {
+		workers := make([]string, 0, len(ex))
+		for w := range ex {
+			workers = append(workers, w)
+		}
+		sort.Strings(workers)
+		st.Excluded = append(st.Excluded, Exclusion{Task: task, Workers: workers})
+	}
+	sort.Slice(st.Excluded, func(i, j int) bool { return st.Excluded[i].Task < st.Excluded[j].Task })
+	for task, w := range d.lastHolder {
+		st.LastHolder = append(st.LastHolder, TaskHolder{Task: task, Worker: w})
+	}
+	sort.Slice(st.LastHolder, func(i, j int) bool { return st.LastHolder[i].Task < st.LastHolder[j].Task })
+	return st
+}
+
+// RestoreState replaces the dispatcher's state with a checkpointed
+// snapshot. Call once at startup, before folding the journal tail with
+// Restore and before serving traffic. Recovered leases are re-armed with a
+// fresh TTL from the restore-time clock, exactly as the journal fold does.
+// A nil/empty snapshot is a no-op.
+func (d *Dispatcher) RestoreState(data json.RawMessage) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("dispatch: decode state: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.workers = make(map[string]*workerState, len(st.Workers))
+	d.leases = make(map[string]*leaseState, len(st.Leases))
+	d.completed = newTombstones(d.completed.cap)
+	d.expired = newTombstones(d.expired.cap)
+	d.buffer = nil
+	d.excluded = make(map[int]map[string]bool, len(st.Excluded))
+	d.lastHolder = make(map[int]string, len(st.LastHolder))
+
+	d.nextWorker = st.NextWorker
+	d.nextLease = st.NextLease
+	d.leaseSeq = st.LeaseSeq
+	d.claims = st.Claims
+	d.completions = st.Completions
+	d.expiries = st.Expiries
+	d.requeues = st.Requeues
+	d.spent = st.Spent
+	d.reserved = st.Reserved
+
+	for _, w := range st.Workers {
+		d.workers[w.ID] = &workerState{
+			info: WorkerInfo{
+				ID:          w.ID,
+				Pos:         geom.Vec2{X: w.X, Y: w.Y},
+				HasPos:      w.HasPos,
+				BaseReward:  w.BaseReward,
+				PerMetre:    w.PerMetre,
+				Reliability: w.Reliability,
+			},
+			stats: w.Stats,
+			lease: w.Lease,
+		}
+	}
+	deadline := d.cfg.Now().Add(d.cfg.LeaseTTL)
+	for _, ls := range st.Leases {
+		d.leases[ls.ID] = &leaseState{
+			id:       ls.ID,
+			seq:      ls.Seq,
+			worker:   ls.Worker,
+			task:     ls.Task.task(),
+			deadline: deadline,
+			cost:     ls.Cost,
+		}
+	}
+	for _, t := range st.Completed {
+		d.completed.add(t.Lease, t.Worker)
+	}
+	for _, t := range st.Expired {
+		d.expired.add(t.Lease, t.Worker)
+	}
+	for _, t := range st.Buffer {
+		d.buffer = append(d.buffer, t.task())
+	}
+	for _, ex := range st.Excluded {
+		set := make(map[string]bool, len(ex.Workers))
+		for _, w := range ex.Workers {
+			set[w] = true
+		}
+		d.excluded[ex.Task] = set
+	}
+	for _, h := range st.LastHolder {
+		d.lastHolder[h.Task] = h.Worker
+	}
+	d.updateGauges()
+	return nil
+}
+
+// tombstones is a lease-ID -> worker map with bounded size and FIFO
+// eviction. Without the bound, the completed/expired tombstone sets grow
+// one entry per lease for the life of the deployment, which would make
+// checkpoints — and therefore restarts — O(lifetime) again. The trade-off
+// of the cap: a duplicate upload for a lease finished more than cap leases
+// ago answers ErrUnknownLease instead of the precise duplicate/expired
+// verdict (documented in DESIGN.md §8d).
+type tombstones struct {
+	m     map[string]string
+	order []string // insertion order; entries before head are evicted
+	head  int
+	cap   int
+}
+
+func newTombstones(cap int) *tombstones {
+	return &tombstones{m: make(map[string]string), cap: cap}
+}
+
+func (t *tombstones) get(lease string) (string, bool) {
+	w, ok := t.m[lease]
+	return w, ok
+}
+
+func (t *tombstones) add(lease, worker string) {
+	if _, ok := t.m[lease]; ok {
+		t.m[lease] = worker
+		return
+	}
+	t.m[lease] = worker
+	t.order = append(t.order, lease)
+	for len(t.order)-t.head > t.cap {
+		delete(t.m, t.order[t.head])
+		t.order[t.head] = ""
+		t.head++
+	}
+	// Compact the evicted prefix occasionally so the slice does not grow
+	// without bound.
+	if t.head > 1024 && t.head > len(t.order)/2 {
+		t.order = append([]string(nil), t.order[t.head:]...)
+		t.head = 0
+	}
+}
+
+// snapshot returns the live tombstones in insertion order.
+func (t *tombstones) snapshot() []Tombstone {
+	if len(t.order) == t.head {
+		return nil
+	}
+	out := make([]Tombstone, 0, len(t.order)-t.head)
+	for _, lease := range t.order[t.head:] {
+		out = append(out, Tombstone{Lease: lease, Worker: t.m[lease]})
+	}
+	return out
+}
+
+func (t *tombstones) len() int { return len(t.order) - t.head }

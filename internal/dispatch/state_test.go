@@ -1,0 +1,221 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"snaptask/internal/geom"
+	"snaptask/internal/taskgen"
+)
+
+// checkpointBytes captures one serialised checkpoint snapshot.
+func checkpointBytes(t *testing.T, d *Dispatcher) []byte {
+	t.Helper()
+	var data []byte
+	if err := d.Checkpoint(func(state json.RawMessage) error {
+		data = append([]byte(nil), state...)
+		return nil
+	}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return data
+}
+
+func TestStateCheckpointRoundTrip(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0).UTC()}
+	cfg := Config{Now: clk.Now, LeaseTTL: 30 * time.Second, Budget: 100}
+	d := New(cfg)
+	src := &fakeSource{tasks: []taskgen.Task{
+		photoTask(1, 0, 0), photoTask(2, 5, 5), photoTask(3, 9, 2),
+		{ID: 4, Kind: taskgen.KindAnnotation, Location: geom.V2(2, 8), Seed: geom.V2(2.5, 8.5)},
+	}}
+
+	// Exercise every state dimension: a completed lease, an expired lease,
+	// an active lease, a requeue buffer entry, blur strikes / exclusions,
+	// incentive spend and per-worker stats.
+	wa := mustRegister(t, d, WorkerInfo{Pos: geom.V2(1, 1), HasPos: true, BaseReward: 2, PerMetre: 0.5})
+	wb := mustRegister(t, d, WorkerInfo{})
+	wc := mustRegister(t, d, WorkerInfo{Reliability: 0.75})
+
+	_, leaseA, err := d.Claim(wa.ID, nil, src)
+	if err != nil {
+		t.Fatalf("claim a: %v", err)
+	}
+	if dup, err := d.BeginUpload(wa.ID, leaseA.ID); err != nil || dup {
+		t.Fatalf("begin upload a: dup=%v err=%v", dup, err)
+	}
+	d.FinishUpload(wa.ID, leaseA.ID, true)
+
+	_, leaseB, err := d.Claim(wb.ID, nil, src)
+	if err != nil {
+		t.Fatalf("claim b: %v", err)
+	}
+	d.NoteBlur(wb.ID, leaseB.TaskID)
+
+	// Expire b's lease: past the TTL, the next dispatch operation sweeps it
+	// and requeues the task into the buffer.
+	clk.Advance(cfg.LeaseTTL + time.Second)
+	_, leaseC, err := d.Claim(wc.ID, nil, src)
+	if err != nil {
+		t.Fatalf("claim c: %v", err)
+	}
+
+	// Determinism: the same state marshals to the same bytes, always.
+	snap := checkpointBytes(t, d)
+	if again := checkpointBytes(t, d); !bytes.Equal(snap, again) {
+		t.Fatalf("checkpoint marshal is not deterministic:\n%s\nvs\n%s", snap, again)
+	}
+
+	// Restore into a fresh dispatcher sharing the clock and config.
+	d2 := New(cfg)
+	if err := d2.RestoreState(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := d2.Status(), d.Status(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored status %+v != original %+v", got, want)
+	}
+	// The restored state re-marshals to the identical snapshot — a second
+	// checkpoint right after a restore changes nothing.
+	if resnap := checkpointBytes(t, d2); !bytes.Equal(snap, resnap) {
+		t.Fatalf("restore→checkpoint drifted:\n%s\nvs\n%s", snap, resnap)
+	}
+
+	// Behaviour carries over, not just counters.
+	// Completed lease: duplicate upload is recognised.
+	if dup, err := d2.BeginUpload(wa.ID, leaseA.ID); err != nil || !dup {
+		t.Fatalf("restored duplicate upload: dup=%v err=%v", dup, err)
+	}
+	// Expired lease: gone-forever verdict survives.
+	if _, err := d2.BeginUpload(wb.ID, leaseB.ID); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("restored expired lease verdict: %v, want ErrLeaseExpired", err)
+	}
+	// Active lease: re-armed with a fresh TTL, so it is immediately usable.
+	if dup, err := d2.BeginUpload(wc.ID, leaseC.ID); err != nil || dup {
+		t.Fatalf("restored active lease: dup=%v err=%v", dup, err)
+	}
+	d2.FinishUpload(wc.ID, leaseC.ID, true)
+	if st := d2.Status(); st.Completions != 2 {
+		t.Fatalf("completions after restored finish = %d, want 2", st.Completions)
+	}
+}
+
+func TestRestoreStateReArmsLeaseDeadlines(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0).UTC()}
+	cfg := Config{Now: clk.Now, LeaseTTL: 30 * time.Second}
+	d := New(cfg)
+	src := &fakeSource{tasks: []taskgen.Task{photoTask(1, 0, 0)}}
+	w := mustRegister(t, d, WorkerInfo{})
+	_, lease, err := d.Claim(w.ID, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := checkpointBytes(t, d)
+
+	// The server was down well past the TTL. The snapshot carries no
+	// deadline, so the restored lease gets a fresh TTL from the restore
+	// clock instead of expiring instantly on the first sweep.
+	clk.Advance(10 * time.Minute)
+	d2 := New(cfg)
+	if err := d2.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	deadline, active, err := d2.Heartbeat(w.ID)
+	if err != nil || !active {
+		t.Fatalf("heartbeat after restore: active=%v err=%v", active, err)
+	}
+	if !deadline.After(clk.Now()) {
+		t.Fatalf("restored lease deadline %v not after now %v", deadline, clk.Now())
+	}
+	if dup, err := d2.BeginUpload(w.ID, lease.ID); err != nil || dup {
+		t.Fatalf("upload on re-armed lease: dup=%v err=%v", dup, err)
+	}
+}
+
+func TestRestoreStateRejectsGarbage(t *testing.T) {
+	d, _ := newTestDispatcher(t, Config{})
+	if err := d.RestoreState(json.RawMessage(`{"workers": 7}`)); err == nil {
+		t.Fatal("malformed state accepted")
+	}
+	if err := d.RestoreState(nil); err != nil {
+		t.Fatalf("nil state: %v, want no-op", err)
+	}
+	if err := d.RestoreState(json.RawMessage{}); err != nil {
+		t.Fatalf("empty state: %v, want no-op", err)
+	}
+}
+
+func TestTombstoneCapBoundsCheckpointAndEvictsOldest(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0).UTC()}
+	cfg := Config{Now: clk.Now, LeaseTTL: 30 * time.Second, TombstoneCap: 2}
+	d := New(cfg)
+	w := mustRegister(t, d, WorkerInfo{})
+
+	var leases []string
+	for i := 1; i <= 3; i++ {
+		src := &fakeSource{tasks: []taskgen.Task{photoTask(i, float64(i), 0)}}
+		_, lease, err := d.Claim(w.ID, nil, src)
+		if err != nil {
+			t.Fatalf("claim %d: %v", i, err)
+		}
+		if dup, err := d.BeginUpload(w.ID, lease.ID); err != nil || dup {
+			t.Fatalf("upload %d: dup=%v err=%v", i, dup, err)
+		}
+		d.FinishUpload(w.ID, lease.ID, true)
+		leases = append(leases, lease.ID)
+	}
+
+	// The oldest tombstone fell off the ring: its duplicate upload now
+	// answers ErrUnknownLease (the documented cap trade-off) instead of
+	// dup=true. The two retained ones still answer precisely.
+	if _, err := d.BeginUpload(w.ID, leases[0]); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("evicted tombstone: %v, want ErrUnknownLease", err)
+	}
+	for _, id := range leases[1:] {
+		if dup, err := d.BeginUpload(w.ID, id); err != nil || !dup {
+			t.Fatalf("retained tombstone %s: dup=%v err=%v", id, dup, err)
+		}
+	}
+
+	// The checkpoint carries only the retained tombstones.
+	var st State
+	if err := json.Unmarshal(checkpointBytes(t, d), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Completed) != 2 {
+		t.Fatalf("checkpointed tombstones = %d, want 2 (cap)", len(st.Completed))
+	}
+	if st.Completed[0].Lease != leases[1] || st.Completed[1].Lease != leases[2] {
+		t.Fatalf("retained tombstones %+v, want newest two %v", st.Completed, leases[1:])
+	}
+}
+
+func TestTombstoneRingCompaction(t *testing.T) {
+	// Push far past the compaction threshold (head > 1024) and check the
+	// ring still answers correctly and stays bounded.
+	r := newTombstones(4)
+	n := 3000
+	for i := 0; i < n; i++ {
+		r.add(fmt.Sprintf("L%d", i), "w")
+	}
+	if r.len() != 4 {
+		t.Fatalf("ring len = %d, want 4", r.len())
+	}
+	if _, ok := r.get(fmt.Sprintf("L%d", n-1)); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if _, ok := r.get("L0"); ok {
+		t.Fatal("evicted entry still present")
+	}
+	if len(r.order) > 2*1024+8 {
+		t.Fatalf("order slice grew unbounded: %d", len(r.order))
+	}
+	snap := r.snapshot()
+	if len(snap) != 4 || snap[3].Lease != fmt.Sprintf("L%d", n-1) {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}

@@ -122,6 +122,20 @@ func (a *Campaign) Apply(e Event) {
 	c.LastSeq = e.Seq
 }
 
+// Restore replaces the aggregate with checkpointed state. Called once at
+// startup, before any Apply, when replay resumes from a checkpoint instead
+// of seq 1; subsequent tail events fold on top via Apply exactly as they
+// did live.
+func (a *Campaign) Restore(c Counters, pts []Point) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.c = c
+	a.points = append(a.points[:0], pts...)
+}
+
 // Counters returns a copy of the current totals.
 func (a *Campaign) Counters() Counters {
 	if a == nil {

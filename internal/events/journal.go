@@ -121,7 +121,27 @@ func (j *Journal) Len() int {
 	return j.count
 }
 
+// Size returns the validated byte length of the file plus buffered appends.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Horizon is always 0: the single-file journal never compacts, every event
+// since seq 1 stays readable (that unbounded growth is exactly what the
+// DirStore backend exists to fix).
+func (j *Journal) Horizon() uint64 { return 0 }
+
+var _ Store = (*Journal)(nil)
+
 // Append buffers one event line. The write reaches the OS on Flush/Sync.
+// Sequence numbers are validated: on a non-empty journal e.Seq must be
+// exactly LastSeq()+1 (an empty journal accepts any positive starting seq,
+// so a store can begin mid-history after a checkpoint). A regression or gap
+// poisons the journal — ReadAfter ordering and Last-Event-ID resume both
+// depend on contiguous seqs, so a caller bug must fail loudly rather than
+// corrupt the resume invariants.
 func (j *Journal) Append(e Event) error {
 	data, err := json.Marshal(e)
 	if err != nil {
@@ -130,6 +150,10 @@ func (j *Journal) Append(e Event) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
+		return j.err
+	}
+	if e.Seq == 0 || (j.count > 0 && e.Seq != j.lastSeq+1) {
+		j.err = fmt.Errorf("%w: append seq %d after %d", ErrSeqRegression, e.Seq, j.lastSeq)
 		return j.err
 	}
 	if _, err := j.w.Write(data); err != nil {
@@ -183,6 +207,13 @@ func (j *Journal) Sync() error {
 // so it is safe to call while the owner keeps appending: the scan simply
 // stops at the last complete line present when it gets there. fn returning
 // an error aborts the scan and is returned.
+//
+// Only a *final fragment without a newline* is benign (a concurrent append
+// the buffered writer cut mid-line); a complete line that fails to parse is
+// mid-file corruption — OpenJournal already truncated any crash-torn tail,
+// so garbage inside the validated region means the file was damaged after
+// the fact. That case fails with ErrCorrupt instead of silently truncating
+// the replay.
 func (j *Journal) ReadAfter(after uint64, fn func(Event) error) error {
 	j.mu.Lock()
 	if err := j.flushLocked(); err != nil {
@@ -191,9 +222,20 @@ func (j *Journal) ReadAfter(after uint64, fn func(Event) error) error {
 	}
 	path := j.path
 	j.mu.Unlock()
+	return readSegmentFile(path, after, false, fn)
+}
 
+// readSegmentFile streams events with Seq > after from one JSONL file.
+// sealed marks a rotated-out segment: it can never have a concurrent
+// appender, so even a trailing fragment is corruption there.
+func readSegmentFile(path string, after uint64, sealed bool, fn func(Event) error) error {
 	f, err := os.Open(path)
 	if err != nil {
+		if os.IsNotExist(err) {
+			// Compaction removed the segment between listing and opening;
+			// its events are covered by the newest checkpoint.
+			return fmt.Errorf("%w: segment %s removed", ErrTruncated, path)
+		}
 		return fmt.Errorf("events: open journal for read: %w", err)
 	}
 	defer f.Close()
@@ -201,14 +243,17 @@ func (j *Journal) ReadAfter(after uint64, fn func(Event) error) error {
 	for {
 		line, err := r.ReadString('\n')
 		if err == io.EOF {
-			return nil // torn fragment (concurrent append) or end: stop
+			if len(line) > 0 && sealed {
+				return fmt.Errorf("%w: torn final line in sealed segment %s", ErrCorrupt, path)
+			}
+			return nil // active tail: benign concurrent-append fragment (or end)
 		}
 		if err != nil {
 			return fmt.Errorf("events: read journal: %w", err)
 		}
 		var e Event
 		if err := json.Unmarshal([]byte(strings.TrimSuffix(line, "\n")), &e); err != nil {
-			return nil // trailing partial write; everything valid was served
+			return fmt.Errorf("%w: unparseable line in %s: %v", ErrCorrupt, path, err)
 		}
 		if e.Seq <= after {
 			continue

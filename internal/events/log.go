@@ -1,6 +1,8 @@
 package events
 
 import (
+	"encoding/json"
+	"errors"
 	"sync"
 	"time"
 
@@ -8,38 +10,81 @@ import (
 )
 
 // Log is the campaign event hub: it assigns sequence numbers, appends to the
-// journal, folds the campaign aggregate and fans out to live subscribers —
+// store, folds the campaign aggregate and fans out to live subscribers —
 // in that order, so any event a subscriber misses is already durable and
 // recoverable via ReadAfter (the SSE catch-up path).
 //
 // A nil *Log is a no-op for Emit and Commit, so core code records events
 // unconditionally.
 type Log struct {
-	mu   sync.Mutex
-	j    *Journal
-	bus  *Bus
-	camp *Campaign
-	m    *telemetry.EventMetrics
-	seq  uint64
+	mu    sync.Mutex
+	store Store
+	bus   *Bus
+	camp  *Campaign
+	m     *telemetry.EventMetrics
+	seq   uint64
 	// lastDropped mirrors bus evictions into the telemetry counter.
 	lastDropped uint64
+
+	// Checkpointing state (meaningful only when store is a CheckpointStore).
+	policy       CheckpointPolicy
+	now          func() time.Time
+	ckptSeq      uint64          // seq covered by the newest checkpoint
+	ckptDispatch json.RawMessage // dispatcher state carried by that checkpoint
+	lastCkptT    time.Time
 }
 
-// Open opens (or creates) the journal at path and returns a hub over it.
-// Call Replay before serving to fold stored history into the campaign
-// aggregate. metrics may be nil.
+// CheckpointPolicy says when a new checkpoint is due. Zero fields disable
+// that trigger; the zero policy never triggers (checkpoints can still be
+// written explicitly, e.g. at shutdown).
+type CheckpointPolicy struct {
+	// Interval triggers a checkpoint when at least this much time has
+	// passed since the last one (and new events were folded).
+	Interval time.Duration
+	// Every triggers a checkpoint after this many events since the last
+	// one.
+	Every uint64
+}
+
+// Open opens (or creates) the single-file journal at path and returns a hub
+// over it. Call Replay before serving to fold stored history into the
+// campaign aggregate. metrics may be nil.
 func Open(path string, m *telemetry.EventMetrics) (*Log, error) {
 	j, err := OpenJournal(path)
 	if err != nil {
 		return nil, err
 	}
 	l := NewLog(m)
-	l.j = j
+	l.store = j
 	l.seq = j.LastSeq()
 	return l, nil
 }
 
-// NewLog returns a journal-less hub (bus + campaign only) — used by tests
+// OpenDir opens (or initialises) the checkpointing directory store at dir
+// and returns a hub over it. Restart cost is O(checkpoint + tail): Replay
+// restores the newest valid checkpoint and folds only the events after it.
+// metrics may be nil.
+func OpenDir(dir string, m *telemetry.EventMetrics, opts DirStoreOptions, policy CheckpointPolicy) (*Log, error) {
+	ds, err := OpenDirStore(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLog(m)
+	l.store = ds
+	l.seq = ds.LastSeq()
+	l.policy = policy
+	l.lastCkptT = l.now()
+	if c, ok := ds.Checkpoint(); ok {
+		l.ckptSeq = c.Seq
+		l.ckptDispatch = c.Dispatch
+	}
+	if n := ds.CorruptCheckpoints(); n > 0 {
+		l.m.Corrupt.Add(uint64(n))
+	}
+	return l, nil
+}
+
+// NewLog returns a store-less hub (bus + campaign only) — used by tests
 // and by servers that want live events without durability.
 func NewLog(m *telemetry.EventMetrics) *Log {
 	if m == nil {
@@ -47,25 +92,37 @@ func NewLog(m *telemetry.EventMetrics) *Log {
 		// path never branches on telemetry presence.
 		m = telemetry.NewEventMetrics(nil)
 	}
-	return &Log{bus: NewBus(), camp: NewCampaign(), m: m}
+	return &Log{bus: NewBus(), camp: NewCampaign(), m: m, now: time.Now}
 }
 
-// Replay folds every stored event into the campaign aggregate, restoring
-// counters and progress history exactly as an uninterrupted run would have
-// produced them. Call once, before Emit.
+// Replay restores the campaign aggregate: the newest checkpoint's folded
+// state first (when the store has one), then every stored event after it,
+// producing exactly the counters and progress history an uninterrupted run
+// would hold. Call once, before Emit.
 func (l *Log) Replay() error {
-	if l == nil || l.j == nil {
+	if l == nil || l.store == nil {
 		return nil
 	}
-	return l.j.ReadAfter(0, func(e Event) error {
+	from := uint64(0)
+	if cs, ok := l.store.(CheckpointStore); ok {
+		if c, ok := cs.Checkpoint(); ok {
+			l.camp.Restore(c.Counters, c.Points)
+			from = c.Seq
+		}
+	}
+	err := l.store.ReadAfter(from, func(e Event) error {
 		l.camp.Apply(e)
 		return nil
 	})
+	if errors.Is(err, ErrCorrupt) {
+		l.m.Corrupt.Inc()
+	}
+	return err
 }
 
 // Emit stamps, numbers, journals, folds and publishes one event. The caller
 // is the model owner (single producer); the mutex only orders Emit against
-// itself for safety. Journal errors are remembered by the journal and
+// itself for safety. Store errors are remembered by the store and
 // surfaced on Commit/Close — emission never fails the ingest path.
 func (l *Log) Emit(e Event) {
 	if l == nil {
@@ -78,8 +135,8 @@ func (l *Log) Emit(e Event) {
 	if e.T.IsZero() {
 		e.T = time.Now().UTC()
 	}
-	if l.j != nil {
-		if err := l.j.Append(e); err == nil {
+	if l.store != nil {
+		if err := l.store.Append(e); err == nil {
 			l.m.Appended.Inc()
 		}
 	} else {
@@ -94,16 +151,117 @@ func (l *Log) Emit(e Event) {
 	}
 }
 
-// Commit makes every emitted event durable (journal fsync) and observes the
+// Commit makes every emitted event durable (store fsync) and observes the
 // fsync latency. The model owner calls it once per processed batch.
 func (l *Log) Commit() error {
-	if l == nil || l.j == nil {
+	if l == nil || l.store == nil {
 		return nil
 	}
 	start := time.Now()
-	err := l.j.Sync()
+	err := l.store.Sync()
 	l.m.FsyncSeconds.Observe(time.Since(start).Seconds())
 	return err
+}
+
+// CheckpointDue reports whether the policy calls for a new checkpoint:
+// events were folded since the last one, and either the count or the time
+// trigger fired. Always false for non-checkpointing stores.
+func (l *Log) CheckpointDue() bool {
+	if l == nil {
+		return false
+	}
+	if _, ok := l.store.(CheckpointStore); !ok {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq == l.ckptSeq {
+		return false
+	}
+	if l.policy.Every > 0 && l.seq-l.ckptSeq >= l.policy.Every {
+		return true
+	}
+	if l.policy.Interval > 0 && l.now().Sub(l.lastCkptT) >= l.policy.Interval {
+		return true
+	}
+	return false
+}
+
+// WriteCheckpoint persists a checkpoint of the current folded state plus
+// the caller's serialised dispatch state. The caller must guarantee that
+// no emitter is concurrently producing events it considers part of the
+// checkpointed state (the server holds the owner and dispatcher locks).
+// The tail is fsynced first, so the checkpoint never covers events that
+// could be lost, and the write is atomic (temp file, fsync, rename).
+// A no-op when nothing was folded since the last checkpoint, or when the
+// store cannot checkpoint.
+func (l *Log) WriteCheckpoint(dispatch json.RawMessage) error {
+	if l == nil {
+		return nil
+	}
+	cs, ok := l.store.(CheckpointStore)
+	if !ok {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq == l.ckptSeq {
+		return nil
+	}
+	if err := l.store.Sync(); err != nil {
+		return err
+	}
+	c := Checkpoint{
+		Seq:      l.seq,
+		T:        l.now().UTC(),
+		Counters: l.camp.Counters(),
+		Points:   l.camp.Progress(),
+		Dispatch: dispatch,
+	}
+	start := time.Now()
+	if err := cs.WriteCheckpoint(c); err != nil {
+		return err
+	}
+	l.m.Checkpoints.Inc()
+	l.m.CheckpointSeconds.Observe(time.Since(start).Seconds())
+	l.ckptSeq = c.Seq
+	l.ckptDispatch = dispatch
+	l.lastCkptT = c.T
+	return nil
+}
+
+// CheckpointSeq returns the sequence number covered by the newest
+// checkpoint (0 when none). After Replay, the dispatcher folds journal
+// events starting here.
+func (l *Log) CheckpointSeq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptSeq
+}
+
+// CheckpointDispatch returns the serialised dispatcher state carried by the
+// newest checkpoint (nil when none) — the dispatcher restores from it
+// before folding the tail.
+func (l *Log) CheckpointDispatch() json.RawMessage {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptDispatch
+}
+
+// Horizon returns the store's compaction horizon: events with Seq <=
+// Horizon() are no longer individually readable. 0 for stores that never
+// compact.
+func (l *Log) Horizon() uint64 {
+	if l == nil || l.store == nil {
+		return 0
+	}
+	return l.store.Horizon()
 }
 
 // Subscribe registers a live event consumer with the given channel buffer.
@@ -126,12 +284,18 @@ func (l *Log) Unsubscribe(s *Subscriber) {
 }
 
 // ReadAfter streams stored events with Seq > after, in order — the SSE
-// catch-up and /v1/progress source. Without a journal it is a no-op.
+// catch-up and /v1/progress source. Without a store it is a no-op.
+// Corruption surfaced by the store is counted in
+// snaptask_events_journal_corrupt_total on the way through.
 func (l *Log) ReadAfter(after uint64, fn func(Event) error) error {
-	if l == nil || l.j == nil {
+	if l == nil || l.store == nil {
 		return nil
 	}
-	return l.j.ReadAfter(after, fn)
+	err := l.store.ReadAfter(after, fn)
+	if errors.Is(err, ErrCorrupt) {
+		l.m.Corrupt.Inc()
+	}
+	return err
 }
 
 // LastSeq returns the sequence number of the last emitted (or replayed)
@@ -154,10 +318,10 @@ func (l *Log) Campaign() *Campaign {
 	return l.camp
 }
 
-// Close flushes and fsyncs the journal. Emit must not be called after.
+// Close flushes and fsyncs the store. Emit must not be called after.
 func (l *Log) Close() error {
-	if l == nil || l.j == nil {
+	if l == nil || l.store == nil {
 		return nil
 	}
-	return l.j.Close()
+	return l.store.Close()
 }

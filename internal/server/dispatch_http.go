@@ -87,6 +87,7 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.publishLocked()
+	s.maybeCheckpointLocked()
 	writeJSON(w, http.StatusOK, RegisterWorkerResponse{
 		ID:              info.ID,
 		LeaseTTLSeconds: s.disp.LeaseTTL().Seconds(),
@@ -160,6 +161,7 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	}
 	s.claimResult("granted")
 	s.publishLocked()
+	s.maybeCheckpointLocked()
 	writeJSON(w, http.StatusOK, ClaimResponse{
 		Task:     taskToDTO(task),
 		LeaseID:  lease.ID,

@@ -6,6 +6,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -54,6 +55,17 @@ func resumeAfter(r *http.Request) (uint64, error) {
 	return after, nil
 }
 
+// writeTruncatedSSE tells a resuming client that events at or before
+// horizon were compacted away. The frame's id is the horizon itself, so a
+// standard EventSource reconnect carries it as Last-Event-ID and resumes
+// cleanly after the gap.
+func writeTruncatedSSE(w io.Writer, horizon uint64) error {
+	_, err := fmt.Fprintf(w,
+		"id: %d\nevent: history_truncated\ndata: {\"horizon\":%d}\n\n",
+		horizon, horizon)
+	return err
+}
+
 // writeSSE renders one event as an SSE frame. The sequence number is the
 // event id, so a dropped client resumes exactly where it left off.
 func writeSSE(w io.Writer, e events.Event) error {
@@ -96,7 +108,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer s.evlog.Unsubscribe(sub)
 
 	lastSent := after
-	err = s.evlog.ReadAfter(after, func(e events.Event) error {
+	// A client resuming from before the compaction horizon cannot be
+	// replayed event-by-event: that history was folded into a checkpoint
+	// and its segments deleted. Send an explicit history_truncated frame
+	// (its id is the horizon, so a plain EventSource reconnect resumes
+	// past the gap) and continue from the horizon; clients that need the
+	// folded effect fetch /v1/status or /v1/progress.
+	if h := s.evlog.Horizon(); lastSent < h {
+		if writeTruncatedSSE(w, h) != nil {
+			return
+		}
+		lastSent = h
+	}
+	err = s.evlog.ReadAfter(lastSent, func(e events.Event) error {
 		if e.Seq <= lastSent {
 			return nil
 		}
@@ -107,6 +131,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, events.ErrTruncated) {
+			// Compaction advanced between the horizon check and the segment
+			// read. Signal the new horizon; the client reconnects from it.
+			_ = writeTruncatedSSE(w, s.evlog.Horizon())
+			_ = rc.Flush()
+		}
 		return
 	}
 	if rc.Flush() != nil {

@@ -20,6 +20,7 @@ import (
 
 	"snaptask/internal/camera"
 	"snaptask/internal/core"
+	"snaptask/internal/dispatch"
 	"snaptask/internal/events"
 	"snaptask/internal/geom"
 	"snaptask/internal/telemetry"
@@ -107,6 +108,67 @@ func driveCampaign(t *testing.T, ts *httptest.Server, w *camera.World, v *venue.
 		}
 	}
 	return batches
+}
+
+// driveMoreBatches continues an already-bootstrapped campaign for up to n
+// further task batches (driveCampaign, minus the bootstrap).
+func driveMoreBatches(t *testing.T, ts *httptest.Server, w *camera.World, v *venue.Venue, n int) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var up UploadResponse
+	batches := 0
+	for batches < n {
+		var task TaskDTO
+		code := getJSON(t, ts.URL+"/v1/task", &task)
+		if code == http.StatusNotFound {
+			t.Fatalf("no task pending after %d extra batches", batches)
+		}
+		if task.Covered {
+			return batches
+		}
+		sweep, err := w.Sweep(sweepPos(v, task), camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upReq := UploadRequest{TaskID: task.ID, LocX: task.X, LocY: task.Y,
+			SeedX: task.SeedX, SeedY: task.SeedY, HasSeed: task.HasSeed}
+		for _, p := range sweep {
+			upReq.Photos = append(upReq.Photos, PhotoToDTO(p))
+		}
+		if code := postJSON(t, ts.URL+"/v1/photos", upReq, &up); code != http.StatusOK {
+			t.Fatalf("sweep upload code %d", code)
+		}
+		batches++
+		if up.VenueCovered {
+			return batches
+		}
+	}
+	return batches
+}
+
+// claimAndUpload claims one task under a lease for worker and fulfils it
+// with a sweep upload, completing the lease.
+func claimAndUpload(t *testing.T, ts *httptest.Server, w *camera.World, v *venue.Venue, worker string) ClaimResponse {
+	t.Helper()
+	var claim ClaimResponse
+	if code := postJSON(t, ts.URL+"/v1/task/claim", ClaimRequest{WorkerID: worker}, &claim); code != http.StatusOK {
+		t.Fatalf("claim code %d", code)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sweep, err := w.Sweep(sweepPos(v, claim.Task), camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upReq := UploadRequest{TaskID: claim.Task.ID, LocX: claim.Task.X, LocY: claim.Task.Y,
+		SeedX: claim.Task.SeedX, SeedY: claim.Task.SeedY, HasSeed: claim.Task.HasSeed,
+		WorkerID: worker, LeaseID: claim.LeaseID}
+	for _, p := range sweep {
+		upReq.Photos = append(upReq.Photos, PhotoToDTO(p))
+	}
+	if code := postJSON(t, ts.URL+"/v1/photos", upReq, new(UploadResponse)); code != http.StatusOK {
+		t.Fatalf("leased upload code %d", code)
+	}
+	return claim
 }
 
 // sweepPos picks where the simulated worker stands for a task: the task
@@ -302,6 +364,216 @@ func TestRestartWithJournalRestoresStatusAndProgress(t *testing.T) {
 	if log2.LastSeq() == 0 || log2.LastSeq() != log2.Campaign().Counters().LastSeq {
 		t.Fatalf("replayed campaign out of sync: journal %d, fold %d",
 			log2.LastSeq(), log2.Campaign().Counters().LastSeq)
+	}
+}
+
+// newCheckpointTestServer is newEventsTestServer over the checkpointing
+// directory store: tiny segments so campaigns rotate, explicit policy off —
+// tests checkpoint deliberately via srv.Checkpoint().
+func newCheckpointTestServer(t *testing.T, dir string) (*httptest.Server, *Server, *events.Log, *camera.World, *venue.Venue) {
+	t.Helper()
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(1)))
+	w := camera.NewWorld(v, feats)
+	sys, err := core.NewSystem(v, w, core.Config{Margin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(slog.New(slog.NewTextHandler(io.Discard, nil)), 8)
+	log, err := events.OpenDir(dir, telemetry.NewEventMetrics(tel.Registry),
+		events.DirStoreOptions{SegmentMaxBytes: 1024}, events.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	srv, err := New(sys, rand.New(rand.NewSource(2)), WithTelemetry(tel), WithEvents(log),
+		WithDispatch(dispatch.New(dispatch.Config{LeaseTTL: 30 * time.Second})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv, log, w, v
+}
+
+// TestRestartWithCheckpointStoreRestoresStatusAndProgress is the
+// checkpointed counterpart of the journal restart test: the server
+// checkpoints mid-campaign, keeps going, and is then killed and restarted
+// over the directory store. The restart folds checkpoint + tail only — and
+// /v1/status (lifecycle AND dispatch sections) plus the full /v1/progress
+// history must still be byte-identical to the pre-restart responses.
+func TestRestartWithCheckpointStoreRestoresStatusAndProgress(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign.d")
+	ts, srv, log, w, v := newCheckpointTestServer(t, dir)
+
+	// Non-trivial dispatch state so the checkpoint carries more than the
+	// campaign aggregate: a registered worker holding a live lease.
+	var reg RegisterWorkerResponse
+	if code := postJSON(t, ts.URL+"/v1/workers", RegisterWorkerRequest{ID: "w1"}, &reg); code != http.StatusOK {
+		t.Fatalf("register code %d", code)
+	}
+	driveCampaign(t, ts, w, v, 3)
+
+	// Complete one full lease lifecycle before the checkpoint, so the
+	// snapshot carries worker stats and a completion tombstone.
+	claim := claimAndUpload(t, ts, w, v, "w1")
+
+	// Checkpoint mid-campaign, then keep working so a real tail exists.
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	ckptSeq := log.CheckpointSeq()
+	if ckptSeq == 0 {
+		t.Fatal("checkpoint covered nothing")
+	}
+	driveMoreBatches(t, ts, w, v, 1)
+	// A second claim in the tail: the restart recovers this one as an
+	// active lease by folding journal events after the checkpoint.
+	var claim2 ClaimResponse
+	if code := postJSON(t, ts.URL+"/v1/task/claim", ClaimRequest{WorkerID: "w1"}, &claim2); code != http.StatusOK {
+		t.Fatalf("tail claim code %d", code)
+	}
+	if claim2.Task.Covered || claim2.LeaseID == "" {
+		t.Fatalf("campaign finished before the tail claim (%+v); shrink the drive phases", claim2)
+	}
+	if claim2.LeaseID == claim.LeaseID {
+		t.Fatal("tail claim reused the completed lease")
+	}
+	if log.LastSeq() <= ckptSeq {
+		t.Fatal("no tail events after the checkpoint; the test would not exercise tail replay")
+	}
+
+	statusBefore := rawGET(t, ts.URL+"/v1/status")
+	progressBefore := rawGET(t, ts.URL+"/v1/progress")
+	var state bytes.Buffer
+	if err := srv.WriteState(&state); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory. server.New restores the dispatcher
+	// from the checkpoint's state and folds only the journal tail.
+	sys2, err := core.LoadSystem(&state, v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, err := events.OpenDir(dir, nil,
+		events.DirStoreOptions{SegmentMaxBytes: 1024}, events.CheckpointPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if log2.CheckpointSeq() != ckptSeq {
+		t.Fatalf("reopened checkpoint seq %d, want %d", log2.CheckpointSeq(), ckptSeq)
+	}
+	srv2, err := New(sys2, rand.New(rand.NewSource(9)), WithEvents(log2),
+		WithDispatch(dispatch.New(dispatch.Config{LeaseTTL: 30 * time.Second})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	if got := rawGET(t, ts2.URL+"/v1/status"); got != statusBefore {
+		t.Errorf("status differs after checkpointed restart:\nbefore: %s\nafter:  %s", statusBefore, got)
+	}
+	if got := rawGET(t, ts2.URL+"/v1/progress"); got != progressBefore {
+		t.Errorf("progress differs after checkpointed restart:\nbefore: %s\nafter:  %s", progressBefore, got)
+	}
+
+	// The recovered lease is alive (re-armed TTL): its holder can upload.
+	var hb HeartbeatResponse
+	if code := postJSON(t, ts2.URL+"/v1/workers/w1/heartbeat", struct{}{}, &hb); code != http.StatusOK {
+		t.Fatalf("heartbeat after restart: code %d", code)
+	}
+	if !hb.Active {
+		t.Fatal("restored lease not active after restart")
+	}
+
+	// And the campaign keeps appending where the old one stopped.
+	if log2.LastSeq() == 0 || log2.LastSeq() != log2.Campaign().Counters().LastSeq {
+		t.Fatalf("replayed campaign out of sync: store %d, fold %d",
+			log2.LastSeq(), log2.Campaign().Counters().LastSeq)
+	}
+}
+
+// TestSSEHistoryTruncatedOnCompactedResume compacts history away and then
+// resumes an SSE client from before the horizon: the stream must open with
+// an explicit history_truncated frame whose id is the horizon (so a plain
+// EventSource reconnect resumes past the gap), followed by the surviving
+// events in order — never a silent gap.
+func TestSSEHistoryTruncatedOnCompactedResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign.d")
+	ts, srv, log, w, v := newCheckpointTestServer(t, dir)
+
+	// Two checkpoints with campaign traffic in between: the store keeps the
+	// newest two, so the first compaction deletes segments covered by the
+	// older checkpoint and the horizon moves past zero.
+	driveCampaign(t, ts, w, v, 4)
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	driveMoreBatches(t, ts, w, v, 4)
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	horizon := log.Horizon()
+	if horizon == 0 {
+		t.Fatal("no compaction happened; the test needs a non-zero horizon")
+	}
+	total := log.LastSeq()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/events?after=0", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	want := int(total-horizon) + 1 // the truncation frame + every surviving event
+	frames := readSSE(t, resp.Body, want)
+	cancel()
+	if len(frames) != want {
+		t.Fatalf("streamed %d frames, want %d", len(frames), want)
+	}
+	first := frames[0]
+	if first.kind != "history_truncated" {
+		t.Fatalf("first frame kind %q, want history_truncated", first.kind)
+	}
+	if first.id != horizon {
+		t.Fatalf("truncation frame id %d, want horizon %d", first.id, horizon)
+	}
+	for i, f := range frames[1:] {
+		if wantSeq := horizon + uint64(i) + 1; f.id != wantSeq {
+			t.Fatalf("frame %d: id %d, want %d (contiguous from the horizon)", i+1, f.id, wantSeq)
+		}
+	}
+
+	// A client resuming from at-or-past the horizon gets no truncation
+	// frame — its position is still replayable.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	req2, _ := http.NewRequestWithContext(ctx2, "GET",
+		fmt.Sprintf("%s/v1/events?after=%d", ts.URL, horizon), nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	tail := readSSE(t, resp2.Body, int(total-horizon))
+	cancel2()
+	if len(tail) == 0 || tail[0].kind == "history_truncated" {
+		t.Fatalf("resume at the horizon got a truncation frame (first: %+v)", tail[0])
+	}
+	if tail[0].id != horizon+1 {
+		t.Fatalf("resume at horizon starts at %d, want %d", tail[0].id, horizon+1)
 	}
 }
 

@@ -312,10 +312,15 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 	}
 	s.disp.AttachLog(s.evlog)
 	if s.evlog != nil {
-		// Fold the journal into the dispatcher too: registry, per-worker
-		// counters and active leases (re-armed with a fresh TTL) come back,
-		// making the status dispatch section byte-identical post-restart.
-		if err := s.evlog.ReadAfter(0, func(e events.Event) error {
+		// Restore the dispatcher too: the newest checkpoint's serialised
+		// state first (a no-op without one), then the journal tail after the
+		// checkpoint seq — registry, per-worker counters and active leases
+		// (re-armed with a fresh TTL) come back, making the status dispatch
+		// section byte-identical post-restart at O(tail) cost.
+		if err := s.disp.RestoreState(s.evlog.CheckpointDispatch()); err != nil {
+			return nil, fmt.Errorf("server: dispatch restore: %w", err)
+		}
+		if err := s.evlog.ReadAfter(s.evlog.CheckpointSeq(), func(e events.Event) error {
 			s.disp.Restore(e)
 			return nil
 		}); err != nil {
@@ -585,6 +590,7 @@ func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
 		s.disp.NoteBlur(req.WorkerID, out.TasksIssued[0].ID)
 	}
 	s.publishLocked()
+	s.maybeCheckpointLocked()
 	writeJSON(w, http.StatusOK, UploadResponse{
 		Registered:    len(out.Batch.Registered),
 		Rejected:      len(out.Batch.RejectedBlurry),
@@ -683,6 +689,7 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 		s.disp.NoteBlur(req.WorkerID, out.TasksIssued[0].ID)
 	}
 	s.publishLocked()
+	s.maybeCheckpointLocked()
 	writeJSON(w, http.StatusOK, AnnotateResponse{
 		Identified:    out.Recon.Identified,
 		Reconstructed: out.Recon.Reconstructed,
@@ -770,6 +777,44 @@ func (s *Server) WriteState(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sys.WriteSnapshot(w)
+}
+
+// Checkpoint writes an event-log checkpoint now, regardless of policy —
+// the shutdown path calls it so the next start replays (almost) no tail.
+// A no-op when the server runs without an event log or with a
+// non-checkpointing store.
+func (s *Server) Checkpoint() error {
+	if s.evlog == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked captures one consistent cut of (event seq, campaign
+// aggregate, dispatch state) and persists it. The lock order is the claim
+// path's: the caller holds the owner lock (freezing core emitters), the
+// dispatcher serialises itself under its own lock and, still holding it,
+// hands the state to the log — so no event can interleave between the
+// dispatch capture and the checkpoint's seq.
+func (s *Server) checkpointLocked() error {
+	return s.disp.Checkpoint(func(state json.RawMessage) error {
+		return s.evlog.WriteCheckpoint(state)
+	})
+}
+
+// maybeCheckpointLocked runs on the owner path after mutations: when the
+// log's checkpoint policy says one is due, write it. Failures are logged
+// and otherwise ignored — the journal tail is still durable, a failed
+// checkpoint only costs restart time, not correctness.
+func (s *Server) maybeCheckpointLocked() {
+	if s.evlog == nil || !s.evlog.CheckpointDue() {
+		return
+	}
+	if err := s.checkpointLocked(); err != nil && s.tel != nil && s.tel.Logger != nil {
+		s.tel.Logger.Error("checkpoint failed", "err", err)
+	}
 }
 
 // TaskKindFromString parses a wire task kind.

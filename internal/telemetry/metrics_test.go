@@ -270,6 +270,8 @@ func TestExpositionIsValidPrometheusText(t *testing.T) {
 		"snaptask_blur_variance", "snaptask_ingest_batch_rejected_total",
 		"snaptask_events_appended_total", "snaptask_events_dropped_subscribers_total",
 		"snaptask_events_subscribers", "snaptask_events_journal_fsync_seconds",
+		"snaptask_events_journal_corrupt_total", "snaptask_events_checkpoints_total",
+		"snaptask_events_checkpoint_seconds",
 		"snaptask_dispatch_workers", "snaptask_dispatch_active_leases",
 		"snaptask_dispatch_claims_total", "snaptask_dispatch_lease_expiries_total",
 		"snaptask_dispatch_task_requeues_total", "snaptask_dispatch_claim_seconds",

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"snaptask/internal/camera"
+)
+
+// partBases memoizes serialized partitioned systems grown to a target view
+// count through the grouped ingest path, keyed by (views, partitions).
+var partBases struct {
+	mu    sync.Mutex
+	bases map[[2]int][]byte
+}
+
+// partitionedBase returns a serialized K-partition system holding at least
+// `views` registered views, grown with ProcessPhotoBatchGroup.
+func partitionedBase(b *testing.B, views, partitions int) []byte {
+	b.Helper()
+	if err := ingestSetup(); err != nil {
+		b.Fatal(err)
+	}
+	partBases.mu.Lock()
+	defer partBases.mu.Unlock()
+	if partBases.bases == nil {
+		partBases.bases = make(map[[2]int][]byte)
+	}
+	key := [2]int{views, partitions}
+	if snap, ok := partBases.bases[key]; ok {
+		return snap
+	}
+	v, w := ingestEnv.v, ingestEnv.w
+	sys, err := NewSystem(v, w, Config{Margin: 4, Partitions: partitions})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(views*10 + partitions)))
+	boot, err := BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.ProcessBootstrap(boot, rng); err != nil {
+		b.Fatal(err)
+	}
+	const groupSize = 8
+	for i := 0; sys.NumViews() < views; {
+		var group []UploadBatch
+		for j := 0; j < groupSize; j++ {
+			pos := ingestEnv.sweepPos[i%len(ingestEnv.sweepPos)]
+			i++
+			photos, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			group = append(group, UploadBatch{TaskLoc: pos, TaskSeed: pos, Photos: photos})
+		}
+		if _, err := sys.ProcessPhotoBatchGroup(group, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sys.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	partBases.bases[key] = buf.Bytes()
+	return buf.Bytes()
+}
+
+// BenchmarkIngestPartitioned measures grouped upload ingestion — concurrent
+// per-partition registration plus one shared SOR + map rebuild per group —
+// against model size and partition count. Each iteration ingests one
+// 8-batch group; divide ns/op by 8 for the per-upload figure comparable to
+// BenchmarkIngest.
+func BenchmarkIngestPartitioned(b *testing.B) {
+	const groupSize = 8
+	for _, views := range []int{500, 1000} {
+		for _, k := range []int{1, 4} {
+			b.Run(fmt.Sprintf("views=%d/partitions=%d", views, k), func(b *testing.B) {
+				snap := partitionedBase(b, views, k)
+				sys, err := LoadSystem(bytes.NewReader(snap), ingestEnv.v, ingestEnv.w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(78))
+				var groups [][]UploadBatch
+				for g := 0; g < 2; g++ {
+					var group []UploadBatch
+					for j := 0; j < groupSize; j++ {
+						pos := ingestEnv.sweepPos[(g*groupSize+j*5)%len(ingestEnv.sweepPos)]
+						photos, err := ingestEnv.w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+						if err != nil {
+							b.Fatal(err)
+						}
+						group = append(group, UploadBatch{TaskLoc: pos, TaskSeed: pos, Photos: photos})
+					}
+					groups = append(groups, group)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.ProcessPhotoBatchGroup(groups[i%len(groups)], rng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -15,8 +15,11 @@ import (
 // and maps are stored in a database for further iterations". Maps are
 // recomputed from the model on load rather than stored.
 type systemSnapshot struct {
-	Config                Config
+	Config Config
+	// Model is the monolithic model state; PModel replaces it (and Model
+	// stays zero) when the system runs partitioned.
 	Model                 sfm.Snapshot
+	PModel                *sfm.PartitionedSnapshot
 	Generator             taskgen.Snapshot
 	Pending               []taskgen.Task
 	Covered               bool
@@ -32,7 +35,6 @@ type systemSnapshot struct {
 func (s *System) WriteSnapshot(w io.Writer) error {
 	snap := systemSnapshot{
 		Config:                s.cfg,
-		Model:                 s.model.Snapshot(),
 		Generator:             s.gen.Snapshot(),
 		Pending:               append([]taskgen.Task(nil), s.pending...),
 		Covered:               s.covered,
@@ -40,6 +42,12 @@ func (s *System) WriteSnapshot(w io.Writer) error {
 		PhotoTasksIssued:      s.photoTasksIssued,
 		AnnotationTasksIssued: s.annotationTasksIssued,
 		PhotosProcessed:       s.photosProcessed,
+	}
+	if s.pmodel != nil {
+		ps := s.pmodel.Snapshot()
+		snap.PModel = &ps
+	} else {
+		snap.Model = s.model.Snapshot()
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("core: encode snapshot: %w", err)
@@ -66,15 +74,23 @@ func LoadSystem(r io.Reader, v *venue.Venue, world *camera.World) (*System, erro
 	if err != nil {
 		return nil, err
 	}
-	model, err := sfm.FromSnapshot(snap.Model)
-	if err != nil {
-		return nil, err
+	if snap.PModel != nil {
+		pmodel, err := sfm.FromPartitionedSnapshot(*snap.PModel)
+		if err != nil {
+			return nil, err
+		}
+		s.pmodel, s.model = pmodel, nil
+	} else {
+		model, err := sfm.FromSnapshot(snap.Model)
+		if err != nil {
+			return nil, err
+		}
+		s.model, s.pmodel = model, nil
 	}
 	gen, err := taskgen.FromSnapshot(snap.Generator)
 	if err != nil {
 		return nil, err
 	}
-	s.model = model
 	s.gen = gen
 	s.pending = append([]taskgen.Task(nil), snap.Pending...)
 	s.covered = snap.Covered
@@ -84,9 +100,14 @@ func LoadSystem(r io.Reader, v *venue.Venue, world *camera.World) (*System, erro
 	s.photosProcessed = snap.PhotosProcessed
 
 	// Restore artificial features into the capture world so future photos
-	// see the imprinted textures.
+	// see the imprinted textures. Every partition holds the full feature
+	// oracle, so partition 0's list is the complete one.
+	features := snap.Model.Features
+	if snap.PModel != nil {
+		features = snap.PModel.Parts[0].Features
+	}
 	var artificial []venue.Feature
-	for _, f := range snap.Model.Features {
+	for _, f := range features {
 		if f.Artificial {
 			artificial = append(artificial, venue.Feature{ID: f.ID, Pos: f.Pos, Artificial: true})
 		}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+)
+
+// locateServer boots a bootstrapped small-room backend and returns a photo
+// suitable for localisation queries.
+func locateServer(t *testing.T) (ts string, photo camera.Photo) {
+	t.Helper()
+	srv, _, w, v := newTestServer(t)
+	rng := rand.New(rand.NewSource(31))
+	boot, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := UploadRequest{Bootstrap: true}
+	for _, p := range boot {
+		req.Photos = append(req.Photos, PhotoToDTO(p))
+	}
+	if code := postJSON(t, srv.URL+"/v1/photos", req, new(UploadResponse)); code != http.StatusOK {
+		t.Fatalf("bootstrap code %d", code)
+	}
+	pos := v.Entrance()
+	pos.Y += 1.5
+	sweep, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv.URL, sweep[0]
+}
+
+// TestLocateDeterministic pins the per-request rng derivation: repeating an
+// identical locate query must return the identical estimate, with no shared
+// rng stream for other requests to perturb.
+func TestLocateDeterministic(t *testing.T) {
+	url, photo := locateServer(t)
+	req := LocateRequest{Photo: PhotoToDTO(photo)}
+	var first LocateResponse
+	if code := postJSON(t, url+"/v1/locate", req, &first); code != http.StatusOK {
+		t.Fatalf("locate code %d", code)
+	}
+	if first.Matched == 0 {
+		t.Fatal("locate query matched no model features")
+	}
+	// Interleave an unrelated query; a shared rng would advance its stream
+	// and change the repeat's answer, a per-request rng must not.
+	other := photo
+	other.Pose.Pos.X += 0.3
+	if code := postJSON(t, url+"/v1/locate", LocateRequest{Photo: PhotoToDTO(other)}, new(LocateResponse)); code != http.StatusOK {
+		t.Fatalf("interleaved locate code %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		var again LocateResponse
+		if code := postJSON(t, url+"/v1/locate", req, &again); code != http.StatusOK {
+			t.Fatalf("repeat locate code %d", code)
+		}
+		if again != first {
+			t.Fatalf("repeat %d: locate answer drifted: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+// TestLocateConcurrent fires many locate queries in parallel (run with
+// -race this proves the lock-free path) and checks each request's answer
+// stays deterministic under contention.
+func TestLocateConcurrent(t *testing.T) {
+	url, photo := locateServer(t)
+
+	// Sequential baseline per distinct query.
+	queries := make([]LocateRequest, 4)
+	want := make([]LocateResponse, 4)
+	for i := range queries {
+		p := photo
+		p.Pose.Pos.X += 0.2 * float64(i)
+		queries[i] = LocateRequest{Photo: PhotoToDTO(p)}
+		if code := postJSON(t, url+"/v1/locate", queries[i], &want[i]); code != http.StatusOK {
+			t.Fatalf("baseline locate %d code %d", i, code)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				i := (g + j) % len(queries)
+				var got LocateResponse
+				if code := postJSONNoFatal(url+"/v1/locate", queries[i], &got); code != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d: locate code %d", g, code)
+					return
+				}
+				if got != want[i] {
+					errs <- fmt.Errorf("goroutine %d: query %d diverged under contention: %+v vs %+v", g, i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// BenchmarkLocateParallel measures POST /v1/locate throughput with
+// concurrent clients. The per-request derived rng means this path takes no
+// lock, so throughput should scale with readers instead of serialising the
+// way the old shared locked rng did.
+func BenchmarkLocateParallel(b *testing.B) {
+	ts, sweeps := benchServer(b)
+	defer ts.Close()
+	req := LocateRequest{Photo: PhotoToDTO(sweeps[0][0])}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			var resp LocateResponse
+			if code := postJSONNoFatal(ts.URL+"/v1/locate", req, &resp); code != http.StatusOK {
+				b.Errorf("locate code %d", code)
+				return
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"snaptask/internal/grid"
 	"snaptask/internal/metrics"
 	"snaptask/internal/nav"
+	"snaptask/internal/pointcloud"
 	"snaptask/internal/taskgen"
 	"snaptask/internal/telemetry"
 )
@@ -223,11 +225,11 @@ type Server struct {
 	mux  *http.ServeMux
 	snap atomic.Pointer[ReadSnapshot]
 
-	// Localisation is stochastic but read-only on the model; it draws
-	// from its own rng under its own lock so queries never touch the
-	// owner path.
-	locateMu  sync.Mutex
-	locateRNG *rand.Rand
+	// Localisation is stochastic but read-only on the model; each request
+	// derives a private rng deterministically from this salt and the
+	// request content, so the locate path holds no lock at all (and the
+	// same query always returns the same estimate).
+	locateSalt uint64
 
 	// Observability (nil-safe when the server runs without telemetry).
 	tel   *telemetry.Telemetry
@@ -327,7 +329,7 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 			return nil, fmt.Errorf("server: dispatch restore: %w", err)
 		}
 	}
-	s.locateRNG = rand.New(rand.NewSource(rng.Int63()))
+	s.locateSalt = uint64(rng.Int63())
 	s.publishLocked()
 	handle := func(pattern string, h http.HandlerFunc) {
 		s.mux.Handle(pattern, httpI.Route(pattern, h))
@@ -385,11 +387,11 @@ func (s *Server) publishLocked() {
 	}
 
 	features := make(map[uint64]bool)
-	for _, p := range s.sys.Model().Cloud().Points() {
+	s.sys.EachCloudPoint(func(p pointcloud.Point) {
 		if p.FeatureID != 0 {
 			features[p.FeatureID] = true
 		}
-	}
+	})
 
 	var lifecycle *events.Counters
 	if s.evlog != nil {
@@ -409,8 +411,8 @@ func (s *Server) publishLocked() {
 		},
 		Status: StatusResponse{
 			Venue:           s.sys.Venue().Name(),
-			Views:           s.sys.Model().NumViews(),
-			Points:          s.sys.Model().NumPoints(),
+			Views:           s.sys.NumViews(),
+			Points:          s.sys.NumPoints(),
 			PhotosProcessed: s.sys.PhotosProcessed(),
 			PhotoTasks:      photoTasks,
 			AnnotationTasks: annTasks,
@@ -733,14 +735,36 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 			matched++
 		}
 	}
-	s.locateMu.Lock()
-	pos, err := nav.Localize(photo, modelFeatures, photo.Pose.Pos, s.locateRNG)
-	s.locateMu.Unlock()
+	pos, err := nav.Localize(photo, modelFeatures, photo.Pose.Pos, s.locateRand(photo))
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, LocateResponse{X: pos.X, Y: pos.Y, Matched: matched})
+}
+
+// locateRand derives a locate request's private rng: a splitmix-style hash
+// of the server salt, the claimed pose and the observed feature IDs. The
+// result is deterministic per request content — repeating a query returns
+// the same estimate, as a real localiser's systematic error would — and
+// needs no shared state, so concurrent locates never contend.
+func (s *Server) locateRand(photo camera.Photo) *rand.Rand {
+	h := s.locateSalt
+	mix := func(v uint64) {
+		h ^= v
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	mix(math.Float64bits(photo.Pose.Pos.X))
+	mix(math.Float64bits(photo.Pose.Pos.Y))
+	mix(math.Float64bits(photo.Pose.Yaw))
+	for _, o := range photo.Obs {
+		mix(o.FeatureID)
+	}
+	return rand.New(rand.NewSource(int64(h >> 1)))
 }
 
 // handleSnapshot streams the backend's serialised state — the paper's

@@ -1,0 +1,506 @@
+// Partitioned reconstruction: the venue is split into K spatial sub-regions,
+// each owned by an independent sub-Model that registers and triangulates its
+// photos concurrently with the others, and the per-partition clouds are merged
+// into one global cloud with a cheap rigid alignment over shared boundary
+// features — the low-memory sub-map merging shape of "Generic Merging of
+// Structure from Motion Maps with a Low Memory Footprint" and MCGMapper's
+// camera-group incremental SfM.
+//
+// Determinism rules (the properties the equivalence tests lean on):
+//
+//   - Routing is a pure function of pose: a photo (or, on the group path, a
+//     batch centroid) lands in the strip covering its X coordinate.
+//   - Each concurrent operation draws one sub-seed per participating
+//     partition from the master rng IN PARTITION-INDEX ORDER, then runs each
+//     partition on its own private rand.Rand. Goroutine scheduling therefore
+//     cannot reorder rng draws.
+//   - Merging (view-log folding, boundary dedup, alignment estimation) runs
+//     sequentially in partition-index order.
+//   - Boundary-feature ownership is sticky: the first partition whose
+//     filtered cloud carries a feature owns its merged point forever, so a
+//     feature cannot oscillate between copies as sub-maps grow.
+//   - Per-partition alignment translations freeze after their first estimate
+//     from >= alignMinMatches shared features, so merged geometry does not
+//     jitter (and the mapping layer's cached ray casts stay valid) as more
+//     boundary evidence accumulates.
+//
+// With K = 1 every operation short-circuits to the single sub-model with the
+// caller's rng passed straight through, making the partitioned system
+// bit-identical to the monolithic one — the cross-check the tests pin.
+package sfm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/pointcloud"
+	"snaptask/internal/telemetry"
+	"snaptask/internal/venue"
+)
+
+// alignMinMatches is how many shared boundary features a partition must see
+// before its rigid-alignment translation is estimated and frozen.
+const alignMinMatches = 8
+
+// alignMaxMatches caps how many shared features feed one translation
+// estimate; beyond this the mean is already stable and more terms only cost.
+const alignMaxMatches = 32
+
+// partition is one spatial sub-region: an independent sub-model plus its own
+// incremental outlier-filter cache and merge bookkeeping.
+type partition struct {
+	model *Model
+	sor   *pointcloud.IncrementalSOR
+
+	// filtered is the partition's post-SOR cloud from the latest filter
+	// pass; removed is that pass's outlier count.
+	filtered *pointcloud.Cloud
+	removed  int
+
+	// viewMark is how many of the sub-model's views have been folded into
+	// the merged view log.
+	viewMark int
+
+	// t is the rigid-alignment translation applied to this partition's
+	// merged points; frozen once estimated from enough shared features.
+	t       geom.Vec3
+	aligned bool
+}
+
+// Partitioned is a spatially partitioned SfM model: K independent sub-models
+// reconstructed concurrently and merged deterministically. Like Model it is
+// not safe for concurrent use by callers — internal fan-out is the only
+// parallelism — so the backend's single model owner drives it exactly as it
+// drives a Model.
+type Partitioned struct {
+	cfg    Config
+	sorOpt pointcloud.SOROptions
+	bounds geom.AABB
+	k      int
+	parts  []*partition
+
+	// owner maps a feature ID to the partition that owns its merged point
+	// (sticky, first-claimer-wins in partition order).
+	owner map[uint64]int
+
+	// viewLog is the merged, append-only view list in fold order; viewSrc
+	// records each entry's source partition so snapshots can rebuild the
+	// exact interleaving.
+	viewLog []View
+	viewSrc []int32
+
+	trace       *telemetry.Trace
+	nextPhotoID int
+}
+
+// NewPartitioned builds a K-partition model over the venue bounds. Every
+// partition sees the full feature oracle (a photo near a strip border
+// observes features across it); only photo routing is spatial. k <= 1
+// yields a single partition that behaves bit-identically to NewModel.
+func NewPartitioned(cfg Config, features []venue.Feature, bounds geom.AABB, k int, sorOpt pointcloud.SOROptions) (*Partitioned, error) {
+	if k < 1 {
+		k = 1
+	}
+	if bounds.Empty() && k > 1 {
+		return nil, fmt.Errorf("sfm: partitioned model needs non-empty bounds for k=%d", k)
+	}
+	pm := &Partitioned{
+		cfg:    cfg,
+		sorOpt: sorOpt,
+		bounds: bounds,
+		k:      k,
+		owner:  make(map[uint64]int),
+	}
+	for i := 0; i < k; i++ {
+		sor, err := pointcloud.NewIncrementalSOR(sorOpt)
+		if err != nil {
+			return nil, fmt.Errorf("sfm: partition %d SOR: %w", i, err)
+		}
+		pm.parts = append(pm.parts, &partition{
+			model: NewModel(cfg, features),
+			sor:   sor,
+		})
+	}
+	return pm, nil
+}
+
+// K returns the partition count.
+func (pm *Partitioned) K() int { return pm.k }
+
+// Config returns the (defaults-resolved) sub-model configuration.
+func (pm *Partitioned) Config() Config { return pm.parts[0].model.Config() }
+
+// SetTrace points the partitioned pipeline's stage spans at the current
+// batch trace. Sub-model spans are prefixed "p<i>." via trace.Sub, so a
+// partitioned batch trace shows per-partition stage timings side by side.
+func (pm *Partitioned) SetTrace(tr *telemetry.Trace) {
+	pm.trace = tr
+	if pm.k == 1 {
+		pm.parts[0].model.SetTrace(tr)
+		pm.parts[0].sor.SetTrace(tr)
+	}
+}
+
+// AddWorldFeatures broadcasts new oracle features (annotation pipeline) to
+// every partition.
+func (pm *Partitioned) AddWorldFeatures(features []venue.Feature) {
+	for _, p := range pm.parts {
+		p.model.AddWorldFeatures(features)
+	}
+}
+
+// NumViews returns the total registered views across partitions.
+func (pm *Partitioned) NumViews() int {
+	n := 0
+	for _, p := range pm.parts {
+		n += p.model.NumViews()
+	}
+	return n
+}
+
+// NumPoints returns the total triangulated points across partitions. A
+// boundary feature triangulated by two partitions counts twice here (the
+// merged cloud dedups it); the per-partition split is what PartStats serves.
+func (pm *Partitioned) NumPoints() int {
+	n := 0
+	for _, p := range pm.parts {
+		n += p.model.NumPoints()
+	}
+	return n
+}
+
+// PartStats returns partition i's view and (pre-dedup) point counts — the
+// per-partition gauges.
+func (pm *Partitioned) PartStats(i int) (views, points int) {
+	return pm.parts[i].model.NumViews(), pm.parts[i].model.NumPoints()
+}
+
+// Part returns partition i's sub-model for inspection (tests, snapshots).
+func (pm *Partitioned) Part(i int) *Model { return pm.parts[i].model }
+
+// PartitionFor returns the partition index owning a position: equal-width
+// strips along X of the venue bounds, clamped at the edges.
+func (pm *Partitioned) PartitionFor(pos geom.Vec2) int {
+	if pm.k == 1 {
+		return 0
+	}
+	w := pm.bounds.Width()
+	if w <= 0 {
+		return 0
+	}
+	i := int((pos.X - pm.bounds.Min.X) / w * float64(pm.k))
+	if i < 0 {
+		i = 0
+	}
+	if i >= pm.k {
+		i = pm.k - 1
+	}
+	return i
+}
+
+// routeBatch routes a whole batch by its pose centroid — group-path batches
+// are one worker's sweep around one task location, so the centroid is the
+// task's neighbourhood.
+func (pm *Partitioned) routeBatch(photos []camera.Photo) int {
+	if len(photos) == 0 {
+		return 0
+	}
+	var cx, cy float64
+	for _, p := range photos {
+		cx += p.Pose.Pos.X
+		cy += p.Pose.Pos.Y
+	}
+	n := float64(len(photos))
+	return pm.PartitionFor(geom.V2(cx/n, cy/n))
+}
+
+// assignIDs gives every photo a model-unique ID in input order — the same
+// sequence the monolithic model would assign — so photo IDs are stable
+// across partition counts.
+func (pm *Partitioned) assignIDs(photos []camera.Photo) {
+	for i := range photos {
+		if photos[i].ID == 0 {
+			pm.nextPhotoID++
+			photos[i].ID = pm.nextPhotoID
+		} else if photos[i].ID > pm.nextPhotoID {
+			pm.nextPhotoID = photos[i].ID
+		}
+	}
+}
+
+// foldViews appends each partition's new views to the merged view log, in
+// partition-index order. The log is append-only — exactly the contract
+// mapping.Incremental's cached per-view ray casts require — and the fold
+// order is deterministic because it never depends on goroutine timing.
+func (pm *Partitioned) foldViews() {
+	for i, p := range pm.parts {
+		nv := p.model.ViewsFrom(p.viewMark)
+		pm.viewLog = append(pm.viewLog, nv...)
+		for range nv {
+			pm.viewSrc = append(pm.viewSrc, int32(i))
+		}
+		p.viewMark += len(nv)
+	}
+}
+
+// FoldViews folds any views registered directly on a sub-model (the
+// annotation pipeline writes through Part) into the merged view log.
+func (pm *Partitioned) FoldViews() { pm.foldViews() }
+
+// Views returns a copy of the merged view log.
+func (pm *Partitioned) Views() []View { return append([]View(nil), pm.viewLog...) }
+
+// ViewsFrom returns the merged view log from index from on, as a read-only
+// capacity-clamped subslice (the log is append-only, so earlier returns stay
+// valid).
+func (pm *Partitioned) ViewsFrom(from int) []View {
+	if from >= len(pm.viewLog) {
+		return nil
+	}
+	return pm.viewLog[from:len(pm.viewLog):len(pm.viewLog)]
+}
+
+// RegisterBatch splits one photo batch across partitions by pose, registers
+// each slice concurrently, and concatenates the per-partition results in
+// partition order. With K = 1 the caller's rng drives the sub-model
+// directly (bit-identical to Model.RegisterBatch); with K > 1 each
+// participating partition gets a private rng seeded from the master rng in
+// partition-index order.
+func (pm *Partitioned) RegisterBatch(photos []camera.Photo, rng *rand.Rand) (BatchResult, error) {
+	if rng == nil {
+		return BatchResult{}, fmt.Errorf("sfm: rng must not be nil")
+	}
+	pm.assignIDs(photos)
+	if pm.k == 1 {
+		res, err := pm.parts[0].model.RegisterBatch(photos, rng)
+		if err == nil {
+			pm.foldViews()
+		}
+		return res, err
+	}
+	groups := make([][]camera.Photo, pm.k)
+	for _, p := range photos {
+		gi := pm.PartitionFor(p.Pose.Pos)
+		groups[gi] = append(groups[gi], p)
+	}
+	queues := make([][][]camera.Photo, pm.k)
+	for i, g := range groups {
+		if len(g) > 0 {
+			queues[i] = [][]camera.Photo{g}
+		}
+	}
+	results, errs := pm.runQueuesSeeded(queues, pm.drawSeeds(queues, rng))
+	var out BatchResult
+	for i := 0; i < pm.k; i++ {
+		if errs[i] != nil {
+			return BatchResult{}, errs[i]
+		}
+		for _, r := range results[i] {
+			out.Registered = append(out.Registered, r.Registered...)
+			out.RejectedBlurry = append(out.RejectedBlurry, r.RejectedBlurry...)
+			out.Unregistered = append(out.Unregistered, r.Unregistered...)
+			out.NewPoints += r.NewPoints
+		}
+	}
+	pm.foldViews()
+	return out, nil
+}
+
+// RegisterBatches is the group-ingest path: each batch is routed whole (by
+// pose centroid) to one partition, the per-partition queues run
+// concurrently, and results come back in input-batch order. This is where
+// partitioning pays: B batches from workers in distant wings fold in
+// parallel instead of serialising through one model.
+func (pm *Partitioned) RegisterBatches(batches [][]camera.Photo, rng *rand.Rand) ([]BatchResult, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("sfm: rng must not be nil")
+	}
+	for _, b := range batches {
+		pm.assignIDs(b)
+	}
+	out := make([]BatchResult, len(batches))
+	if pm.k == 1 {
+		for bi, b := range batches {
+			res, err := pm.parts[0].model.RegisterBatch(b, rng)
+			if err != nil {
+				return nil, err
+			}
+			out[bi] = res
+		}
+		pm.foldViews()
+		return out, nil
+	}
+	queues := make([][][]camera.Photo, pm.k)
+	order := make([][]int, pm.k)
+	for bi, b := range batches {
+		pi := pm.routeBatch(b)
+		queues[pi] = append(queues[pi], b)
+		order[pi] = append(order[pi], bi)
+	}
+	results, errs := pm.runQueuesSeeded(queues, pm.drawSeeds(queues, rng))
+	for i := 0; i < pm.k; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for qi, r := range results[i] {
+			out[order[i][qi]] = r
+		}
+	}
+	pm.foldViews()
+	return out, nil
+}
+
+// runQueues executes per-partition batch queues concurrently. Sub-seeds are
+// drawn from the master rng in partition-index order (only for partitions
+// with work), so the draw sequence is independent of scheduling; each
+// partition's queue runs sequentially on its own goroutine with its own rng.
+// Used only on the K > 1 paths, which draw seeds before calling.
+func (pm *Partitioned) runQueuesSeeded(queues [][][]camera.Photo, seeds []int64) ([][]BatchResult, []error) {
+	results := make([][]BatchResult, pm.k)
+	errs := make([]error, pm.k)
+	var wg sync.WaitGroup
+	for i := 0; i < pm.k; i++ {
+		if len(queues[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			p := pm.parts[pi]
+			sub := pm.trace.Sub(fmt.Sprintf("p%d.", pi))
+			p.model.SetTrace(sub)
+			defer p.model.SetTrace(nil)
+			prng := rand.New(rand.NewSource(seeds[pi]))
+			for _, b := range queues[pi] {
+				res, err := p.model.RegisterBatch(b, prng)
+				if err != nil {
+					errs[pi] = err
+					return
+				}
+				results[pi] = append(results[pi], res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// drawSeeds draws one sub-seed per partition with work, in partition-index
+// order, from the master rng — the only rng draws the K > 1 paths make on
+// the caller's stream, so the stream advances deterministically.
+func (pm *Partitioned) drawSeeds(queues [][][]camera.Photo, rng *rand.Rand) []int64 {
+	seeds := make([]int64, pm.k)
+	for i := 0; i < pm.k; i++ {
+		if len(queues[i]) > 0 {
+			seeds[i] = rng.Int63()
+		}
+	}
+	return seeds
+}
+
+// FilterMerged runs the per-partition statistical outlier filters
+// concurrently (full = reset caches and refilter from scratch, the
+// cross-check path) and merges the filtered sub-clouds deterministically:
+// partition-index order, sticky feature ownership for boundary dedup, and a
+// frozen per-partition rigid translation estimated from shared boundary
+// features. Returns the merged filtered cloud and the total removed count.
+func (pm *Partitioned) FilterMerged(full bool) (*pointcloud.Cloud, int, error) {
+	if pm.k == 1 {
+		p := pm.parts[0]
+		cloud, removed, err := pm.filterPart(p, full)
+		if err != nil {
+			return nil, 0, err
+		}
+		return cloud, removed, nil
+	}
+	errs := make([]error, pm.k)
+	var wg sync.WaitGroup
+	for i := 0; i < pm.k; i++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			p := pm.parts[pi]
+			sub := pm.trace.Sub(fmt.Sprintf("p%d.", pi))
+			p.sor.SetTrace(sub)
+			defer p.sor.SetTrace(nil)
+			p.filtered, p.removed, errs[pi] = pm.filterPart(p, full)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("sfm: partition %d filter: %w", i, err)
+		}
+	}
+	return pm.merge()
+}
+
+// filterPart filters one partition's cloud through its incremental SOR
+// cache. full resets the cache and the model's delta watermark first, so
+// the pass recomputes everything (bit-identical to the incremental result —
+// the cross-check the partition tests pin).
+func (pm *Partitioned) filterPart(p *partition, full bool) (*pointcloud.Cloud, int, error) {
+	if full {
+		p.sor.Reset()
+		p.model.ResetCloudMarks()
+	}
+	c, newPts, newOut := p.model.CloudIncremental()
+	return p.sor.FilterAppend(c, p.model.NumPoints(), len(newPts), len(newOut))
+}
+
+// merge concatenates the filtered partition clouds in partition-index
+// order, dropping non-owner copies of boundary features and applying each
+// partition's frozen alignment translation. Duplicate (dropped) boundary
+// points are the alignment evidence: the offset between a partition's local
+// estimate and the owner's merged estimate of the same feature.
+func (pm *Partitioned) merge() (*pointcloud.Cloud, int, error) {
+	total := 0
+	removed := 0
+	for _, p := range pm.parts {
+		total += p.filtered.Len()
+		removed += p.removed
+	}
+	merged := make([]pointcloud.Point, 0, total)
+	for i, p := range pm.parts {
+		var sum geom.Vec3
+		matches := 0
+		fc := p.filtered
+		for j := 0; j < fc.Len(); j++ {
+			pt := fc.At(j)
+			if pt.FeatureID != 0 {
+				o, claimed := pm.owner[pt.FeatureID]
+				if !claimed {
+					pm.owner[pt.FeatureID] = i
+				} else if o != i {
+					// Boundary duplicate: alignment evidence, not a merged
+					// point.
+					if !p.aligned && matches < alignMaxMatches {
+						if op, ok := pm.parts[o].model.PointByFeature(pt.FeatureID); ok {
+							sum = sum.Add(op.Pos.Add(pm.parts[o].t).Sub(pt.Pos))
+							matches++
+						}
+					}
+					continue
+				}
+			}
+			if p.aligned {
+				pt.Pos = pt.Pos.Add(p.t)
+			}
+			merged = append(merged, pt)
+		}
+		if !p.aligned && matches >= alignMinMatches {
+			p.t = sum.Scale(1 / float64(matches))
+			p.aligned = true
+		}
+	}
+	return pointcloud.Wrap(merged), removed, nil
+}
+
+// Aligned reports whether partition i's rigid translation has been frozen,
+// and its value — observability for the merge stage.
+func (pm *Partitioned) Aligned(i int) (geom.Vec3, bool) {
+	return pm.parts[i].t, pm.parts[i].aligned
+}

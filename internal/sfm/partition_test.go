@@ -1,0 +1,320 @@
+package sfm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/geom"
+	"snaptask/internal/pointcloud"
+)
+
+var testBounds = geom.AABB{Min: geom.V2(0, 0), Max: geom.V2(10, 10)}
+
+// batchAt captures a registrable batch around x: enough co-observing photos
+// to seed an empty sub-model and triangulate.
+func batchAt(t *testing.T, w *camera.World, x float64, rng *rand.Rand) []camera.Photo {
+	t.Helper()
+	return []camera.Photo{
+		capture(t, w, x-0.4, rng),
+		capture(t, w, x, rng),
+		capture(t, w, x+0.4, rng),
+		capture(t, w, x+0.8, rng),
+	}
+}
+
+func copyPhotos(photos []camera.Photo) []camera.Photo {
+	return append([]camera.Photo(nil), photos...)
+}
+
+func modelGob(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func partitionedGob(t *testing.T, pm *Partitioned) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pm.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPartitionedK1BitIdentical pins the monolithic cross-check: a single
+// partition fed the same batches with the same rng stream must produce a
+// sub-model bit-identical to a plain Model, and FilterMerged must match the
+// incremental SOR filter on that model's cloud.
+func TestPartitionedK1BitIdentical(t *testing.T) {
+	w, feats := testScene(t)
+	mono := NewModel(Config{}, feats)
+	pm, err := NewPartitioned(Config{}, feats, testBounds, 1, pointcloud.SOROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sor, err := pointcloud.NewIncrementalSOR(pointcloud.SOROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capRNG := rand.New(rand.NewSource(3))
+	rngA := rand.New(rand.NewSource(9))
+	rngB := rand.New(rand.NewSource(9))
+	for i, x := range []float64{4.0, 5.2, 6.4, 3.0} {
+		photos := batchAt(t, w, x, capRNG)
+		resA, err := mono.RegisterBatch(copyPhotos(photos), rngA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, err := pm.RegisterBatch(copyPhotos(photos), rngB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resA.Registered) != len(resB.Registered) || resA.NewPoints != resB.NewPoints {
+			t.Fatalf("batch %d: results diverge: %+v vs %+v", i, resA, resB)
+		}
+	}
+	if !bytes.Equal(modelGob(t, mono), modelGob(t, pm.Part(0))) {
+		t.Fatal("k=1 partitioned sub-model diverged from monolithic model")
+	}
+	monoCloud, monoNewA, monoNewB := mono.CloudIncremental()
+	wantCloud, wantRemoved, err := sor.FilterAppend(monoCloud, mono.NumPoints(), len(monoNewA), len(monoNewB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCloud, gotRemoved, err := pm.FilterMerged(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRemoved != wantRemoved || gotCloud.Len() != wantCloud.Len() {
+		t.Fatalf("k=1 FilterMerged: removed %d len %d, want removed %d len %d",
+			gotRemoved, gotCloud.Len(), wantRemoved, wantCloud.Len())
+	}
+	for i := 0; i < gotCloud.Len(); i++ {
+		if gotCloud.At(i) != wantCloud.At(i) {
+			t.Fatalf("k=1 FilterMerged point %d differs", i)
+		}
+	}
+}
+
+// TestPartitionFor pins the strip routing: equal-width X strips, clamped at
+// and beyond the bounds.
+func TestPartitionFor(t *testing.T) {
+	_, feats := testScene(t)
+	pm, err := NewPartitioned(Config{}, feats, testBounds, 4, pointcloud.SOROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1.2, 0}, {2.6, 1}, {5.0, 2}, {7.4, 2}, {7.6, 3}, {9.9, 3},
+		{-3, 0}, {14, 3},
+	}
+	for _, c := range cases {
+		if got := pm.PartitionFor(geom.V2(c.x, 5)); got != c.want {
+			t.Errorf("PartitionFor(x=%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// growPartitioned seeds all four strips of a K=4 model with batches routed
+// by pose, exercising the concurrent registration path.
+func growPartitioned(t *testing.T, seed int64) (*Partitioned, *camera.World) {
+	t.Helper()
+	w, feats := testScene(t)
+	pm, err := NewPartitioned(Config{}, feats, testBounds, 4, pointcloud.SOROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capRNG := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed + 1))
+	// One mixed batch splitting across partitions, then per-strip batches
+	// (strip centers at 1.25, 3.75, 6.25, 8.75), then boundary batches that
+	// straddle strips so shared features triangulate on both sides.
+	var mixed []camera.Photo
+	for _, x := range []float64{1.2, 3.8, 6.2, 8.6} {
+		mixed = append(mixed, batchAt(t, w, x, capRNG)...)
+	}
+	if _, err := pm.RegisterBatch(mixed, rng); err != nil {
+		t.Fatal(err)
+	}
+	var group [][]camera.Photo
+	for _, x := range []float64{1.3, 3.7, 6.3, 8.5, 2.4, 2.6, 4.9, 5.1, 7.4, 7.6} {
+		group = append(group, batchAt(t, w, x, capRNG))
+	}
+	if _, err := pm.RegisterBatches(group, rng); err != nil {
+		t.Fatal(err)
+	}
+	return pm, w
+}
+
+// TestPartitionedConcurrentGrowth checks every strip's sub-model actually
+// reconstructs, the merged view log covers all views, and merged boundary
+// features are deduped to a single owner copy.
+func TestPartitionedConcurrentGrowth(t *testing.T) {
+	pm, _ := growPartitioned(t, 17)
+	total := 0
+	for i := 0; i < pm.K(); i++ {
+		views, points := pm.PartStats(i)
+		if views == 0 || points == 0 {
+			t.Fatalf("partition %d did not reconstruct: views=%d points=%d", i, views, points)
+		}
+		total += views
+	}
+	if got := len(pm.Views()); got != total || got != pm.NumViews() {
+		t.Fatalf("view log holds %d views, partitions hold %d (NumViews %d)", got, total, pm.NumViews())
+	}
+	cloud, _, err := pm.FilterMerged(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]int)
+	for i := 0; i < cloud.Len(); i++ {
+		if id := cloud.At(i).FeatureID; id != 0 {
+			seen[id]++
+		}
+	}
+	for id, n := range seen {
+		if n > 1 {
+			t.Fatalf("feature %d appears %d times in the merged cloud (boundary dedup failed)", id, n)
+		}
+	}
+	// The straddling batches guarantee genuine overlap: at least one feature
+	// must be triangulated by more than one partition yet merged once.
+	overlap := 0
+	for id := range seen {
+		holders := 0
+		for i := 0; i < pm.K(); i++ {
+			if _, ok := pm.Part(i).PointByFeature(id); ok {
+				holders++
+			}
+		}
+		if holders > 1 {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Fatal("no boundary feature is shared between partitions; merge path untested")
+	}
+}
+
+// TestPartitionedViewLogAppendOnly pins the mapping-layer contract: the
+// merged view log only ever appends, so earlier prefixes never reorder.
+func TestPartitionedViewLogAppendOnly(t *testing.T) {
+	w, feats := testScene(t)
+	pm, err := NewPartitioned(Config{}, feats, testBounds, 4, pointcloud.SOROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capRNG := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewSource(6))
+	var prev []View
+	for _, x := range []float64{1.2, 6.3, 3.7, 8.6, 2.4, 7.5} {
+		if _, err := pm.RegisterBatch(batchAt(t, w, x, capRNG), rng); err != nil {
+			t.Fatal(err)
+		}
+		cur := pm.Views()
+		if len(cur) < len(prev) {
+			t.Fatalf("view log shrank: %d -> %d", len(prev), len(cur))
+		}
+		for i := range prev {
+			if cur[i] != prev[i] {
+				t.Fatalf("view log entry %d changed between batches", i)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestPartitionedDeterministic runs the same growth twice and requires
+// byte-identical snapshots — goroutine scheduling must not leak into
+// results.
+func TestPartitionedDeterministic(t *testing.T) {
+	a, _ := growPartitioned(t, 23)
+	b, _ := growPartitioned(t, 23)
+	if _, _, err := a.FilterMerged(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.FilterMerged(false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(partitionedGob(t, a), partitionedGob(t, b)) {
+		t.Fatal("identical partitioned runs produced different snapshots")
+	}
+}
+
+// TestPartitionedIncrementalMatchesFullFilter cross-checks the two filter
+// paths: per-partition incremental SOR caches must be bit-identical to
+// resetting and refiltering from scratch.
+func TestPartitionedIncrementalMatchesFullFilter(t *testing.T) {
+	inc, _ := growPartitioned(t, 31)
+	full, _ := growPartitioned(t, 31)
+	ci, ri, err := inc.FilterMerged(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, rf, err := full.FilterMerged(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != rf || ci.Len() != cf.Len() {
+		t.Fatalf("incremental (removed %d, len %d) vs full (removed %d, len %d)",
+			ri, ci.Len(), rf, cf.Len())
+	}
+	for i := 0; i < ci.Len(); i++ {
+		if ci.At(i) != cf.At(i) {
+			t.Fatalf("merged point %d differs between incremental and full filter", i)
+		}
+	}
+}
+
+// TestPartitionedSnapshotRoundTrip requires snapshot → restore → snapshot
+// stability and that the restored model's merged output matches.
+func TestPartitionedSnapshotRoundTrip(t *testing.T) {
+	pm, _ := growPartitioned(t, 41)
+	// First merge freezes the boundary alignment translations; merge again so
+	// `want` reflects the settled (aligned) positions the restored model —
+	// which starts out aligned — will also produce.
+	if _, _, err := pm.FilterMerged(false); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := pm.FilterMerged(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := partitionedGob(t, pm)
+	var snap PartitionedSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(first)).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := FromPartitionedSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, partitionedGob(t, restored)) {
+		t.Fatal("snapshot changed across a round trip")
+	}
+	if restored.NumViews() != pm.NumViews() || len(restored.Views()) != len(pm.Views()) {
+		t.Fatalf("restored views %d/%d, want %d/%d",
+			restored.NumViews(), len(restored.Views()), pm.NumViews(), len(pm.Views()))
+	}
+	got, _, err := restored.FilterMerged(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("restored merged cloud %d points, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.At(i) != want.At(i) {
+			t.Fatalf("restored merged point %d differs", i)
+		}
+	}
+}

@@ -209,6 +209,48 @@ func (m *Model) NumPoints() int { return len(m.pts) }
 // Views returns a copy of the registered views.
 func (m *Model) Views() []View { return append([]View(nil), m.views...) }
 
+// ViewsFrom returns the registered views starting at index from as a
+// read-only subslice of the model's backing array — no copy. The model only
+// ever appends views, so previously returned subslices stay valid; callers
+// must not mutate or append to the result (the slice is capacity-clamped,
+// so an append allocates rather than scribbling on model state).
+func (m *Model) ViewsFrom(from int) []View {
+	if from >= len(m.views) {
+		return nil
+	}
+	return m.views[from:len(m.views):len(m.views)]
+}
+
+// EachCloudPoint calls fn for every cloud point (triangulated points in
+// insertion order, then outliers) without materialising the cloud copy
+// Cloud() builds — the read path for owner-side callers that only need to
+// iterate.
+func (m *Model) EachCloudPoint(fn func(pointcloud.Point)) {
+	for i := range m.pts {
+		fn(m.pts[i])
+	}
+	for i := range m.outliers {
+		fn(m.outliers[i])
+	}
+}
+
+// PointByFeature returns the triangulated point for a feature ID, if the
+// feature has been promoted to a 3D point.
+func (m *Model) PointByFeature(id uint64) (pointcloud.Point, bool) {
+	if i, ok := m.ptIdx[id]; ok {
+		return m.pts[i], true
+	}
+	return pointcloud.Point{}, false
+}
+
+// ResetCloudMarks rewinds the CloudIncremental watermark so the next call
+// reports every point as new — used when a downstream incremental filter
+// cache has been reset and must be rebuilt from scratch.
+func (m *Model) ResetCloudMarks() {
+	m.cloudMarkPts = 0
+	m.cloudMarkOut = 0
+}
+
 // Cloud returns the reconstructed point cloud, including any spurious
 // outlier points (callers filter with pointcloud.StatisticalOutlierRemoval,
 // as Algorithm 1 does). The returned cloud is an independent copy.

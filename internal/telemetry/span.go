@@ -6,12 +6,14 @@
 // buffer served as JSON — the "where did this slow upload spend its time"
 // view at GET /debug/traces.
 //
-// A Trace is written by the single model owner; the ring buffer hand-off
-// in Finish is the only synchronised step, so active tracing adds two
-// time.Now calls and one histogram observation per stage. Every method is
-// nil-receiver safe: with no Tracer configured, Start returns a nil Trace
-// and the entire span tree degrades to no-ops without branching at call
-// sites.
+// A Trace may be written from several goroutines at once (the partitioned
+// ingest path opens per-partition spans concurrently), so the in-flight
+// record is guarded by a small mutex shared between a trace and the
+// prefixed child views returned by Sub. Active tracing still adds only two
+// time.Now calls, one short critical section and one histogram observation
+// per stage. Every method is nil-receiver safe: with no Tracer configured,
+// Start returns a nil Trace and the entire span tree degrades to no-ops
+// without branching at call sites.
 package telemetry
 
 import (
@@ -78,11 +80,15 @@ func NewTracer(reg *Registry, capacity int) *Tracer {
 	}
 }
 
-// Trace is one in-flight batch trace. It is owned by a single goroutine
-// (the model owner) until Finish; a nil Trace is a valid no-op.
+// Trace is one in-flight batch trace. Spans and counters may be recorded
+// from multiple goroutines concurrently (each append is serialised by the
+// trace mutex); Finish must be called exactly once, after all recording
+// goroutines are done. A nil Trace is a valid no-op.
 type Trace struct {
-	t   *Tracer
-	rec TraceRecord
+	t      *Tracer
+	mu     *sync.Mutex
+	rec    *TraceRecord
+	prefix string
 }
 
 // Start opens a trace for one batch. requestID may be empty.
@@ -90,11 +96,22 @@ func (t *Tracer) Start(kind, requestID string) *Trace {
 	if t == nil {
 		return nil
 	}
-	return &Trace{t: t, rec: TraceRecord{
+	return &Trace{t: t, mu: &sync.Mutex{}, rec: &TraceRecord{
 		Kind:      kind,
 		RequestID: requestID,
 		Start:     time.Now(),
 	}}
+}
+
+// Sub returns a child view of the trace whose span stage names and counter
+// keys are prefixed (e.g. "p3." for partition 3). The child shares the
+// parent's record and lock, so concurrent recording through different Sub
+// views is safe; only the parent should call Finish.
+func (tr *Trace) Sub(prefix string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	return &Trace{t: tr.t, mu: tr.mu, rec: tr.rec, prefix: tr.prefix + prefix}
 }
 
 // Span is one in-flight stage measurement.
@@ -119,22 +136,28 @@ func (sp *Span) End() {
 		return
 	}
 	d := time.Since(sp.start)
+	stage := sp.tr.prefix + sp.stage
+	sp.tr.mu.Lock()
 	sp.tr.rec.Stages = append(sp.tr.rec.Stages, StageRecord{
-		Stage:      sp.stage,
+		Stage:      stage,
 		DurationMS: float64(d) / 1e6,
 	})
-	sp.tr.t.stageDur.With(sp.stage).Observe(d.Seconds())
+	sp.tr.mu.Unlock()
+	sp.tr.t.stageDur.With(stage).Observe(d.Seconds())
 }
 
-// SetCount attaches an outcome counter to the trace.
+// SetCount attaches an outcome counter to the trace. The trace's Sub
+// prefix, if any, is applied to the key.
 func (tr *Trace) SetCount(key string, v int) {
 	if tr == nil {
 		return
 	}
+	tr.mu.Lock()
 	if tr.rec.Counts == nil {
 		tr.rec.Counts = make(map[string]int, 8)
 	}
-	tr.rec.Counts[key] = v
+	tr.rec.Counts[tr.prefix+key] = v
+	tr.mu.Unlock()
 }
 
 // SetError records the batch error on the trace.
@@ -142,7 +165,9 @@ func (tr *Trace) SetError(err error) {
 	if tr == nil || err == nil {
 		return
 	}
+	tr.mu.Lock()
 	tr.rec.Err = err.Error()
+	tr.mu.Unlock()
 }
 
 // Finish completes the trace: stamps the total duration, observes the
@@ -152,18 +177,21 @@ func (tr *Trace) Finish() {
 	if tr == nil {
 		return
 	}
+	tr.mu.Lock()
 	d := time.Since(tr.rec.Start)
 	tr.rec.DurationMS = float64(d) / 1e6
-	tr.t.batchDur.With(tr.rec.Kind).Observe(d.Seconds())
+	rec := *tr.rec
+	tr.mu.Unlock()
+	tr.t.batchDur.With(rec.Kind).Observe(d.Seconds())
 
 	t := tr.t
 	t.mu.Lock()
-	tr.rec.Seq = t.seq
+	rec.Seq = t.seq
 	t.seq++
 	if len(t.ring) < t.size {
-		t.ring = append(t.ring, tr.rec)
+		t.ring = append(t.ring, rec)
 	} else {
-		t.ring[t.next] = tr.rec
+		t.ring[t.next] = rec
 		t.next = (t.next + 1) % t.size
 	}
 	t.mu.Unlock()

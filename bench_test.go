@@ -6,8 +6,10 @@ package snaptask
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"snaptask/internal/annotation"
 	"snaptask/internal/camera"
@@ -24,6 +26,8 @@ import (
 	"snaptask/internal/pointcloud"
 	"snaptask/internal/sfm"
 	"snaptask/internal/taskgen"
+	"snaptask/internal/telemetry"
+	"snaptask/internal/telemetry/slo"
 	"snaptask/internal/venue"
 )
 
@@ -423,6 +427,75 @@ func BenchmarkGuidedSweep(b *testing.B) {
 		}
 	}
 }
+
+// benchIngest measures one owner-path photo-batch ingest per iteration on a
+// bootstrapped small-room system — bare or carrying the full observability
+// bundle (tracer, metrics, request/trace IDs, SLO tracker). The pair backs
+// the instrumented-ingest overhead budget in EXPERIMENTS.md; CI smokes both
+// at -benchtime=1x and cmd/snaptask-bench -exp overhead gates the ratio.
+func benchIngest(b *testing.B, instrumented bool) {
+	v, err := venue.SmallRoom()
+	if err != nil {
+		b.Fatal(err)
+	}
+	world := camera.NewWorld(v, v.GenerateFeatures(rand.New(rand.NewSource(1))))
+	sys, err := core.NewSystem(v, world, core.Config{Margin: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sloT *slo.Tracker
+	if instrumented {
+		quiet, err := telemetry.NewLogger(io.Discard, "error", "text")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tel := telemetry.New(quiet, 64)
+		sys.SetTelemetry(tel)
+		sloT = slo.New(tel.Registry)
+	}
+	rng := rand.New(rand.NewSource(2))
+	boot, err := core.BootstrapCapture(world, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.ProcessBootstrap(boot, rng); err != nil {
+		b.Fatal(err)
+	}
+	var free []geom.Vec2
+	bounds := v.Bounds()
+	for y := bounds.Min.Y + 0.7; y < bounds.Max.Y; y += 1.1 {
+		for x := bounds.Min.X + 0.7; x < bounds.Max.X; x += 1.1 {
+			if p := geom.V2(x, y); !v.Blocked(p) {
+				free = append(free, p)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pos := free[i%len(free)]
+		photos, err := world.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if instrumented {
+			sys.SetRequestID(telemetry.NewRequestID())
+			sys.SetTraceContext(telemetry.NewTraceContext())
+		}
+		t0 := time.Now()
+		if _, err := sys.ProcessPhotoBatch(pos, pos, photos, rng); err != nil {
+			b.Fatal(err)
+		}
+		if sloT != nil {
+			sloT.Record("upload", time.Since(t0), false)
+		}
+	}
+}
+
+func BenchmarkIngestBare(b *testing.B)         { benchIngest(b, false) }
+func BenchmarkIngestInstrumented(b *testing.B) { benchIngest(b, true) }
 
 // rebuildScene builds the synthetic rebuild-benchmark inputs: the
 // BenchmarkVisibilityMap wall scene as a point cloud (so ObstaclesMap

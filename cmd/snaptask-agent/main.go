@@ -77,6 +77,16 @@ func run(args []string) error {
 
 	rng := rand.New(rand.NewSource(*agentSeed))
 	cl := client.New(*serverURL, nil)
+	// Every request the fleet sends carries a client-minted request ID and
+	// W3C traceparent; logging them here lets a slow or failed server-side
+	// trace be joined back to the exact agent call that caused it.
+	cl.OnRequest = func(info client.RequestInfo) {
+		logger.Debug("request",
+			slog.String("method", info.Method),
+			slog.String("path", info.Path),
+			slog.String("request_id", info.RequestID),
+			slog.String("trace_id", info.TraceID))
+	}
 	walkMap := v.WalkMap(gt)
 	newAgent := func(crash float64) *client.Agent {
 		return &client.Agent{

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// processCPUTime is unavailable off unix; returning 0 makes the overhead
+// experiment fall back to wall-clock pairing.
+func processCPUTime() time.Duration { return 0 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's cumulative user+system CPU time.
+// The overhead experiment prefers CPU deltas over wall clock: on shared
+// runners, scheduler preemption and noisy neighbours swing wall-clock
+// ratios by several percent — the same order as the budget being gated —
+// while CPU time only counts cycles the ingest actually consumed.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	user := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	sys := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return user + sys
+}

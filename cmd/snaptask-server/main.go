@@ -7,11 +7,15 @@
 // same pair so that their cameras observe the same world.
 //
 // Observability: GET /metrics on the main listener exposes the Prometheus
-// text exposition, GET /healthz and /readyz are the liveness / readiness
-// probes, and all request and batch logging goes through log/slog
-// (-log-level, -log-format). Pass -pprof-addr localhost:6060 to expose a
-// separate debug listener with net/http/pprof plus GET /debug/traces, the
-// per-stage span ring of recent ingest batches (off by default).
+// text exposition, GET /v1/slo reports multi-window burn rates against the
+// per-endpoint latency/error objectives, GET /healthz and /readyz are the
+// liveness / readiness probes, and all request and batch logging goes
+// through log/slog (-log-level, -log-format). Pass -pprof-addr
+// localhost:6060 to expose a separate debug listener with net/http/pprof
+// plus GET /debug/traces, the tail-sampled span store of recent, error and
+// slowest request traces (off by default). Pass -profile-dir to let the
+// runtime watchdog write goroutine/heap/CPU profiles there when the owner
+// path stalls (-stall-threshold) or an SLO burns fast.
 //
 // Pass -journal campaign.jsonl to record every campaign lifecycle
 // transition to an append-only JSONL journal: GET /v1/events streams the
@@ -58,6 +62,7 @@ import (
 	"snaptask/internal/events"
 	"snaptask/internal/server"
 	"snaptask/internal/telemetry"
+	"snaptask/internal/telemetry/slo"
 	"snaptask/internal/venue"
 )
 
@@ -102,6 +107,12 @@ func run(ctx context.Context, args []string) error {
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	traceCap := fs.Int("trace-cap", 64, "ingest batch traces retained for /debug/traces")
+	profileDir := fs.String("profile-dir", "",
+		"directory for watchdog-triggered pprof profiles (owner-path stalls, fast SLO burns); empty disables triggered capture")
+	watchdogInterval := fs.Duration("watchdog-interval", time.Second,
+		"runtime watchdog tick: gauge refresh and owner-path stall probing")
+	stallThreshold := fs.Duration("stall-threshold", 5*time.Second,
+		"owner lock held longer than this counts as a stall and triggers a profile capture")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,8 +153,17 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 	sys.SetTelemetry(tel)
+	sloT := slo.New(tel.Registry)
+	wd := telemetry.NewWatchdog(tel.Registry, telemetry.WatchdogConfig{
+		Interval:       *watchdogInterval,
+		StallThreshold: *stallThreshold,
+		ProfileDir:     *profileDir,
+		Logger:         logger,
+	})
 	opts := []server.Option{
 		server.WithTelemetry(tel),
+		server.WithSLO(sloT),
+		server.WithWatchdog(wd),
 		server.WithDispatch(dispatch.New(dispatch.Config{
 			LeaseTTL: *leaseTTL,
 			Budget:   *incentiveBudget,
@@ -175,6 +195,16 @@ func run(ctx context.Context, args []string) error {
 	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)), opts...)
 	if err != nil {
 		return err
+	}
+	// Start after server.New: New wires the owner-busy probe and the SLO
+	// evaluation hook into the watchdog, and ticks before that wiring would
+	// probe nothing.
+	wd.Start()
+	defer wd.Stop()
+	if *profileDir != "" {
+		logger.Info("watchdog armed",
+			slog.String("profile_dir", *profileDir),
+			slog.Duration("stall_threshold", *stallThreshold))
 	}
 	if evlog != nil {
 		path := *journalPath

@@ -52,6 +52,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	c := client.New(*serverURL, nil)
 	camp := events.NewCampaign()
 	last := *after
+	// SLO burns are operational telemetry, not campaign state: the campaign
+	// fold ignores them (restart determinism), so the tail counts them
+	// locally to surface burns in the live summary.
+	sloBurns := 0
 	covered := errors.New("campaign covered") // sentinel to unwind the tail
 	// The summary line is rewritten in place on a terminal-ish stream; each
 	// event also moves the cursor, so plain redirection still yields one
@@ -60,11 +64,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		err := c.Events(ctx, last, func(e events.Event) error {
 			camp.Apply(e)
 			last = e.Seq
+			if e.Kind == events.KindSLOBurn && e.Burning {
+				sloBurns++
+			}
 			if *perEvent {
 				fmt.Fprintf(out, "%s seq=%d kind=%s%s\n",
 					e.T.Format(time.RFC3339), e.Seq, e.Kind, eventDetail(e))
 			} else {
-				fmt.Fprintf(out, "\r\033[K%s", summaryLine(camp.Counters()))
+				fmt.Fprintf(out, "\r\033[K%s", summaryLine(camp.Counters(), sloBurns))
 			}
 			if *exitCovered && camp.Counters().Covered {
 				return covered
@@ -97,13 +104,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 }
 
-// summaryLine renders the one-line campaign summary.
-func summaryLine(c events.Counters) string {
+// summaryLine renders the one-line campaign summary. sloBurns is tallied
+// by the tail itself (burn events are not folded into campaign counters).
+func summaryLine(c events.Counters, sloBurns int) string {
 	state := "mapping"
 	if c.Covered {
 		state = "covered"
 	}
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"[%s] coverage=%d cells | photos=%d | tasks=%d (photo=%d ann=%d retried=%d escalated=%d) | batches ok=%d rejected blur=%d reg=%d growth=%d err=%d | ann rounds=%d | dispatch workers=%d claims=%d expired=%d requeued=%d | seq=%d",
 		state, c.CoverageCells, c.PhotosProcessed,
 		c.PhotoTasksIssued+c.AnnotationTasksIssued,
@@ -111,6 +119,10 @@ func summaryLine(c events.Counters) string {
 		c.BatchesAccepted, c.RejectedBlur, c.RejectedRegistration, c.RejectedNoGrowth,
 		c.RejectedError, c.AnnotationRounds,
 		c.WorkersRegistered, c.TasksClaimed, c.LeasesExpired, c.TasksRequeued, c.LastSeq)
+	if sloBurns > 0 {
+		line += fmt.Sprintf(" | slo burns=%d", sloBurns)
+	}
+	return line
 }
 
 // eventDetail renders the kind-specific fields for -events mode.
@@ -141,6 +153,13 @@ func eventDetail(e events.Event) string {
 		return fmt.Sprintf(" task=%d worker=%s lease=%s", e.TaskID, e.Worker, e.LeaseID)
 	case events.KindTaskRequeued:
 		return fmt.Sprintf(" task=%d kind=%s", e.TaskID, e.TaskKind)
+	case events.KindSLOBurn:
+		state := "recovered"
+		if e.Burning {
+			state = "burning"
+		}
+		return fmt.Sprintf(" endpoint=%s state=%s severity=%s burn=%.1f",
+			e.Endpoint, state, e.Severity, e.BurnRate)
 	default:
 		return ""
 	}

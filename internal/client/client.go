@@ -22,13 +22,29 @@ import (
 	"snaptask/internal/grid"
 	"snaptask/internal/server"
 	"snaptask/internal/taskgen"
+	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
 )
+
+// RequestInfo describes one outgoing request's correlation identifiers —
+// minted client-side, sent as X-Request-ID and W3C traceparent headers so
+// the agent's logs join server access logs and /debug/traces records.
+type RequestInfo struct {
+	Method    string
+	Path      string
+	RequestID string
+	TraceID   string
+	SpanID    string
+}
 
 // Client talks to a SnapTask backend.
 type Client struct {
 	base string
 	hc   *http.Client
+	// OnRequest, when set, is called with each outgoing request's
+	// correlation IDs before it is sent (the agent logs them). Must be
+	// safe for concurrent use if the client is shared across goroutines.
+	OnRequest func(RequestInfo)
 }
 
 // New returns a client for the backend at baseURL (e.g.
@@ -40,8 +56,33 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: baseURL, hc: httpClient}
 }
 
+// do sends one request with client-minted correlation headers: a request
+// ID and a fresh trace context per logical request (the server joins the
+// trace rather than minting its own, so one trace ID spans client log,
+// access log and owner-path stage spans).
+func (c *Client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	id := telemetry.NewRequestID()
+	tc := telemetry.NewTraceContext()
+	req.Header.Set("X-Request-ID", id)
+	req.Header.Set("Traceparent", tc.Header())
+	if c.OnRequest != nil {
+		c.OnRequest(RequestInfo{
+			Method: method, Path: path,
+			RequestID: id, TraceID: tc.TraceID, SpanID: tc.SpanID,
+		})
+	}
+	return c.hc.Do(req)
+}
+
 func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
+	resp, err := c.do(http.MethodGet, path, nil)
 	if err != nil {
 		return fmt.Errorf("client: GET %s: %w", path, err)
 	}
@@ -61,7 +102,7 @@ func (c *Client) postJSON(path string, in, out any) error {
 	if err != nil {
 		return fmt.Errorf("client: marshal %s: %w", path, err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	resp, err := c.do(http.MethodPost, path, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("client: POST %s: %w", path, err)
 	}

@@ -15,6 +15,7 @@ import (
 
 	"snaptask/internal/events"
 	"snaptask/internal/server"
+	"snaptask/internal/telemetry"
 )
 
 // Progress fetches the campaign history (counters + time series) from
@@ -38,6 +39,8 @@ func (c *Client) Events(ctx context.Context, after uint64, fn func(events.Event)
 		return fmt.Errorf("client: events request: %w", err)
 	}
 	req.Header.Set("Last-Event-ID", strconv.FormatUint(after, 10))
+	req.Header.Set("X-Request-ID", telemetry.NewRequestID())
+	req.Header.Set("Traceparent", telemetry.NewTraceContext().Header())
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: GET /v1/events: %w", err)

@@ -1,0 +1,304 @@
+package client
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/crowd"
+	"snaptask/internal/server"
+	"snaptask/internal/telemetry"
+	"snaptask/internal/telemetry/slo"
+	"snaptask/internal/venue"
+)
+
+// observedHarness boots a backend with the given observability options and
+// returns a wired client-side agent plus the shared telemetry bundle.
+func observedHarness(t *testing.T, opts ...server.Option) (*Client, *Agent, *telemetry.Telemetry, *httptest.Server) {
+	t.Helper()
+	v, err := venue.SmallRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := v.GenerateFeatures(rand.New(rand.NewSource(1)))
+	w := camera.NewWorld(v, feats)
+	sys, err := core.NewSystem(v, w, core.Config{Margin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(slog.New(slog.DiscardHandler), 16)
+	sys.SetTelemetry(tel)
+	srv, err := server.New(sys, rand.New(rand.NewSource(2)),
+		append([]server.Option{server.WithTelemetry(tel)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	gt, err := v.GroundTruthAt(sys.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := New(ts.URL, nil)
+	agent := &Agent{
+		Client: cl,
+		Worker: &crowd.GuidedWorker{
+			World:      w,
+			Venue:      v,
+			Intrinsics: camera.DefaultIntrinsics(),
+			Pos:        v.Entrance(),
+		},
+		Venue:   v,
+		WalkMap: v.WalkMap(gt),
+	}
+	return cl, agent, tel, ts
+}
+
+// requestLog collects the client's minted correlation IDs per request.
+type requestLog struct {
+	mu    sync.Mutex
+	infos []RequestInfo
+}
+
+func (l *requestLog) add(info RequestInfo) {
+	l.mu.Lock()
+	l.infos = append(l.infos, info)
+	l.mu.Unlock()
+}
+
+// last returns the most recent request for the given method+path.
+func (l *requestLog) last(method, path string) (RequestInfo, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.infos) - 1; i >= 0; i-- {
+		if l.infos[i].Method == method && l.infos[i].Path == path {
+			return l.infos[i], true
+		}
+	}
+	return RequestInfo{}, false
+}
+
+// TestTracePropagationEndToEnd drives real uploads and locates through the
+// client and asserts one trace ID spans the whole path: the ID the client
+// minted and logged is the ID on the owner-path stage trace the server
+// retained for /debug/traces.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	cl, agent, tel, _ := observedHarness(t)
+	log := &requestLog{}
+	cl.OnRequest = log.add
+	rng := rand.New(rand.NewSource(3))
+
+	boot, err := core.BootstrapCapture(agent.Worker.World, agent.Venue, agent.Worker.Intrinsics, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadBootstrap(boot); err != nil {
+		t.Fatal(err)
+	}
+	sent, ok := log.last("POST", "/v1/photos")
+	if !ok {
+		t.Fatal("client never reported the upload request")
+	}
+	if sent.TraceID == "" || sent.RequestID == "" {
+		t.Fatalf("client minted empty identifiers: %+v", sent)
+	}
+
+	var bootTrace *telemetry.TraceRecord
+	for _, tr := range tel.Tracer.Recent() {
+		if tr.Kind == "bootstrap" {
+			bootTrace = &tr
+		}
+	}
+	if bootTrace == nil {
+		t.Fatal("no bootstrap trace retained server-side")
+	}
+	if bootTrace.TraceID != sent.TraceID {
+		t.Errorf("trace ID broke between client and owner path: client %q, server %q",
+			sent.TraceID, bootTrace.TraceID)
+	}
+	if bootTrace.RequestID != sent.RequestID {
+		t.Errorf("request ID broke between client and owner path: client %q, server %q",
+			sent.RequestID, bootTrace.RequestID)
+	}
+	if len(bootTrace.Stages) == 0 {
+		t.Error("owner-path trace carries no stage spans")
+	}
+
+	// Same contract on the read path: a locate joins the client's trace.
+	pos := agent.Venue.Entrance()
+	pos.Y += 1.5
+	sweep, err := agent.Worker.World.Sweep(pos, agent.Worker.Intrinsics, camera.CaptureOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Locate(sweep[0]); err != nil {
+		t.Fatal(err)
+	}
+	sent, ok = log.last("POST", "/v1/locate")
+	if !ok {
+		t.Fatal("client never reported the locate request")
+	}
+	var locTrace *telemetry.TraceRecord
+	for _, tr := range tel.Tracer.Recent() {
+		if tr.Kind == "locate" {
+			locTrace = &tr
+		}
+	}
+	if locTrace == nil {
+		t.Fatal("no locate trace retained server-side")
+	}
+	if locTrace.TraceID != sent.TraceID {
+		t.Errorf("locate trace ID: client %q, server %q", sent.TraceID, locTrace.TraceID)
+	}
+}
+
+// TestSLOFlipsUnderInjectedViolations: /v1/slo reports healthy on a fresh
+// backend, then flips to burning once latency violations land.
+func TestSLOFlipsUnderInjectedViolations(t *testing.T) {
+	sloT := slo.New(nil)
+	_, _, _, ts := observedHarness(t, server.WithSLO(sloT))
+
+	fetch := func() slo.Report {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/slo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/slo code %d", resp.StatusCode)
+		}
+		var rep slo.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatalf("invalid /v1/slo JSON: %v\n%s", err, body)
+		}
+		return rep
+	}
+
+	for _, er := range fetch().Endpoints {
+		if er.Burning {
+			t.Fatalf("fresh backend already burning: %+v", er)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		sloT.Record("upload", time.Hour, false) // far over the 2s target
+	}
+	burning := false
+	for _, er := range fetch().Endpoints {
+		if er.Endpoint == "upload" && er.Burning {
+			burning = true
+		}
+	}
+	if !burning {
+		t.Fatal("/v1/slo did not flip to burning under injected violations")
+	}
+}
+
+// TestStallCapturesGoroutineProfile: a watchdog armed with a tiny stall
+// threshold observes the owner path busy during a real upload and writes
+// goroutine+heap profiles into the profile directory.
+func TestStallCapturesGoroutineProfile(t *testing.T) {
+	dir := t.TempDir()
+	wd := telemetry.NewWatchdog(nil, telemetry.WatchdogConfig{
+		Interval:           200 * time.Microsecond,
+		StallThreshold:     time.Millisecond,
+		ProfileDir:         dir,
+		CaptureCooldown:    time.Hour, // exactly one capture for the test
+		CPUProfileDuration: 10 * time.Millisecond,
+	})
+	cl, agent, _, _ := observedHarness(t, server.WithWatchdog(wd))
+	wd.Start()
+	defer wd.Stop()
+	rng := rand.New(rand.NewSource(3))
+
+	boot, err := core.BootstrapCapture(agent.Worker.World, agent.Venue, agent.Worker.Intrinsics, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.UploadBootstrap(boot); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bootstrap batch holds the owner lock well past the 1ms threshold;
+	// keep feeding sweeps until the watchdog's detached capture lands.
+	deadline := time.Now().Add(10 * time.Second)
+	var names []string
+	for {
+		names = nil
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), "-stall-") && strings.HasSuffix(e.Name(), ".pprof") {
+				names = append(names, e.Name())
+			}
+		}
+		if len(names) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		sweep, err := agent.Worker.World.Sweep(agent.Venue.Entrance(), agent.Worker.Intrinsics, camera.CaptureOptions{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.UploadPhotos(Task{Location: agent.Venue.Entrance()}, sweep); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var haveGoroutine, haveHeap bool
+	for _, n := range names {
+		if strings.HasSuffix(n, "-stall-goroutine.pprof") {
+			haveGoroutine = true
+		}
+		if strings.HasSuffix(n, "-stall-heap.pprof") {
+			haveHeap = true
+		}
+	}
+	if !haveGoroutine || !haveHeap {
+		t.Fatalf("stall profiles in %s = %v, want goroutine+heap", dir, names)
+	}
+	// The goroutine profile must be a real pprof payload, not an empty stub.
+	for _, n := range names {
+		if !strings.HasSuffix(n, "-stall-goroutine.pprof") {
+			continue
+		}
+		fi, err := os.Stat(filepath.Join(dir, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("goroutine profile %s is empty", n)
+		}
+	}
+	// Wait out the detached CPU capture so TempDir cleanup does not race
+	// the rename of the cpu profile.
+	cpuDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(cpuDeadline) {
+		entries, _ := os.ReadDir(dir)
+		done := false
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), "-cpu.pprof") {
+				done = true
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

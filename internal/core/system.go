@@ -132,6 +132,7 @@ type System struct {
 	ingestM  *telemetry.IngestMetrics
 	logger   *slog.Logger
 	reqID    string
+	traceCtx telemetry.TraceContext
 	workerID string
 	leaseID  string
 	curTrace *telemetry.Trace
@@ -260,6 +261,12 @@ func (s *System) emit(e events.Event) {
 // clears it after.
 func (s *System) SetRequestID(id string) { s.reqID = id }
 
+// SetTraceContext stamps subsequent batch traces with the W3C trace/span
+// IDs extracted from the delivering request, joining owner-path stage
+// spans to the client-minted distributed trace. Set alongside
+// SetRequestID by the server's owner goroutine; the zero value clears it.
+func (s *System) SetTraceContext(tc telemetry.TraceContext) { s.traceCtx = tc }
+
 // SetWorker stamps subsequent emitted events with the worker and lease that
 // produced the upload being processed. The server's owner goroutine sets it
 // before each lease-validated Process* call and clears it after; anonymous
@@ -275,6 +282,7 @@ func (s *System) SetWorker(workerID, leaseID string) {
 func (s *System) beginBatch(kind string) *telemetry.Trace {
 	tr := s.tracer.Start(kind, s.reqID)
 	if tr != nil {
+		tr.SetTraceContext(s.traceCtx)
 		s.curTrace = tr
 		s.setModelTrace(tr)
 		s.sor.SetTrace(tr)

@@ -13,6 +13,7 @@ import (
 
 	"snaptask/internal/dispatch"
 	"snaptask/internal/geom"
+	"snaptask/internal/telemetry"
 )
 
 // RegisterWorkerRequest registers (or re-announces) a worker. All fields
@@ -113,9 +114,19 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleClaim implements POST /v1/task/claim: pop a pending task under a
-// lease for a registered worker.
+// lease for a registered worker. The claim is the dispatch path's
+// owner-lock hop, so it gets a request trace: the queue wait (claim.lock)
+// versus the assignment itself (claim.assign) is the interesting split
+// when uploads and claims contend.
 func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	var tracer *telemetry.Tracer
+	if s.tel != nil {
+		tracer = s.tel.Tracer
+	}
+	tr := tracer.StartRequest("claim", telemetry.RequestID(r.Context()),
+		telemetry.TraceContextFromContext(r.Context()))
+	defer tr.Finish()
 	defer func() {
 		if s.dispM != nil {
 			s.dispM.ClaimSeconds.Observe(time.Since(start).Seconds())
@@ -124,6 +135,7 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	var req ClaimRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.claimResult("error")
+		tr.SetError(err)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
@@ -133,14 +145,18 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 		pos = &p
 	}
 	// Claims pop the shared task queue, so they run on the owner path.
+	sp := tr.Span("claim.lock")
 	s.mu.Lock()
+	sp.End()
 	defer s.mu.Unlock()
 	if s.sys.Covered() {
 		s.claimResult("covered")
 		writeJSON(w, http.StatusOK, ClaimResponse{Task: TaskDTO{Covered: true}})
 		return
 	}
+	sp = tr.Span("claim.assign")
 	task, lease, err := s.disp.Claim(req.WorkerID, pos, s.sys)
+	sp.End()
 	switch {
 	case errors.Is(err, dispatch.ErrNoTask):
 		s.claimResult("no_task")
@@ -156,12 +172,15 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 		return
 	case err != nil:
 		s.claimResult("error")
+		tr.SetError(err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.claimResult("granted")
+	sp = tr.Span("claim.publish")
 	s.publishLocked()
 	s.maybeCheckpointLocked()
+	sp.End()
 	writeJSON(w, http.StatusOK, ClaimResponse{
 		Task:     taskToDTO(task),
 		LeaseID:  lease.ID,

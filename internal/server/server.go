@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -38,7 +39,35 @@ import (
 	"snaptask/internal/pointcloud"
 	"snaptask/internal/taskgen"
 	"snaptask/internal/telemetry"
+	"snaptask/internal/telemetry/slo"
 )
+
+// ownerLock is the owner-path mutex plus stall instrumentation: it records
+// when the lock was acquired so the watchdog can measure how long the
+// owner path has been busy without taking the lock itself.
+type ownerLock struct {
+	mu    sync.Mutex
+	since atomic.Int64 // unix nanos at acquisition, 0 while free
+}
+
+func (l *ownerLock) Lock() {
+	l.mu.Lock()
+	l.since.Store(time.Now().UnixNano())
+}
+
+func (l *ownerLock) Unlock() {
+	l.since.Store(0)
+	l.mu.Unlock()
+}
+
+// Busy reports how long the lock has been held continuously (0 when free).
+func (l *ownerLock) Busy() time.Duration {
+	since := l.since.Load()
+	if since == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - since)
+}
 
 // TaskDTO is the wire form of a crowdsourcing task.
 type TaskDTO struct {
@@ -219,7 +248,7 @@ type ReadSnapshot struct {
 // that serialises mutations, plus lock-free read endpoints served from the
 // latest published ReadSnapshot.
 type Server struct {
-	mu   sync.Mutex // owner path: serialises all model mutations
+	mu   ownerLock // owner path: serialises all model mutations
 	sys  *core.System
 	rng  *rand.Rand
 	mux  *http.ServeMux
@@ -234,6 +263,13 @@ type Server struct {
 	// Observability (nil-safe when the server runs without telemetry).
 	tel   *telemetry.Telemetry
 	snapM *telemetry.SnapshotMetrics
+	locM  *telemetry.LocateMetrics
+	// SLO tracker and runtime watchdog (nil unless configured). The tracker
+	// observes every request through the HTTP middleware and serves
+	// GET /v1/slo; burn transitions are emitted onto the event bus and a
+	// fast burn triggers watchdog profile capture.
+	sloT *slo.Tracker
+	wd   *telemetry.Watchdog
 
 	// Task dispatch: always present (New builds a default when no option
 	// supplies one), so the worker/claim endpoints are always live.
@@ -276,6 +312,22 @@ func WithDispatch(d *dispatch.Dispatcher) Option {
 	return func(s *Server) { s.disp = d }
 }
 
+// WithSLO wires an SLO tracker into the server: the HTTP middleware feeds
+// it every upload/locate/claim request, GET /v1/slo serves its evaluated
+// report, and burn-rate transitions are emitted as slo_burn events on the
+// event bus (when one is configured).
+func WithSLO(t *slo.Tracker) Option {
+	return func(s *Server) { s.sloT = t }
+}
+
+// WithWatchdog wires a runtime watchdog into the server: New points its
+// owner-path probe at the owner lock and hangs the SLO evaluator (when
+// configured) on its tick, and a fast SLO burn triggers profile capture.
+// The caller still owns Start/Stop.
+func WithWatchdog(wd *telemetry.Watchdog) Option {
+	return func(s *Server) { s.wd = wd }
+}
+
 // New returns a server for the given system. The rng drives all stochastic
 // backend steps and is owned by the server afterwards.
 func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
@@ -288,9 +340,36 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 		opt(s)
 	}
 	var httpI *telemetry.HTTP
-	if s.tel != nil {
-		httpI = telemetry.NewHTTP(telemetry.NewHTTPMetrics(s.tel.Registry), s.tel.Logger)
-		s.snapM = telemetry.NewSnapshotMetrics(s.tel.Registry)
+	if s.tel != nil || s.sloT != nil {
+		var (
+			httpM  *telemetry.HTTPMetrics
+			logger *slog.Logger
+		)
+		if s.tel != nil {
+			httpM = telemetry.NewHTTPMetrics(s.tel.Registry)
+			s.snapM = telemetry.NewSnapshotMetrics(s.tel.Registry)
+			s.locM = telemetry.NewLocateMetrics(s.tel.Registry)
+			logger = s.tel.Logger
+		}
+		var observers []telemetry.RequestObserver
+		if s.sloT != nil {
+			observers = append(observers, s.sloT)
+		}
+		httpI = telemetry.NewHTTP(httpM, logger, observers...)
+	}
+	if s.locM == nil {
+		// handleLocate observes unconditionally; without a registry the
+		// instruments are nil-safe no-ops.
+		s.locM = telemetry.NewLocateMetrics(nil)
+	}
+	if s.wd != nil {
+		s.wd.SetOwnerBusy(s.OwnerBusy)
+	}
+	if s.sloT != nil {
+		if s.wd != nil {
+			s.wd.AddHook(func() { s.sloT.Evaluate() })
+		}
+		s.sloT.OnTransition(s.onSLOTransition)
 	}
 	if s.evlog != nil {
 		// Fold the journal's history into the campaign aggregate before the
@@ -354,7 +433,37 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 	if s.tel != nil && s.tel.Registry != nil {
 		handle("GET /metrics", s.tel.Registry.Handler().ServeHTTP)
 	}
+	if s.sloT != nil {
+		handle("GET /v1/slo", s.sloT.Handler().ServeHTTP)
+	}
 	return s, nil
+}
+
+// OwnerBusy reports how long the owner mutex has been held continuously
+// (0 when free) — the watchdog's stall probe.
+func (s *Server) OwnerBusy() time.Duration { return s.mu.Busy() }
+
+// onSLOTransition handles a burn-rate edge: emit an slo_burn event onto
+// the bus (nil-safe without an event log) and, on a fast burn, capture
+// profiles so the evidence of what burned the budget is on disk.
+func (s *Server) onSLOTransition(tr slo.Transition) {
+	s.evlog.Emit(events.Event{
+		Kind:     events.KindSLOBurn,
+		Endpoint: tr.Endpoint,
+		Burning:  tr.Burning,
+		Severity: tr.Severity,
+		BurnRate: tr.BurnRate,
+	})
+	if s.tel != nil && s.tel.Logger != nil {
+		s.tel.Logger.Warn("slo transition",
+			slog.String("endpoint", tr.Endpoint),
+			slog.Bool("burning", tr.Burning),
+			slog.String("severity", tr.Severity),
+			slog.Float64("burn_rate", tr.BurnRate))
+	}
+	if tr.Burning && tr.Severity == "fast" {
+		s.wd.CaptureProfiles("slo_burn")
+	}
 }
 
 // Snapshot returns the currently published read state; exposed for tests
@@ -566,7 +675,9 @@ func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sys.SetRequestID(telemetry.RequestID(r.Context()))
+	s.sys.SetTraceContext(telemetry.TraceContextFromContext(r.Context()))
 	defer s.sys.SetRequestID("")
+	defer s.sys.SetTraceContext(telemetry.TraceContext{})
 	if leased {
 		s.sys.SetWorker(req.WorkerID, req.LeaseID)
 		defer s.sys.SetWorker("", "")
@@ -672,7 +783,9 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sys.SetRequestID(telemetry.RequestID(r.Context()))
+	s.sys.SetTraceContext(telemetry.TraceContextFromContext(r.Context()))
 	defer s.sys.SetRequestID("")
+	defer s.sys.SetTraceContext(telemetry.TraceContext{})
 	if leased {
 		s.sys.SetWorker(req.WorkerID, req.LeaseID)
 		defer s.sys.SetWorker("", "")
@@ -719,8 +832,26 @@ func (s *Server) handleMapPGM(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var tracer *telemetry.Tracer
+	if s.tel != nil {
+		tracer = s.tel.Tracer
+	}
+	tr := tracer.StartRequest("locate", telemetry.RequestID(r.Context()),
+		telemetry.TraceContextFromContext(r.Context()))
+	result := "ok"
+	defer func() {
+		s.locM.Duration.With(result).Observe(time.Since(start).Seconds())
+		tr.Finish()
+	}()
+
+	sp := tr.Span("locate.decode")
 	var req LocateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	err := json.NewDecoder(r.Body).Decode(&req)
+	sp.End()
+	if err != nil {
+		result = "bad_request"
+		tr.SetError(err)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
@@ -728,6 +859,7 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 
 	// The feature index is precomputed in the snapshot, so localisation
 	// runs off the owner path and never queues behind an upload.
+	sp = tr.Span("locate.match")
 	modelFeatures := s.snap.Load().Features
 	matched := 0
 	for _, o := range photo.Obs {
@@ -735,8 +867,16 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 			matched++
 		}
 	}
+	sp.End()
+	tr.SetCount("matched", matched)
+	s.locM.Matched.Observe(float64(matched))
+
+	sp = tr.Span("locate.localize")
 	pos, err := nav.Localize(photo, modelFeatures, photo.Pose.Pos, s.locateRand(photo))
+	sp.End()
 	if err != nil {
+		result = "unlocalized"
+		tr.SetError(err)
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}

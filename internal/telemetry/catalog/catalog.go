@@ -1,0 +1,60 @@
+// Package catalog assembles the complete SnapTask metric catalogue: a
+// registry with every instrument bundle the system can register, and a
+// markdown rendering of it. docs/METRICS.md is generated from here
+// (`snaptask-bench -metrics-doc docs/METRICS.md`) and a test fails when
+// the committed file drifts from the registered reality — the catalogue
+// cannot rot silently.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snaptask/internal/telemetry"
+	"snaptask/internal/telemetry/slo"
+)
+
+// Registry returns a fresh registry carrying every metric family SnapTask
+// registers anywhere: HTTP, ingest, snapshot, events, dispatch, locate,
+// tracer, watchdog/runtime and SLO bundles.
+func Registry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	telemetry.NewHTTPMetrics(reg)
+	telemetry.NewIngestMetrics(reg)
+	telemetry.NewSnapshotMetrics(reg)
+	telemetry.NewEventMetrics(reg)
+	telemetry.NewDispatchMetrics(reg)
+	telemetry.NewLocateMetrics(reg)
+	telemetry.NewTracer(reg, 1)
+	telemetry.NewWatchdog(reg, telemetry.WatchdogConfig{})
+	slo.New(reg)
+	return reg
+}
+
+// Markdown renders the catalogue as the docs/METRICS.md document: one
+// table row per family, sorted by name.
+func Markdown() string {
+	fams := Registry().Families()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+
+	var b strings.Builder
+	b.WriteString("# Metric catalogue\n\n")
+	b.WriteString("Every Prometheus series SnapTask can register, generated from the\n")
+	b.WriteString("instrument bundles in `internal/telemetry` (and subpackages) by\n")
+	b.WriteString("`snaptask-bench -metrics-doc docs/METRICS.md`. Do not edit by hand:\n")
+	b.WriteString("`internal/telemetry/catalog` has a test that fails when this file\n")
+	b.WriteString("drifts from the registered families.\n\n")
+	b.WriteString("| Metric | Type | Labels | Help |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, f := range fams {
+		labels := strings.Join(f.Labels, ", ")
+		if labels == "" {
+			labels = "—"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n",
+			f.Name, f.Kind, labels, strings.ReplaceAll(f.Help, "|", `\|`))
+	}
+	fmt.Fprintf(&b, "\n%d families.\n", len(fams))
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoversKnownFamilies: the assembled catalogue registry carries
+// the load-bearing families from every bundle.
+func TestRegistryCoversKnownFamilies(t *testing.T) {
+	fams := Registry().Families()
+	byName := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = true
+	}
+	for _, want := range []string{
+		"snaptask_http_requests_total",
+		"snaptask_ingest_batch_duration_seconds",
+		"snaptask_snapshot_publishes_total",
+		"snaptask_events_appended_total",
+		"snaptask_dispatch_claims_total",
+		"snaptask_locate_duration_seconds",
+		"snaptask_watchdog_stalls_total",
+		"snaptask_runtime_goroutines",
+		"snaptask_slo_burn_rate",
+	} {
+		if !byName[want] {
+			t.Errorf("catalogue missing %s", want)
+		}
+	}
+}
+
+// TestMarkdownWellFormed: one table row per family, every family named.
+func TestMarkdownWellFormed(t *testing.T) {
+	md := Markdown()
+	fams := Registry().Families()
+	rows := 0
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "| `snaptask_") {
+			rows++
+		}
+	}
+	if rows != len(fams) {
+		t.Errorf("markdown has %d rows for %d families", rows, len(fams))
+	}
+	for _, f := range fams {
+		if !strings.Contains(md, "`"+f.Name+"`") {
+			t.Errorf("markdown missing family %s", f.Name)
+		}
+	}
+}
+
+// TestMetricsDocInSync fails when the committed docs/METRICS.md drifts from
+// the registered families. Regenerate with:
+//
+//	go run ./cmd/snaptask-bench -metrics-doc docs/METRICS.md
+func TestMetricsDocInSync(t *testing.T) {
+	path := filepath.Join("..", "..", "..", "docs", "METRICS.md")
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v (generate it with `go run ./cmd/snaptask-bench -metrics-doc docs/METRICS.md`)", path, err)
+	}
+	if got := Markdown(); string(committed) != got {
+		t.Errorf("docs/METRICS.md is stale — regenerate with `go run ./cmd/snaptask-bench -metrics-doc docs/METRICS.md`")
+	}
+}

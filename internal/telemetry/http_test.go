@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRouteInstrumentation(t *testing.T) {
@@ -69,6 +71,107 @@ func TestNilHTTPPassthrough(t *testing.T) {
 	}
 	if NewHTTP(nil, nil) != nil {
 		t.Error("NewHTTP(nil, nil) should be nil")
+	}
+}
+
+// TestRouteHonorsClientIdentifiers: a well-formed client X-Request-ID and
+// traceparent are honoured — the handler sees the caller's request ID and a
+// child span of the caller's trace — and both are echoed on the response.
+func TestRouteHonorsClientIdentifiers(t *testing.T) {
+	h := NewHTTP(NewHTTPMetrics(NewRegistry()), nil)
+	caller := NewTraceContext()
+	var gotID string
+	var gotTC TraceContext
+	handler := h.Route("POST /v1/locate", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotID = RequestID(r.Context())
+		gotTC = TraceContextFromContext(r.Context())
+	}))
+
+	req := httptest.NewRequest("POST", "/v1/locate", nil)
+	req.Header.Set("X-Request-ID", "agent-3.call-7")
+	req.Header.Set("Traceparent", caller.Header())
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+
+	if gotID != "agent-3.call-7" {
+		t.Errorf("request ID = %q, want the client's", gotID)
+	}
+	if gotTC.TraceID != caller.TraceID {
+		t.Errorf("trace ID = %q, want the caller's %q", gotTC.TraceID, caller.TraceID)
+	}
+	if gotTC.SpanID == caller.SpanID {
+		t.Error("server reused the caller's span ID instead of minting a child")
+	}
+	if rec.Header().Get("X-Request-ID") != "agent-3.call-7" {
+		t.Errorf("response X-Request-ID = %q", rec.Header().Get("X-Request-ID"))
+	}
+	if rec.Header().Get("Traceparent") != gotTC.Header() {
+		t.Errorf("response Traceparent = %q, want %q",
+			rec.Header().Get("Traceparent"), gotTC.Header())
+	}
+}
+
+// TestRouteRejectsMalformedIdentifiers: hostile or oversized client headers
+// are replaced with minted values, never propagated into logs.
+func TestRouteRejectsMalformedIdentifiers(t *testing.T) {
+	h := NewHTTP(NewHTTPMetrics(NewRegistry()), nil)
+	var gotID string
+	var gotTC TraceContext
+	handler := h.Route("GET /v1/status", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotID = RequestID(r.Context())
+		gotTC = TraceContextFromContext(r.Context())
+	}))
+
+	req := httptest.NewRequest("GET", "/v1/status", nil)
+	req.Header.Set("X-Request-ID", "bad id with spaces\x7f")
+	req.Header.Set("Traceparent", "00-zz-zz-01")
+	handler.ServeHTTP(httptest.NewRecorder(), req)
+
+	if gotID == "" || gotID == "bad id with spaces\x7f" {
+		t.Errorf("request ID = %q, want a freshly minted one", gotID)
+	}
+	if !gotTC.Valid() {
+		t.Errorf("trace context not minted: %+v", gotTC)
+	}
+
+	long := strings.Repeat("a", maxRequestIDLen+1)
+	req = httptest.NewRequest("GET", "/v1/status", nil)
+	req.Header.Set("X-Request-ID", long)
+	handler.ServeHTTP(httptest.NewRecorder(), req)
+	if gotID == long {
+		t.Error("oversized request ID propagated")
+	}
+}
+
+// requestSink records observer callbacks for tests.
+type requestSink struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (s *requestSink) ObserveRequest(route, method string, status int, _ time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls = append(s.calls, fmt.Sprintf("%s %s %d", method, route, status))
+}
+
+// TestRouteNotifiesObservers: each completed request reaches every
+// registered RequestObserver with the route label and final status, and an
+// observer alone (no metrics, no logger) is enough to keep the middleware.
+func TestRouteNotifiesObservers(t *testing.T) {
+	sink := &requestSink{}
+	h := NewHTTP(nil, nil, sink)
+	if h == nil {
+		t.Fatal("NewHTTP(nil, nil, observer) returned nil")
+	}
+	handler := h.Route("POST /v1/photos", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	handler.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/photos", nil))
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.calls) != 1 || sink.calls[0] != "POST POST /v1/photos 400" {
+		t.Errorf("observer calls = %v", sink.calls)
 	}
 }
 

@@ -378,6 +378,35 @@ func (r *Registry) Render(w io.Writer) {
 	}
 }
 
+// FamilyInfo describes one registered metric family — the introspection
+// surface behind the generated docs/METRICS.md catalogue.
+type FamilyInfo struct {
+	Name   string
+	Help   string
+	Kind   string // counter, gauge, histogram
+	Labels []string
+}
+
+// Families returns metadata for every registered family in registration
+// order.
+func (r *Registry) Families() []FamilyInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyInfo, 0, len(r.ordered))
+	for _, f := range r.ordered {
+		out = append(out, FamilyInfo{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   string(f.kind),
+			Labels: append([]string(nil), f.labelNames...),
+		})
+	}
+	return out
+}
+
 // Expose returns the full exposition as a string.
 func (r *Registry) Expose() string {
 	var b strings.Builder

@@ -113,6 +113,12 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 	NewDispatchMetrics(nil).Workers.Set(2)
 	NewDispatchMetrics(nil).Claims.With("granted").Inc()
 	NewDispatchMetrics(nil).ClaimSeconds.Observe(0.001)
+	NewLocateMetrics(nil).Duration.With("ok").Observe(0.001)
+	NewLocateMetrics(nil).Matched.Observe(3)
+	NewWatchdog(nil, WatchdogConfig{}).CaptureProfiles("stall")
+	if fams := reg.Families(); fams != nil {
+		t.Errorf("nil registry families = %v", fams)
+	}
 }
 
 func TestConcurrentInstrumentUse(t *testing.T) {
@@ -162,7 +168,9 @@ func fullExposition(t *testing.T) string {
 	snap := NewSnapshotMetrics(reg)
 	ev := NewEventMetrics(reg)
 	disp := NewDispatchMetrics(reg)
+	loc := NewLocateMetrics(reg)
 	tracer := NewTracer(reg, 8)
+	wd := NewWatchdog(reg, WatchdogConfig{})
 
 	httpM.Requests.With("POST /v1/photos", "POST", "200").Inc()
 	httpM.Duration.With("POST /v1/photos").Observe(0.42)
@@ -193,6 +201,12 @@ func fullExposition(t *testing.T) string {
 	disp.LeaseExpiries.Inc()
 	disp.TaskRequeues.Inc()
 	disp.ClaimSeconds.Observe(0.002)
+	loc.Duration.With("ok").Observe(0.05)
+	loc.Matched.Observe(12)
+	wd.stalls.Inc()
+	wd.profiles.With("stall").Inc()
+	wd.schedLat.Observe(0.001)
+	wd.ownerBusyG.Set(0.2)
 	tr := tracer.Start("photo_batch", "abc-1")
 	tr.Span("sfm.match").End()
 	tr.Finish()
@@ -275,10 +289,39 @@ func TestExpositionIsValidPrometheusText(t *testing.T) {
 		"snaptask_dispatch_workers", "snaptask_dispatch_active_leases",
 		"snaptask_dispatch_claims_total", "snaptask_dispatch_lease_expiries_total",
 		"snaptask_dispatch_task_requeues_total", "snaptask_dispatch_claim_seconds",
+		"snaptask_locate_duration_seconds", "snaptask_locate_matched_features",
+		"snaptask_watchdog_stalls_total", "snaptask_watchdog_profiles_total",
+		"snaptask_watchdog_sched_latency_seconds", "snaptask_watchdog_owner_busy_seconds",
+		"snaptask_runtime_goroutines", "snaptask_runtime_heap_alloc_bytes",
+		"snaptask_runtime_heap_objects", "snaptask_runtime_gc_cycles_total",
+		"snaptask_runtime_gc_pause_last_seconds",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("metric %s missing from exposition", want)
 		}
+	}
+}
+
+// TestFamilies: the introspection view lists every family with its kind
+// and label names, in registration order.
+func TestFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_a_total", "a")
+	reg.HistogramVec("test_b_seconds", "b", DurationBuckets(), "stage")
+	reg.GaugeVec("test_c", "c", "endpoint", "window")
+	fams := reg.Families()
+	if len(fams) != 3 {
+		t.Fatalf("families = %+v, want 3", fams)
+	}
+	if fams[0].Name != "test_a_total" || fams[0].Kind != "counter" || len(fams[0].Labels) != 0 {
+		t.Errorf("fams[0] = %+v", fams[0])
+	}
+	if fams[1].Name != "test_b_seconds" || fams[1].Kind != "histogram" ||
+		len(fams[1].Labels) != 1 || fams[1].Labels[0] != "stage" {
+		t.Errorf("fams[1] = %+v", fams[1])
+	}
+	if fams[2].Kind != "gauge" || len(fams[2].Labels) != 2 {
+		t.Errorf("fams[2] = %+v", fams[2])
 	}
 }
 

@@ -1,0 +1,372 @@
+// Package slo tracks service-level objectives with Google SRE-style
+// multi-window, multi-burn-rate alerting (SRE Workbook ch. 5).
+//
+// Each endpoint (upload, locate, claim) has an Objective: a latency
+// target and a good-request ratio (e.g. 99% of locates under 250ms and
+// not 5xx). Every completed request is counted into 10-second buckets on
+// a fixed ring covering the longest window; Evaluate folds the ring into
+// bad-request ratios over the 5m/1h/6h windows and converts them to burn
+// rates — the multiple of the error budget being consumed. A fast burn
+// (14.4x over both 5m and 1h: budget gone in ~2 days, page-worthy) or a
+// slow burn (6x over both 1h and 6h) flips the endpoint to burning;
+// transitions edge-trigger a callback so the server can emit slo_burn
+// events onto the bus and the watchdog can capture profiles.
+//
+// The tracker hangs off the telemetry HTTP middleware via the
+// RequestObserver interface (telemetry cannot import this package), is
+// exposed as GET /v1/slo JSON and snaptask_slo_* Prometheus series, and
+// takes an injectable clock so tests drive window arithmetic directly.
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"snaptask/internal/telemetry"
+)
+
+// Objective is one endpoint's service-level objective: at least Target of
+// requests complete under LatencyTarget and without a server error.
+type Objective struct {
+	// Endpoint is the logical endpoint name (upload, locate, claim).
+	Endpoint string `json:"endpoint"`
+	// LatencyTarget is the per-request latency threshold; slower requests
+	// spend error budget even when they succeed.
+	LatencyTarget time.Duration `json:"-"`
+	// Target is the good-request ratio objective in (0,1), e.g. 0.99.
+	Target float64 `json:"target"`
+}
+
+// DefaultObjectives returns the stock objectives for the three serving
+// paths: uploads are owner-path work and get a generous 2s; locate and
+// claim are interactive read paths at 250ms. All at 99%.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Endpoint: "upload", LatencyTarget: 2 * time.Second, Target: 0.99},
+		{Endpoint: "locate", LatencyTarget: 250 * time.Millisecond, Target: 0.99},
+		{Endpoint: "claim", LatencyTarget: 250 * time.Millisecond, Target: 0.99},
+	}
+}
+
+// Window geometry: 10s buckets on a ring covering the longest (6h) window.
+const (
+	bucketSize = 10 * time.Second
+	numBuckets = int(6*time.Hour/bucketSize) + 1 // +1: the partial current bucket
+)
+
+// The three alerting windows and the SRE Workbook burn-rate thresholds.
+var (
+	windows = []struct {
+		Name string
+		Dur  time.Duration
+	}{
+		{"5m", 5 * time.Minute},
+		{"1h", time.Hour},
+		{"6h", 6 * time.Hour},
+	}
+	// fastBurn pages: 14.4x burns a 30-day budget in ~2 days.
+	fastBurn = 14.4
+	// slowBurn tickets: 6x burns it in ~5 days.
+	slowBurn = 6.0
+)
+
+// bucket is one 10-second counting slot. epoch is the absolute bucket
+// index (unixNanos / bucketSize); a slot is stale when its epoch doesn't
+// match the index probed, and is reset on next write.
+type bucket struct {
+	epoch      int64
+	total, bad uint64
+}
+
+// endpointState is the per-endpoint ring plus burn state.
+type endpointState struct {
+	obj     Objective
+	buckets [numBuckets]bucket
+	burning bool
+	// severity is "fast" or "slow" while burning, "" otherwise.
+	severity string
+}
+
+// Transition is an edge-triggered SLO state change.
+type Transition struct {
+	Endpoint string
+	// Burning is the new state.
+	Burning bool
+	// Severity is fast or slow when Burning, "" on recovery.
+	Severity string
+	// BurnRate is the highest confirming window burn rate at transition.
+	BurnRate float64
+}
+
+// Tracker counts requests against objectives and evaluates burn rates.
+// All methods are safe for concurrent use and nil-receiver no-ops, in
+// keeping with the rest of the telemetry layer.
+type Tracker struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	endpoints map[string]*endpointState
+	ordered   []string
+	// routes maps middleware route labels to endpoint names.
+	routes map[string]string
+
+	onTransition func(Transition)
+
+	total    *telemetry.CounterVec
+	bad      *telemetry.CounterVec
+	burnRate *telemetry.GaugeVec
+	burning  *telemetry.GaugeVec
+}
+
+// New builds a tracker over the given objectives (DefaultObjectives when
+// empty), registering snaptask_slo_* series on reg (nil reg: metrics
+// no-op). The standard route mapping covers the upload, locate and claim
+// serving paths.
+func New(reg *telemetry.Registry, objectives ...Objective) *Tracker {
+	if len(objectives) == 0 {
+		objectives = DefaultObjectives()
+	}
+	t := &Tracker{
+		now:       time.Now,
+		endpoints: make(map[string]*endpointState, len(objectives)),
+		routes: map[string]string{
+			"POST /v1/photos":      "upload",
+			"POST /v1/annotations": "upload",
+			"POST /v1/locate":      "locate",
+			"POST /v1/task/claim":  "claim",
+		},
+		total: reg.CounterVec("snaptask_slo_requests_total",
+			"Requests counted against an SLO endpoint.", "endpoint"),
+		bad: reg.CounterVec("snaptask_slo_bad_requests_total",
+			"Requests that spent error budget (5xx or over the latency target).", "endpoint"),
+		burnRate: reg.GaugeVec("snaptask_slo_burn_rate",
+			"Error-budget burn rate per endpoint and window (1 = budget consumed exactly at the objective rate).",
+			"endpoint", "window"),
+		burning: reg.GaugeVec("snaptask_slo_burning",
+			"1 while the endpoint's multi-window burn-rate condition holds.", "endpoint"),
+	}
+	for _, obj := range objectives {
+		t.endpoints[obj.Endpoint] = &endpointState{obj: obj}
+		t.ordered = append(t.ordered, obj.Endpoint)
+		// Surface the objective itself so dashboards need no config.
+		reg.GaugeVec("snaptask_slo_objective_ratio",
+			"Configured good-request ratio objective.", "endpoint").
+			With(obj.Endpoint).Set(obj.Target)
+		reg.GaugeVec("snaptask_slo_latency_target_seconds",
+			"Configured per-request latency target.", "endpoint").
+			With(obj.Endpoint).Set(obj.LatencyTarget.Seconds())
+	}
+	return t
+}
+
+// SetClock replaces the tracker's time source (tests only).
+func (t *Tracker) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// OnTransition registers the edge-trigger callback, invoked (without the
+// tracker lock held) whenever Evaluate flips an endpoint between healthy
+// and burning. Call before serving traffic.
+func (t *Tracker) OnTransition(fn func(Transition)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onTransition = fn
+	t.mu.Unlock()
+}
+
+// ObserveRequest implements telemetry.RequestObserver: requests on routes
+// mapped to an SLO endpoint are counted; everything else is ignored.
+func (t *Tracker) ObserveRequest(route, method string, status int, elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	endpoint, ok := t.routes[route]
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	t.Record(endpoint, elapsed, status >= 500)
+}
+
+// Record counts one request against an endpoint's objective. serverErr
+// marks 5xx responses; latency over the objective's target also spends
+// budget.
+func (t *Tracker) Record(endpoint string, elapsed time.Duration, serverErr bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	st, ok := t.endpoints[endpoint]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	isBad := serverErr || elapsed > st.obj.LatencyTarget
+	epoch := t.now().UnixNano() / int64(bucketSize)
+	b := &st.buckets[int(epoch%int64(numBuckets))]
+	if b.epoch != epoch {
+		b.epoch, b.total, b.bad = epoch, 0, 0
+	}
+	b.total++
+	if isBad {
+		b.bad++
+	}
+	t.mu.Unlock()
+
+	t.total.With(endpoint).Inc()
+	if isBad {
+		t.bad.With(endpoint).Inc()
+	}
+}
+
+// WindowReport is one window's bad-ratio and burn rate.
+type WindowReport struct {
+	Window   string  `json:"window"`
+	Total    uint64  `json:"total"`
+	Bad      uint64  `json:"bad"`
+	BadRatio float64 `json:"badRatio"`
+	BurnRate float64 `json:"burnRate"`
+}
+
+// EndpointReport is one endpoint's full SLO state.
+type EndpointReport struct {
+	Endpoint        string         `json:"endpoint"`
+	Objective       float64        `json:"objective"`
+	LatencyTargetMS float64        `json:"latencyTargetMs"`
+	Burning         bool           `json:"burning"`
+	Severity        string         `json:"severity,omitempty"`
+	Windows         []WindowReport `json:"windows"`
+}
+
+// Report is the GET /v1/slo payload.
+type Report struct {
+	Endpoints []EndpointReport `json:"endpoints"`
+}
+
+// windowCounts folds the ring into totals for the trailing window ending
+// at nowEpoch. Caller holds t.mu.
+func (st *endpointState) windowCounts(nowEpoch int64, dur time.Duration) (total, bad uint64) {
+	n := int64(dur / bucketSize)
+	lo := nowEpoch - n + 1
+	for i := range st.buckets {
+		b := &st.buckets[i]
+		if b.epoch >= lo && b.epoch <= nowEpoch {
+			total += b.total
+			bad += b.bad
+		}
+	}
+	return total, bad
+}
+
+// Evaluate recomputes every endpoint's burn rates, updates the gauges,
+// edge-triggers transitions, and returns the full report. Call it from the
+// watchdog tick and the /v1/slo handler; it holds the tracker lock only
+// for the fold.
+func (t *Tracker) Evaluate() Report {
+	if t == nil {
+		return Report{}
+	}
+	t.mu.Lock()
+	nowEpoch := t.now().UnixNano() / int64(bucketSize)
+	var rep Report
+	var fired []Transition
+	onTransition := t.onTransition
+	for _, name := range t.ordered {
+		st := t.endpoints[name]
+		er := EndpointReport{
+			Endpoint:        name,
+			Objective:       st.obj.Target,
+			LatencyTargetMS: float64(st.obj.LatencyTarget) / 1e6,
+		}
+		budget := 1 - st.obj.Target
+		burns := make(map[string]float64, len(windows))
+		for _, w := range windows {
+			total, bad := st.windowCounts(nowEpoch, w.Dur)
+			wr := WindowReport{Window: w.Name, Total: total, Bad: bad}
+			if total > 0 {
+				wr.BadRatio = float64(bad) / float64(total)
+			}
+			if budget > 0 {
+				wr.BurnRate = wr.BadRatio / budget
+			}
+			burns[w.Name] = wr.BurnRate
+			er.Windows = append(er.Windows, wr)
+		}
+		burning, severity, rate := false, "", 0.0
+		switch {
+		case burns["5m"] >= fastBurn && burns["1h"] >= fastBurn:
+			burning, severity, rate = true, "fast", burns["5m"]
+		case burns["1h"] >= slowBurn && burns["6h"] >= slowBurn:
+			burning, severity, rate = true, "slow", burns["1h"]
+		}
+		if burning != st.burning || severity != st.severity {
+			if burning != st.burning {
+				fired = append(fired, Transition{
+					Endpoint: name, Burning: burning, Severity: severity, BurnRate: rate,
+				})
+			}
+			st.burning, st.severity = burning, severity
+		}
+		er.Burning, er.Severity = burning, severity
+		rep.Endpoints = append(rep.Endpoints, er)
+	}
+	t.mu.Unlock()
+
+	for _, er := range rep.Endpoints {
+		for _, wr := range er.Windows {
+			t.burnRate.With(er.Endpoint, wr.Window).Set(wr.BurnRate)
+		}
+		v := 0.0
+		if er.Burning {
+			v = 1
+		}
+		t.burning.With(er.Endpoint).Set(v)
+	}
+	if onTransition != nil {
+		for _, tr := range fired {
+			onTransition(tr)
+		}
+	}
+	sort.Slice(rep.Endpoints, func(i, j int) bool {
+		return rep.Endpoints[i].Endpoint < rep.Endpoints[j].Endpoint
+	})
+	return rep
+}
+
+// Burning reports whether any endpoint is currently burning at the given
+// severity ("" matches any).
+func (t *Tracker) Burning(severity string) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range t.endpoints {
+		if st.burning && (severity == "" || st.severity == severity) {
+			return true
+		}
+	}
+	return false
+}
+
+// Handler serves the evaluated report as GET /v1/slo JSON.
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := t.Evaluate()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}

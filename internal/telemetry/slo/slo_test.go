@@ -1,0 +1,299 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snaptask/internal/telemetry"
+)
+
+// fixedClock drives the tracker's window arithmetic from the test.
+type fixedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fixedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fixedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker() (*Tracker, *fixedClock) {
+	tr := New(nil)
+	clk := &fixedClock{t: time.Unix(1_700_000_000, 0)}
+	tr.SetClock(clk.now)
+	return tr, clk
+}
+
+// record feeds n requests, bad of them over-latency, into an endpoint.
+func record(tr *Tracker, endpoint string, n, bad int) {
+	for i := 0; i < n-bad; i++ {
+		tr.Record(endpoint, time.Millisecond, false)
+	}
+	for i := 0; i < bad; i++ {
+		tr.Record(endpoint, time.Hour, false) // over any latency target
+	}
+}
+
+func endpointReport(t *testing.T, rep Report, name string) EndpointReport {
+	t.Helper()
+	for _, er := range rep.Endpoints {
+		if er.Endpoint == name {
+			return er
+		}
+	}
+	t.Fatalf("endpoint %q missing from report %+v", name, rep)
+	return EndpointReport{}
+}
+
+func TestHealthyUnderBudget(t *testing.T) {
+	tr, _ := newTestTracker()
+	record(tr, "upload", 200, 1) // 0.5% bad, inside the 1% budget
+	rep := tr.Evaluate()
+	er := endpointReport(t, rep, "upload")
+	if er.Burning {
+		t.Fatalf("0.5%% bad flagged as burning: %+v", er)
+	}
+	for _, wr := range er.Windows {
+		if wr.Window == "5m" {
+			if wr.Total != 200 || wr.Bad != 1 {
+				t.Errorf("5m counts = %d/%d, want 200/1", wr.Bad, wr.Total)
+			}
+			if wr.BurnRate < 0.4 || wr.BurnRate > 0.6 {
+				t.Errorf("5m burn rate = %.2f, want ~0.5", wr.BurnRate)
+			}
+		}
+	}
+}
+
+// TestFastBurnTransition: a 50% bad ratio (50x burn) trips the fast
+// condition on both short windows, edge-triggering exactly one transition.
+func TestFastBurnTransition(t *testing.T) {
+	tr, _ := newTestTracker()
+	var mu sync.Mutex
+	var fired []Transition
+	tr.OnTransition(func(x Transition) {
+		mu.Lock()
+		fired = append(fired, x)
+		mu.Unlock()
+	})
+
+	record(tr, "locate", 20, 10)
+	rep := tr.Evaluate()
+	er := endpointReport(t, rep, "locate")
+	if !er.Burning || er.Severity != "fast" {
+		t.Fatalf("want fast burn, got %+v", er)
+	}
+	tr.Evaluate() // steady state: no second edge
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 {
+		t.Fatalf("transitions = %+v, want exactly one", fired)
+	}
+	tran := fired[0]
+	if tran.Endpoint != "locate" || !tran.Burning || tran.Severity != "fast" || tran.BurnRate < fastBurn {
+		t.Errorf("transition = %+v", tran)
+	}
+	if !tr.Burning("fast") || !tr.Burning("") {
+		t.Error("Burning() disagrees with the report")
+	}
+	if tr.Burning("slow") {
+		t.Error("fast burn reported as slow")
+	}
+}
+
+// TestSlowBurn: bad traffic older than the 5m window but inside 1h/6h
+// trips the slow condition only.
+func TestSlowBurn(t *testing.T) {
+	tr, clk := newTestTracker()
+	record(tr, "claim", 100, 10) // 10x burn
+	clk.advance(10 * time.Minute)
+	rep := tr.Evaluate()
+	er := endpointReport(t, rep, "claim")
+	if !er.Burning || er.Severity != "slow" {
+		t.Fatalf("want slow burn, got %+v", er)
+	}
+	for _, wr := range er.Windows {
+		if wr.Window == "5m" && wr.Total != 0 {
+			t.Errorf("5m window still sees %d requests after 10m", wr.Total)
+		}
+	}
+}
+
+// TestRecovery: once the bad traffic ages past every window, the endpoint
+// flips back to healthy with a recovery transition.
+func TestRecovery(t *testing.T) {
+	tr, clk := newTestTracker()
+	var mu sync.Mutex
+	var fired []Transition
+	tr.OnTransition(func(x Transition) {
+		mu.Lock()
+		fired = append(fired, x)
+		mu.Unlock()
+	})
+	record(tr, "upload", 10, 10)
+	tr.Evaluate()
+	clk.advance(7 * time.Hour)
+	rep := tr.Evaluate()
+	if er := endpointReport(t, rep, "upload"); er.Burning {
+		t.Fatalf("still burning after 7h idle: %+v", er)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 2 {
+		t.Fatalf("transitions = %+v, want burn + recovery", fired)
+	}
+	if fired[1].Burning || fired[1].Severity != "" {
+		t.Errorf("recovery transition = %+v", fired[1])
+	}
+}
+
+// TestServerErrorsSpendBudget: fast 5xx responses count as bad.
+func TestServerErrorsSpendBudget(t *testing.T) {
+	tr, _ := newTestTracker()
+	for i := 0; i < 10; i++ {
+		tr.Record("locate", time.Millisecond, true)
+	}
+	er := endpointReport(t, tr.Evaluate(), "locate")
+	if !er.Burning {
+		t.Fatalf("100%% 5xx not burning: %+v", er)
+	}
+}
+
+// TestObserveRequestRouteMapping: the middleware hook maps route labels to
+// endpoints and ignores unmapped routes.
+func TestObserveRequestRouteMapping(t *testing.T) {
+	tr, _ := newTestTracker()
+	tr.ObserveRequest("POST /v1/photos", "POST", 200, time.Millisecond)
+	tr.ObserveRequest("POST /v1/annotations", "POST", 200, time.Millisecond)
+	tr.ObserveRequest("POST /v1/locate", "POST", 503, time.Millisecond)
+	tr.ObserveRequest("POST /v1/task/claim", "POST", 200, time.Hour)
+	tr.ObserveRequest("GET /v1/status", "GET", 200, time.Millisecond) // unmapped
+
+	rep := tr.Evaluate()
+	wants := map[string][2]uint64{ // endpoint -> {total, bad} in the 5m window
+		"upload": {2, 0},
+		"locate": {1, 1},
+		"claim":  {1, 1},
+	}
+	for name, want := range wants {
+		er := endpointReport(t, rep, name)
+		for _, wr := range er.Windows {
+			if wr.Window == "5m" && (wr.Total != want[0] || wr.Bad != want[1]) {
+				t.Errorf("%s 5m = %d/%d, want %d/%d", name, wr.Bad, wr.Total, want[1], want[0])
+			}
+		}
+	}
+}
+
+func TestHandlerServesReport(t *testing.T) {
+	tr, _ := newTestTracker()
+	record(tr, "upload", 5, 0)
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(rep.Endpoints) != 3 {
+		t.Fatalf("endpoints = %+v", rep.Endpoints)
+	}
+	// Sorted alphabetically: claim, locate, upload.
+	for i, want := range []string{"claim", "locate", "upload"} {
+		if rep.Endpoints[i].Endpoint != want {
+			t.Errorf("endpoints[%d] = %q, want %q", i, rep.Endpoints[i].Endpoint, want)
+		}
+	}
+	for _, er := range rep.Endpoints {
+		if len(er.Windows) != 3 {
+			t.Errorf("%s has %d windows, want 3", er.Endpoint, len(er.Windows))
+		}
+	}
+}
+
+// TestMetricsExposition: the snaptask_slo_* series land on the registry
+// with the expected names, labels and values.
+func TestMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(reg)
+	clk := &fixedClock{t: time.Unix(1_700_000_000, 0)}
+	tr.SetClock(clk.now)
+	record(tr, "locate", 4, 2)
+	tr.Evaluate()
+
+	out := reg.Expose()
+	for _, want := range []string{
+		`snaptask_slo_requests_total{endpoint="locate"} 4`,
+		`snaptask_slo_bad_requests_total{endpoint="locate"} 2`,
+		`snaptask_slo_burning{endpoint="locate"} 1`,
+		`snaptask_slo_objective_ratio{endpoint="upload"} 0.99`,
+		`snaptask_slo_latency_target_seconds{endpoint="claim"} 0.25`,
+		`snaptask_slo_burn_rate{endpoint="locate",window="5m"} 49.9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilTrackerNoOps(t *testing.T) {
+	var tr *Tracker
+	tr.Record("upload", time.Second, true)
+	tr.ObserveRequest("POST /v1/photos", "POST", 200, time.Second)
+	tr.SetClock(time.Now)
+	tr.OnTransition(func(Transition) {})
+	if rep := tr.Evaluate(); len(rep.Endpoints) != 0 {
+		t.Errorf("nil tracker report = %+v", rep)
+	}
+	if tr.Burning("") {
+		t.Error("nil tracker burning")
+	}
+}
+
+// TestConcurrentRecordEvaluate races recording against evaluation and
+// scrapes; run under -race this proves the locking is sound.
+func TestConcurrentRecordEvaluate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := New(reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record("upload", time.Millisecond, i%7 == 0)
+				tr.ObserveRequest("POST /v1/locate", "POST", 200, time.Millisecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			tr.Evaluate()
+			reg.Expose()
+			return
+		default:
+			tr.Evaluate()
+			reg.Expose()
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// W3C Trace Context propagation (https://www.w3.org/TR/trace-context/):
+// the client and agent fleet mint a trace ID per logical request, send it
+// as a `traceparent` header, the HTTP middleware extracts it, and the
+// owner path stamps it onto batch traces so one ID joins the client log
+// line, the server access log, and the /debug/traces stage breakdown.
+//
+// Only the parts of the spec SnapTask needs are implemented: version 00,
+// the 32-hex trace-id / 16-hex parent-id fields, and the sampled flag
+// (always set on mint; incoming flags are preserved but not interpreted —
+// tail sampling happens at trace retention, not at the edge).
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext carries the W3C trace-id and span-id pair for one request.
+// The zero value means "no trace context".
+type TraceContext struct {
+	// TraceID is the 32-char lowercase hex trace identifier shared by every
+	// span in the trace.
+	TraceID string `json:"traceId"`
+	// SpanID is the 16-char lowercase hex identifier of the current span
+	// (the caller's span when found in an incoming header).
+	SpanID string `json:"spanId"`
+}
+
+// Valid reports whether both IDs have the spec'd shape and are non-zero.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Header renders the traceparent header value (version 00, sampled).
+func (tc TraceContext) Header() string {
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// Child returns a context with the same trace ID and a freshly minted span
+// ID — the server-side span that joins the caller's trace.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: newHexID(8)}
+}
+
+// NewTraceContext mints a new root trace context with random IDs.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: newHexID(16), SpanID: newHexID(8)}
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version (per spec, future versions must stay parseable as version 00 for
+// the first four fields) and rejects all-zero IDs.
+func ParseTraceparent(v string) (TraceContext, error) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("traceparent: want 4 fields, got %d", len(parts))
+	}
+	if len(parts[0]) != 2 || !isHex(parts[0]) || parts[0] == "ff" {
+		return TraceContext{}, fmt.Errorf("traceparent: bad version %q", parts[0])
+	}
+	tc := TraceContext{TraceID: strings.ToLower(parts[1]), SpanID: strings.ToLower(parts[2])}
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("traceparent: bad ids %q/%q", parts[1], parts[2])
+	}
+	return tc, nil
+}
+
+func newHexID(nbytes int) string {
+	b := make([]byte, nbytes)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow
+		// does, trace IDs are diagnostics, not security — degrade loudly.
+		for i := range b {
+			b[i] = 0xde
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	return strings.Trim(s, "0") != ""
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+type traceContextKey struct{}
+
+// ContextWithTraceContext attaches a trace context to ctx.
+func ContextWithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceContextKey{}, tc)
+}
+
+// TraceContextFromContext extracts the trace context, zero if absent.
+func TraceContextFromContext(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceContextKey{}).(TraceContext)
+	return tc
+}

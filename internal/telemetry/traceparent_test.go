@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceContext(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("minted context invalid: %+v", tc)
+	}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Errorf("id lengths %d/%d, want 32/16", len(tc.TraceID), len(tc.SpanID))
+	}
+	if other := NewTraceContext(); other.TraceID == tc.TraceID {
+		t.Error("two mints produced the same trace ID")
+	}
+	want := "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+	if tc.Header() != want {
+		t.Errorf("Header() = %q, want %q", tc.Header(), want)
+	}
+}
+
+func TestChildKeepsTraceID(t *testing.T) {
+	parent := NewTraceContext()
+	child := parent.Child()
+	if !child.Valid() {
+		t.Fatalf("child invalid: %+v", child)
+	}
+	if child.TraceID != parent.TraceID {
+		t.Errorf("child trace ID %q != parent %q", child.TraceID, parent.TraceID)
+	}
+	if child.SpanID == parent.SpanID {
+		t.Error("child kept the parent's span ID")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tc, err := ParseTraceparent(valid)
+	if err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if tc.TraceID != "0af7651916cd43dd8448eb211c80319c" || tc.SpanID != "b7ad6b7169203331" {
+		t.Errorf("parsed %+v", tc)
+	}
+	// Uppercase IDs are normalised to lowercase.
+	tc, err = ParseTraceparent(strings.ToUpper(valid))
+	if err != nil {
+		t.Fatalf("uppercase header rejected: %v", err)
+	}
+	if tc.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("not lowercased: %q", tc.TraceID)
+	}
+	// Future versions with extra fields still parse (spec requirement).
+	if _, err := ParseTraceparent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); err != nil {
+		t.Errorf("future version rejected: %v", err)
+	}
+
+	for _, bad := range []string{
+		"",
+		"00",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // forbidden version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span ID
+		"00-short-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01", // non-hex
+	} {
+		if _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	parsed, err := ParseTraceparent(tc.Header())
+	if err != nil {
+		t.Fatalf("own header rejected: %v", err)
+	}
+	if parsed != tc {
+		t.Errorf("round trip %+v != %+v", parsed, tc)
+	}
+}
+
+func TestTraceContextInContext(t *testing.T) {
+	if got := TraceContextFromContext(context.Background()); got.Valid() {
+		t.Errorf("empty context yielded %+v", got)
+	}
+	tc := NewTraceContext()
+	ctx := ContextWithTraceContext(context.Background(), tc)
+	if got := TraceContextFromContext(ctx); got != tc {
+		t.Errorf("round trip %+v != %+v", got, tc)
+	}
+}

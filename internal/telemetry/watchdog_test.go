@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// profileNames lists the .pprof files currently in dir.
+func profileNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pprof") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestWatchdogStallCapturesProfiles: an owner probe past the threshold
+// trips the stall edge exactly once, captures goroutine+heap profiles and
+// bumps the stall counter; recovery re-arms the edge.
+func TestWatchdogStallCapturesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	var busy atomic.Int64
+	w := NewWatchdog(reg, WatchdogConfig{
+		StallThreshold:     10 * time.Millisecond,
+		ProfileDir:         dir,
+		CaptureCooldown:    time.Nanosecond, // effectively off for this test
+		CPUProfileDuration: time.Millisecond,
+	})
+	w.SetOwnerBusy(func() time.Duration { return time.Duration(busy.Load()) })
+
+	busy.Store(int64(50 * time.Millisecond))
+	w.tick()
+	w.tick() // still stalled: edge must not re-fire
+
+	out := reg.Expose()
+	if !strings.Contains(out, "snaptask_watchdog_stalls_total 1") {
+		t.Errorf("stall counter:\n%s", out)
+	}
+	names := profileNames(t, dir)
+	var haveGoroutine, haveHeap bool
+	for _, n := range names {
+		if strings.Contains(n, "-stall-goroutine.pprof") {
+			haveGoroutine = true
+		}
+		if strings.Contains(n, "-stall-heap.pprof") {
+			haveHeap = true
+		}
+	}
+	if !haveGoroutine || !haveHeap {
+		t.Errorf("profiles in %s = %v, want goroutine+heap stall captures", dir, names)
+	}
+
+	// Recovery re-arms the edge; the next stall fires again.
+	busy.Store(0)
+	w.tick()
+	busy.Store(int64(time.Hour))
+	w.tick()
+	if out := reg.Expose(); !strings.Contains(out, "snaptask_watchdog_stalls_total 2") {
+		t.Errorf("stall edge did not re-arm:\n%s", out)
+	}
+	// CPU capture runs detached; wait for it so t.TempDir cleanup does not
+	// race the rename.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.cpuActive.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchdogCaptureCooldown: captures inside the cooldown window are
+// dropped.
+func TestWatchdogCaptureCooldown(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	w := NewWatchdog(reg, WatchdogConfig{
+		ProfileDir:         dir,
+		CaptureCooldown:    time.Hour,
+		CPUProfileDuration: time.Millisecond,
+	})
+	w.CaptureProfiles("slo_burn")
+	w.CaptureProfiles("slo_burn") // inside the cooldown: dropped
+	if out := reg.Expose(); !strings.Contains(out, `snaptask_watchdog_profiles_total{reason="slo_burn"} 1`) {
+		t.Errorf("capture counter:\n%s", out)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.cpuActive.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWatchdogRetentionBound: the profile directory never holds more than
+// MaxProfiles files; the oldest are pruned first.
+func TestWatchdogRetentionBound(t *testing.T) {
+	dir := t.TempDir()
+	w := NewWatchdog(nil, WatchdogConfig{
+		ProfileDir:  dir,
+		MaxProfiles: 4,
+	})
+	// Seed more fake profiles than the bound, in stamp order.
+	for i := 0; i < 9; i++ {
+		name := filepath.Join(dir, strings.Repeat("0", 19)+string(rune('1'+i))+"-stall-goroutine.pprof")
+		if err := os.WriteFile(name, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.captureMu.Lock()
+	w.prune()
+	w.captureMu.Unlock()
+	names := profileNames(t, dir)
+	if len(names) != 4 {
+		t.Fatalf("retained %d profiles, want 4: %v", len(names), names)
+	}
+	// The newest (lexically greatest) stamps survive.
+	for _, n := range names {
+		if n < strings.Repeat("0", 19)+"6" {
+			t.Errorf("old profile %s survived pruning", n)
+		}
+	}
+}
+
+// TestWatchdogNoProfileDir: capture is a no-op without a directory.
+func TestWatchdogNoProfileDir(t *testing.T) {
+	reg := NewRegistry()
+	w := NewWatchdog(reg, WatchdogConfig{})
+	w.CaptureProfiles("stall")
+	if out := reg.Expose(); strings.Contains(out, `snaptask_watchdog_profiles_total{reason="stall"}`) {
+		t.Errorf("capture counted without a profile dir:\n%s", out)
+	}
+}
+
+// TestWatchdogStartStop: Start/Stop tear down cleanly, Stop without Start
+// is a no-op, and a nil watchdog no-ops everywhere.
+func TestWatchdogStartStop(t *testing.T) {
+	w := NewWatchdog(nil, WatchdogConfig{Interval: time.Millisecond})
+	evaluated := make(chan struct{}, 1)
+	w.AddHook(func() {
+		select {
+		case evaluated <- struct{}{}:
+		default:
+		}
+	})
+	w.Start()
+	select {
+	case <-evaluated:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hook never ran")
+	}
+	w.Stop()
+	w.Stop() // idempotent
+
+	unstarted := NewWatchdog(nil, WatchdogConfig{})
+	unstarted.Stop() // must not hang
+
+	var nilW *Watchdog
+	nilW.Start()
+	nilW.Stop()
+	nilW.SetOwnerBusy(nil)
+	nilW.AddHook(func() {})
+	nilW.CaptureProfiles("x")
+}
+
+// TestWatchdogRuntimeGauges: the runtime gauge family is present and
+// plausible on a registry scrape.
+func TestWatchdogRuntimeGauges(t *testing.T) {
+	reg := NewRegistry()
+	NewWatchdog(reg, WatchdogConfig{})
+	out := reg.Expose()
+	for _, name := range []string{
+		"snaptask_runtime_goroutines",
+		"snaptask_runtime_heap_alloc_bytes",
+		"snaptask_runtime_heap_objects",
+		"snaptask_runtime_gc_cycles_total",
+		"snaptask_runtime_gc_pause_last_seconds",
+		"snaptask_watchdog_owner_busy_seconds",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	// Goroutines gauge must be a live positive number.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "snaptask_runtime_goroutines ") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("goroutine gauge reads zero: %q", line)
+			}
+		}
+	}
+}

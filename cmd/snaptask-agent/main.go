@@ -19,13 +19,16 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"net/http"
 	"os"
+	"time"
 
 	"snaptask/internal/camera"
 	"snaptask/internal/client"
 	"snaptask/internal/core"
 	"snaptask/internal/crowd"
 	"snaptask/internal/events"
+	"snaptask/internal/loadgen"
 	"snaptask/internal/server"
 	"snaptask/internal/telemetry"
 	"snaptask/internal/venue"
@@ -51,6 +54,10 @@ func run(args []string) error {
 		"simulated workers; each registers with the dispatcher and claims tasks under leases (0 = legacy anonymous GET /v1/task loop)")
 	crashProb := fs.Float64("crash", 0,
 		"per-claim probability a worker vanishes mid-lease without heartbeating, exercising expiry requeue")
+	think := fs.Duration("think", 0,
+		"median heavy-tail think time, resampled every loop iteration (0 = fixed 50ms idle poll)")
+	thinkSigma := fs.Float64("think-sigma", 1.0,
+		"lognormal spread of -think (1.0 gives a ~7x p99/median ratio)")
 	tailEvents := fs.Bool("events", false,
 		"tail the server's campaign event stream (GET /v1/events) while running; requires snaptask-server -journal")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -88,9 +95,16 @@ func run(args []string) error {
 			slog.String("trace_id", info.TraceID))
 	}
 	walkMap := v.WalkMap(gt)
-	newAgent := func(crash float64) *client.Agent {
+	// A heavy-tailed think time is resampled every loop iteration, so one
+	// worker's slow stretch does not pin it slow for the whole run.
+	var thinkFn func(*rand.Rand) time.Duration
+	if *think > 0 {
+		tt := loadgen.ThinkTime{Median: *think, Sigma: *thinkSigma, Max: 20 * *think}
+		thinkFn = tt.Sample
+	}
+	newAgent := func(c *client.Client, crash float64) *client.Agent {
 		return &client.Agent{
-			Client: cl,
+			Client: c,
 			Worker: &crowd.GuidedWorker{
 				World:      world,
 				Venue:      v,
@@ -101,9 +115,10 @@ func run(args []string) error {
 			Venue:     v,
 			WalkMap:   walkMap,
 			CrashProb: crash,
+			Think:     thinkFn,
 		}
 	}
-	agent := newAgent(*crashProb)
+	agent := newAgent(cl, *crashProb)
 
 	if *tailEvents {
 		// Log each lifecycle event as the server journals it, concurrently
@@ -162,8 +177,16 @@ func run(args []string) error {
 			slog.Int("photos_uploaded", stats.PhotosUploaded),
 			slog.Bool("covered", stats.Covered))
 	} else {
-		factory := func() *client.Agent { return newAgent(*crashProb) }
-		if err := runFleet(logger, cl, factory, *workers, *maxTasks, *agentSeed); err != nil {
+		// Each fleet worker gets its own client.Client (sharing one
+		// http.Client's connection pool) so 429 retries and sheds
+		// attribute to the worker that suffered them.
+		hc := &http.Client{}
+		factory := func() *client.Agent {
+			wc := client.New(*serverURL, hc)
+			wc.OnRequest = cl.OnRequest
+			return newAgent(wc, *crashProb)
+		}
+		if err := runFleet(logger, factory, *workers, *maxTasks, *agentSeed); err != nil {
 			return err
 		}
 	}
@@ -183,14 +206,17 @@ func run(args []string) error {
 }
 
 // runFleet registers n workers with the dispatcher and runs each one's
-// lease-aware claim loop concurrently, each with its own simulated body and
-// behaviour seed. Per-worker stats are logged as each finishes; the first
-// worker error (if any) is returned after all have stopped.
-func runFleet(logger *slog.Logger, cl *client.Client, newAgent func() *client.Agent, n, maxTasks int, agentSeed int64) error {
+// lease-aware claim loop concurrently, each with its own simulated body,
+// behaviour seed and HTTP client (so shed/retry counts attribute to the
+// worker that suffered them). Per-worker stats — including 429 retries and
+// residual sheds — are logged as each finishes; the first worker error (if
+// any) is returned after all have stopped.
+func runFleet(logger *slog.Logger, newAgent func() *client.Agent, n, maxTasks int, agentSeed int64) error {
 	type result struct {
-		id    string
-		stats client.AgentStats
-		err   error
+		id      string
+		stats   client.AgentStats
+		retried uint64
+		err     error
 	}
 	results := make(chan result, n)
 	for i := 0; i < n; i++ {
@@ -198,7 +224,7 @@ func runFleet(logger *slog.Logger, cl *client.Client, newAgent func() *client.Ag
 		wrng := rand.New(rand.NewSource(agentSeed + int64(i)))
 		go func() {
 			pos := a.Worker.Pos
-			reg, err := cl.RegisterWorker(server.RegisterWorkerRequest{
+			reg, err := a.Client.RegisterWorker(server.RegisterWorkerRequest{
 				X: pos.X, Y: pos.Y, HasLoc: true,
 			})
 			if err != nil {
@@ -206,10 +232,11 @@ func runFleet(logger *slog.Logger, cl *client.Client, newAgent func() *client.Ag
 				return
 			}
 			stats, err := a.RunWorker(reg.ID, maxTasks, wrng)
-			results <- result{id: reg.ID, stats: stats, err: err}
+			results <- result{id: reg.ID, stats: stats, retried: a.Client.Retried429(), err: err}
 		}()
 	}
 	var firstErr error
+	var totalSheds, totalRetried uint64
 	for i := 0; i < n; i++ {
 		r := <-results
 		if r.err != nil {
@@ -217,6 +244,15 @@ func runFleet(logger *slog.Logger, cl *client.Client, newAgent func() *client.Ag
 				firstErr = r.err
 			}
 			continue
+		}
+		totalSheds += uint64(r.stats.Sheds)
+		totalRetried += r.retried
+		// shed_rate is residual sheds per claim-loop attempt: how often the
+		// backend's backpressure actually cost this worker an iteration.
+		attempts := r.stats.Claims + r.stats.Sheds
+		var shedRate float64
+		if attempts > 0 {
+			shedRate = float64(r.stats.Sheds) / float64(attempts)
 		}
 		logger.Info("worker done",
 			slog.String("worker", r.id),
@@ -226,7 +262,15 @@ func runFleet(logger *slog.Logger, cl *client.Client, newAgent func() *client.Ag
 			slog.Int("crashes", r.stats.Crashes),
 			slog.Int("lost_leases", r.stats.LostLeases),
 			slog.Int("duplicates", r.stats.Duplicates),
+			slog.Int("sheds", r.stats.Sheds),
+			slog.Uint64("retried_429", r.retried),
+			slog.Float64("shed_rate", shedRate),
 			slog.Bool("covered", r.stats.Covered))
+	}
+	if totalSheds > 0 || totalRetried > 0 {
+		logger.Info("fleet backpressure",
+			slog.Uint64("sheds", totalSheds),
+			slog.Uint64("retried_429", totalRetried))
 	}
 	return firstErr
 }

@@ -93,6 +93,8 @@ type bench struct {
 	restartGate  string
 	overheadOut  string
 	overheadGate float64
+	loadOut      string
+	loadGate     string
 	log          *slog.Logger
 
 	// lazily computed shared artefacts
@@ -117,6 +119,9 @@ func run(args []string) error {
 	overheadOut := fs.String("overhead-out", "", "write the overhead experiment's JSON report to this file")
 	overheadGate := fs.Float64("overhead-gate", 0,
 		"regression gate: fail the overhead experiment when the instrumented-ingest overhead exceeds this fraction (e.g. 0.02 = the 2% budget in EXPERIMENTS.md); 0 disables")
+	loadOut := fs.String("load-out", "", "write the load experiment's JSON report to this file")
+	loadGate := fs.String("load-gate", "",
+		"regression gate: compare the load experiment against this committed BENCH_load.json and fail when steady upload/locate corrected p99 exceeds 2x the committed value, a steady campaign achieves <90% of offered QPS, harness and server p99 disagree, or the overload campaign fails to shed / flip /v1/slo to burning")
 	metricsDoc := fs.String("metrics-doc", "",
 		"write the generated metric catalogue (docs/METRICS.md) to this file and exit")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
@@ -142,7 +147,8 @@ func run(args []string) error {
 
 	b := &bench{seed: *seed, quick: *quick, ingestOut: *ingestOut, ingestGate: *ingestGate,
 		restartOut: *restartOut, restartGate: *restartGate,
-		overheadOut: *overheadOut, overheadGate: *overheadGate, log: logger}
+		overheadOut: *overheadOut, overheadGate: *overheadGate,
+		loadOut: *loadOut, loadGate: *loadGate, log: logger}
 	var v *venue.Venue
 	if *quick {
 		v, err = venue.SmallRoom()
@@ -178,6 +184,7 @@ func run(args []string) error {
 		"ingest":           b.ingest,
 		"restart":          b.restart,
 		"overhead":         b.overhead,
+		"load":             b.load,
 	}
 	order := []string{
 		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",

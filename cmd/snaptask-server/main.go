@@ -17,6 +17,14 @@
 // runtime watchdog write goroutine/heap/CPU profiles there when the owner
 // path stalls (-stall-threshold) or an SLO burns fast.
 //
+// Admission control keeps overload observable and survivable: -max-queue
+// bounds the owner-path queue (excess requests are shed with 429 +
+// Retry-After instead of convoying on the lock), -rate-limit/-rate-burst
+// token-bucket-limit each worker, -max-body-bytes caps uploads, and
+// -write-timeout arms per-response deadlines against slow clients. Sheds
+// are counted in snaptask_requests_shed_total{cause}, retained as error
+// traces, and coalesced onto the event bus as load_shed events.
+//
 // Pass -journal campaign.jsonl to record every campaign lifecycle
 // transition to an append-only JSONL journal: GET /v1/events streams the
 // feed live over SSE (resumable via Last-Event-ID), GET /v1/progress serves
@@ -113,6 +121,16 @@ func run(ctx context.Context, args []string) error {
 		"runtime watchdog tick: gauge refresh and owner-path stall probing")
 	stallThreshold := fs.Duration("stall-threshold", 5*time.Second,
 		"owner lock held longer than this counts as a stall and triggers a profile capture")
+	maxQueue := fs.Int("max-queue", 256,
+		"bounded owner-path admission queue: requests beyond this many waiting for (or holding) the owner lock are shed with 429 + Retry-After; 0 disables the bound")
+	rateLimit := fs.Float64("rate-limit", 0,
+		"per-worker token-bucket rate limit in requests/second (429 + Retry-After beyond it); 0 disables rate limiting")
+	rateBurst := fs.Float64("rate-burst", 0,
+		"token-bucket burst size; 0 defaults to max(1, -rate-limit)")
+	maxBodyBytes := fs.Int64("max-body-bytes", 8<<20,
+		"request body size cap (413 beyond it); 0 disables the cap")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second,
+		"per-response write deadline against slow-reading clients (SSE streams are exempt); 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,6 +182,13 @@ func run(ctx context.Context, args []string) error {
 		server.WithTelemetry(tel),
 		server.WithSLO(sloT),
 		server.WithWatchdog(wd),
+		server.WithAdmission(server.AdmissionConfig{
+			MaxQueue:     *maxQueue,
+			RatePerSec:   *rateLimit,
+			RateBurst:    *rateBurst,
+			MaxBodyBytes: *maxBodyBytes,
+			WriteTimeout: *writeTimeout,
+		}),
 		server.WithDispatch(dispatch.New(dispatch.Config{
 			LeaseTTL: *leaseTTL,
 			Budget:   *incentiveBudget,

@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// fold ignores them (restart determinism), so the tail counts them
 	// locally to surface burns in the live summary.
 	sloBurns := 0
+	sheds := 0
 	covered := errors.New("campaign covered") // sentinel to unwind the tail
 	// The summary line is rewritten in place on a terminal-ish stream; each
 	// event also moves the cursor, so plain redirection still yields one
@@ -67,11 +68,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			if e.Kind == events.KindSLOBurn && e.Burning {
 				sloBurns++
 			}
+			if e.Kind == events.KindLoadShed {
+				// Coalesced: one event carries Count sheds.
+				sheds += e.Count
+			}
 			if *perEvent {
 				fmt.Fprintf(out, "%s seq=%d kind=%s%s\n",
 					e.T.Format(time.RFC3339), e.Seq, e.Kind, eventDetail(e))
 			} else {
-				fmt.Fprintf(out, "\r\033[K%s", summaryLine(camp.Counters(), sloBurns))
+				fmt.Fprintf(out, "\r\033[K%s", summaryLine(camp.Counters(), sloBurns, sheds))
 			}
 			if *exitCovered && camp.Counters().Covered {
 				return covered
@@ -104,9 +109,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 }
 
-// summaryLine renders the one-line campaign summary. sloBurns is tallied
-// by the tail itself (burn events are not folded into campaign counters).
-func summaryLine(c events.Counters, sloBurns int) string {
+// summaryLine renders the one-line campaign summary. sloBurns and sheds
+// are tallied by the tail itself (burn and load_shed events are not folded
+// into campaign counters).
+func summaryLine(c events.Counters, sloBurns, sheds int) string {
 	state := "mapping"
 	if c.Covered {
 		state = "covered"
@@ -121,6 +127,9 @@ func summaryLine(c events.Counters, sloBurns int) string {
 		c.WorkersRegistered, c.TasksClaimed, c.LeasesExpired, c.TasksRequeued, c.LastSeq)
 	if sloBurns > 0 {
 		line += fmt.Sprintf(" | slo burns=%d", sloBurns)
+	}
+	if sheds > 0 {
+		line += fmt.Sprintf(" | shed=%d", sheds)
 	}
 	return line
 }
@@ -160,6 +169,9 @@ func eventDetail(e events.Event) string {
 		}
 		return fmt.Sprintf(" endpoint=%s state=%s severity=%s burn=%.1f",
 			e.Endpoint, state, e.Severity, e.BurnRate)
+	case events.KindLoadShed:
+		return fmt.Sprintf(" endpoint=%s cause=%s count=%d",
+			e.Endpoint, e.Cause, e.Count)
 	default:
 		return ""
 	}

@@ -12,7 +12,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"snaptask/internal/annotation"
@@ -45,6 +47,12 @@ type Client struct {
 	// correlation IDs before it is sent (the agent logs them). Must be
 	// safe for concurrent use if the client is shared across goroutines.
 	OnRequest func(RequestInfo)
+	// MaxRetries429 bounds how many times an idempotent request (claim,
+	// locate, heartbeat) is retried after a 429 before the error is
+	// surfaced. 0 uses the default (3); negative disables retrying.
+	MaxRetries429 int
+
+	retried atomic.Uint64
 }
 
 // New returns a client for the backend at baseURL (e.g.
@@ -102,6 +110,10 @@ func (c *Client) postJSON(path string, in, out any) error {
 	if err != nil {
 		return fmt.Errorf("client: marshal %s: %w", path, err)
 	}
+	return c.postBytes(path, payload, out)
+}
+
+func (c *Client) postBytes(path string, payload []byte, out any) error {
 	resp, err := c.do(http.MethodPost, path, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("client: POST %s: %w", path, err)
@@ -112,15 +124,82 @@ func (c *Client) postJSON(path string, in, out any) error {
 		return fmt.Errorf("client: read %s: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return &APIError{Status: resp.StatusCode, Body: string(body)}
+		return &APIError{
+			Status:     resp.StatusCode,
+			Body:       string(body),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	return json.Unmarshal(body, out)
+}
+
+// postJSONIdempotent is postJSON for requests that are safe to repeat
+// (claim, locate, heartbeat): when the server sheds with 429, the client
+// honours Retry-After with jitter and retries up to MaxRetries429 times
+// before surfacing the error, counting each retry in Retried429. Shed
+// responses are backpressure, not failures — an agent fleet that treated
+// the first 429 as fatal would collapse exactly when the server asks it to
+// slow down.
+func (c *Client) postJSONIdempotent(path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: marshal %s: %w", path, err)
+	}
+	retries := c.MaxRetries429
+	if retries == 0 {
+		retries = 3
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.postBytes(path, payload, out)
+		var apiErr *APIError
+		if err == nil || attempt >= retries ||
+			!errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+			return err
+		}
+		c.retried.Add(1)
+		time.Sleep(backoff(apiErr.RetryAfter, attempt))
+	}
+}
+
+// Retried429 returns how many requests this client has re-sent after a 429
+// (across all goroutines sharing it).
+func (c *Client) Retried429() uint64 { return c.retried.Load() }
+
+// backoff derives the post-429 sleep: the server's Retry-After when it sent
+// one (jittered to 50–100% so a shed burst does not retry in lockstep),
+// otherwise a jittered exponential fallback from 100ms.
+func backoff(retryAfter time.Duration, attempt int) time.Duration {
+	base := retryAfter
+	if base <= 0 {
+		base = 100 * time.Millisecond << uint(attempt)
+	}
+	if base > 10*time.Second {
+		base = 10 * time.Second
+	}
+	half := base / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value ("" or
+// malformed yields 0; HTTP-date form is not produced by this backend).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // APIError is a non-200 backend response.
 type APIError struct {
 	Status int
 	Body   string
+	// RetryAfter is the parsed Retry-After header of a 429 shed response
+	// (0 when absent).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -195,7 +274,7 @@ func (c *Client) RegisterWorker(req server.RegisterWorkerRequest) (server.Regist
 // extending its active lease.
 func (c *Client) Heartbeat(workerID string) (server.HeartbeatResponse, error) {
 	var resp server.HeartbeatResponse
-	err := c.postJSON("/v1/workers/"+workerID+"/heartbeat", struct{}{}, &resp)
+	err := c.postJSONIdempotent("/v1/workers/"+workerID+"/heartbeat", struct{}{}, &resp)
 	return resp, err
 }
 
@@ -208,7 +287,7 @@ func (c *Client) Claim(workerID string, pos *geom.Vec2) (Task, bool, error) {
 		req.X, req.Y, req.HasLoc = pos.X, pos.Y, true
 	}
 	var resp server.ClaimResponse
-	if err := c.postJSON("/v1/task/claim", req, &resp); err != nil {
+	if err := c.postJSONIdempotent("/v1/task/claim", req, &resp); err != nil {
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound &&
 			!strings.Contains(apiErr.Body, "unknown worker") {
@@ -296,7 +375,7 @@ func (c *Client) UploadAnnotations(task Task, atask annotation.Task, anns []anno
 // paper's image-based positioning service).
 func (c *Client) Locate(photo camera.Photo) (server.LocateResponse, error) {
 	var resp server.LocateResponse
-	err := c.postJSON("/v1/locate", server.LocateRequest{Photo: server.PhotoToDTO(photo)}, &resp)
+	err := c.postJSONIdempotent("/v1/locate", server.LocateRequest{Photo: server.PhotoToDTO(photo)}, &resp)
 	return resp, err
 }
 
@@ -333,6 +412,12 @@ type Agent struct {
 	// Poll is the idle wait between claim attempts when no task is
 	// pending (RunWorker; default 50ms).
 	Poll time.Duration
+	// Think, when set, is sampled once per loop iteration for the pause
+	// after a completed task and for idle waits, instead of the fixed
+	// Poll. Sampling per iteration (rather than fixing one delay per
+	// worker) keeps a fleet's arrival process heavy-tailed the way real
+	// participants are, instead of converging to n synchronized loops.
+	Think func(rng *rand.Rand) time.Duration
 	// MaxIdle bounds consecutive empty claim attempts before RunWorker
 	// gives up (default 40).
 	MaxIdle int
@@ -350,6 +435,10 @@ type AgentStats struct {
 	Crashes    int
 	LostLeases int
 	Duplicates int
+	// Sheds counts requests the backend refused with 429 even after the
+	// client's Retry-After backoff; the worker pauses and carries on
+	// rather than treating backpressure as failure.
+	Sheds int
 }
 
 // Run executes tasks until the venue is covered, no tasks remain, or
@@ -415,15 +504,34 @@ func (a *Agent) RunWorker(workerID string, maxTasks int, rng *rand.Rand) (AgentS
 	if maxIdle <= 0 {
 		maxIdle = 40
 	}
+	// pause is the inter-iteration wait: a fresh heavy-tail sample each
+	// time when Think is set, else the fixed Poll.
+	pause := func() time.Duration {
+		if a.Think != nil {
+			return a.Think(rng)
+		}
+		return poll
+	}
 	idle := 0
 	for done := 0; done < maxTasks; {
 		pos := a.Worker.Pos
 		task, ok, err := a.Client.Claim(workerID, &pos)
 		if err != nil {
 			var apiErr *APIError
-			if errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict {
+			switch {
+			case errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict:
 				// Incentive budget exhausted: no more paid work for us.
 				return stats, nil
+			case errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests:
+				// Still shed after the client's own Retry-After retries:
+				// back off like an idle worker instead of dying.
+				stats.Sheds++
+				idle++
+				if idle >= maxIdle {
+					return stats, nil
+				}
+				time.Sleep(pause())
+				continue
 			}
 			return stats, err
 		}
@@ -432,7 +540,7 @@ func (a *Agent) RunWorker(workerID string, maxTasks int, rng *rand.Rand) (AgentS
 			if idle >= maxIdle {
 				return stats, nil
 			}
-			time.Sleep(poll)
+			time.Sleep(pause())
 			continue
 		}
 		if task.Covered {
@@ -447,7 +555,14 @@ func (a *Agent) RunWorker(workerID string, maxTasks int, rng *rand.Rand) (AgentS
 			continue
 		}
 		if _, err := a.Client.Heartbeat(workerID); err != nil {
-			return stats, err
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+				// A shed heartbeat just risks lease expiry — the lost-lease
+				// path below already absorbs that. Keep working.
+				stats.Sheds++
+			} else {
+				return stats, err
+			}
 		}
 		switch task.Kind {
 		case taskgen.KindPhoto:
@@ -490,6 +605,9 @@ func (a *Agent) RunWorker(workerID string, maxTasks int, rng *rand.Rand) (AgentS
 			}
 			stats.AnnotationTasks++
 			stats.PhotosUploaded += len(atask.Photos)
+		}
+		if a.Think != nil {
+			time.Sleep(a.Think(rng))
 		}
 	}
 	return stats, nil

@@ -1,0 +1,201 @@
+// Package loadgen is an open-loop load harness for SnapTask servers.
+//
+// Open-loop means arrivals are decoupled from responses: a pacer emits
+// operations on a fixed schedule (constant or Poisson) regardless of how
+// fast the server answers, and every operation's latency is measured from
+// its *intended* start time, not from when a free worker finally sent it.
+// That is the coordinated-omission correction: when the server stalls, the
+// queued operations accumulate the stall in their recorded latency instead
+// of silently disappearing from the sample, which is exactly the error a
+// closed-loop "N workers in a loop" harness makes.
+//
+// Latencies are recorded into mergeable HDR-style histograms so per-run,
+// per-campaign and per-endpoint distributions can be combined without
+// losing tail resolution.
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-linear, HdrHistogram style: each power-of-two range
+// is split into 2^subBits equal sub-buckets, giving a bounded relative
+// error of 2^-subBits (~3%) at every magnitude from 1ns to ~9.2s*10^9.
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits
+	// Values are int64 nanoseconds: the highest magnitude block starts at
+	// msb 62, so indexes never exceed (62-subBits+1)*subBuckets + subBuckets.
+	numBuckets = (63-subBits)*subBuckets + subBuckets
+)
+
+// bucketIndex maps a non-negative value to its log-linear bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	msb := bits.Len64(u) - 1
+	shift := uint(msb - subBits)
+	return int((uint64(msb-subBits)+1)<<subBits) + int((u>>shift)-subBuckets)
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	block := i >> subBits
+	off := int64(i & (subBuckets - 1))
+	shift := uint(block - 1)
+	return (subBuckets + off) << shift
+}
+
+// bucketMid returns the midpoint of bucket i — the value reported for
+// quantiles landing in it (bounded ~3% error either way).
+func bucketMid(i int) int64 {
+	lo := bucketLow(i)
+	var hi int64
+	if i+1 < numBuckets {
+		hi = bucketLow(i+1) - 1
+	} else {
+		hi = math.MaxInt64
+	}
+	return lo + (hi-lo)/2
+}
+
+// Histogram is a lock-free, mergeable latency histogram. Concurrent
+// Record calls are safe; Quantile/Merge/Snapshot see a (possibly slightly
+// stale) consistent-enough view, which is fine for progress rendering and
+// exact at quiescence.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest recorded observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of recorded observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Quantile returns the latency at quantile q in [0,1]: the midpoint of the
+// bucket holding the ceil(q*count)-th observation (the max for q=1 when it
+// lands in the top occupied bucket). Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	if target == total {
+		// The last observation is the max itself — report it exactly.
+		return time.Duration(h.max.Load())
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			mid := bucketMid(i)
+			if m := h.max.Load(); mid > m {
+				mid = m
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Merge folds o into h (h += o). o is read with atomic loads, so merging a
+// still-recording histogram yields a valid point-in-time-ish view.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < numBuckets; i++ {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		m := h.max.Load()
+		if om <= m || h.max.CompareAndSwap(m, om) {
+			break
+		}
+	}
+}
+
+// Quantiles is the standard tail summary exported in reports, in
+// milliseconds (float for sub-ms resolution).
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+	P999  float64 `json:"p999_ms"`
+	Mean  float64 `json:"mean_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// Summary extracts the standard quantile set.
+func (h *Histogram) Summary() Quantiles {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Quantiles{
+		Count: h.Count(),
+		P50:   ms(h.Quantile(0.50)),
+		P95:   ms(h.Quantile(0.95)),
+		P99:   ms(h.Quantile(0.99)),
+		P999:  ms(h.Quantile(0.999)),
+		Mean:  ms(h.Mean()),
+		Max:   ms(h.Max()),
+	}
+}

@@ -1,0 +1,151 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastOp(status int) func(context.Context, int, *rand.Rand) OpResult {
+	return func(context.Context, int, *rand.Rand) OpResult {
+		return OpResult{Status: status}
+	}
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Workers:  4,
+		Arrivals: Constant{PerSec: 2000},
+		Duration: 200 * time.Millisecond,
+		Seed:     1,
+		Ops: []OpSpec{
+			{Name: "ok", Weight: 1, Do: fastOp(200)},
+			{Name: "shed", Weight: 1, Do: fastOp(429)},
+			{Name: "err", Weight: 1, Do: fastOp(500)},
+			{Name: "notask", Weight: 1, Do: fastOp(404)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done == 0 || res.Done != res.Offered-res.Unsent {
+		t.Fatalf("done=%d offered=%d unsent=%d", res.Done, res.Offered, res.Unsent)
+	}
+	if n := res.Endpoints["ok"].OK.Load(); n != res.Endpoints["ok"].Done.Load() || n == 0 {
+		t.Fatalf("ok endpoint misclassified: %d ok of %d", n, res.Endpoints["ok"].Done.Load())
+	}
+	if n := res.Endpoints["shed"].Shed.Load(); n != res.Endpoints["shed"].Done.Load() {
+		t.Fatalf("429 not counted as shed")
+	}
+	if n := res.Endpoints["err"].Errors.Load(); n != res.Endpoints["err"].Done.Load() {
+		t.Fatalf("500 not counted as error")
+	}
+	// Expected 4xx (claim's no-task 404) is ok, not an error.
+	if n := res.Endpoints["notask"].OK.Load(); n != res.Endpoints["notask"].Done.Load() {
+		t.Fatalf("404 not counted as ok")
+	}
+	if res.Achieved <= 0 || res.OfferedRate != 2000 {
+		t.Fatalf("rates achieved=%v offered=%v", res.Achieved, res.OfferedRate)
+	}
+}
+
+// TestCoordinatedOmissionCorrection is the core property of the harness:
+// when the server stalls, intended-start-time latencies must absorb the
+// stall (arrivals kept coming) even though per-request service time looks
+// innocent. A closed-loop harness would report ~stall/#requests here.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	const stall = 300 * time.Millisecond
+	var first atomic.Bool
+	first.Store(true)
+	op := func(ctx context.Context, _ int, _ *rand.Rand) OpResult {
+		if first.CompareAndSwap(true, false) {
+			sleepCtx(ctx, stall) // one long stall at the start
+		}
+		return OpResult{Status: 200}
+	}
+	res, err := Run(context.Background(), Config{
+		Workers:  1, // single worker so the stall blocks the whole fleet
+		Arrivals: Constant{PerSec: 100},
+		Duration: 400 * time.Millisecond,
+		Seed:     2,
+		Ops:      []OpSpec{{Name: "upload", Weight: 1, Do: op}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Endpoints["upload"]
+	if st.Done.Load() < 20 {
+		t.Fatalf("only %d ops done", st.Done.Load())
+	}
+	// Corrected p95: most arrivals during the stall waited a large chunk
+	// of it. Service p95 stays tiny (each op after the first is instant).
+	corrected := st.Corrected.Quantile(0.95)
+	service := st.Service.Quantile(0.95)
+	if corrected < stall/4 {
+		t.Fatalf("corrected p95 %v did not absorb the %v stall", corrected, stall)
+	}
+	if service > stall/4 {
+		t.Fatalf("service p95 %v unexpectedly large", service)
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err := Run(ctx, Config{
+		Workers:  2,
+		Arrivals: Constant{PerSec: 10},
+		Duration: time.Hour,
+		Seed:     3,
+		Ops:      []OpSpec{{Name: "x", Weight: 1, Do: fastOp(200)}},
+	})
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the run promptly")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Workers: 1},
+		{Workers: 1, Arrivals: Constant{PerSec: 1}},
+		{Workers: 1, Arrivals: Constant{PerSec: 1}, Duration: time.Second},
+		{Workers: 1, Arrivals: Constant{PerSec: 1}, Duration: time.Second,
+			Ops: []OpSpec{{Name: "x", Weight: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Run(context.Background(), Config{
+		Workers:          2,
+		Arrivals:         Poisson{PerSec: 500},
+		Duration:         250 * time.Millisecond,
+		Seed:             4,
+		ProgressInterval: 50 * time.Millisecond,
+		OnProgress: func(p Progress) {
+			calls.Add(1)
+			if p.Elapsed <= 0 {
+				t.Error("progress with zero elapsed")
+			}
+		},
+		Ops: []OpSpec{{Name: "x", Weight: 1, Do: fastOp(200)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("progress callback never fired")
+	}
+}

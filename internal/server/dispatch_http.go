@@ -101,6 +101,9 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 // in-flight batch.
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if !s.rateAdmit(w, r, "heartbeat", id) {
+		return
+	}
 	deadline, active, err := s.disp.Heartbeat(id)
 	if err != nil {
 		writeError(w, leaseErrorStatus(err), err)
@@ -144,11 +147,18 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 		p := geom.V2(req.X, req.Y)
 		pos = &p
 	}
-	// Claims pop the shared task queue, so they run on the owner path.
+	// Claims pop the shared task queue, so they run on the owner path —
+	// through admission control when configured (rate limit, then the
+	// bounded queue; a shed answers 429 + Retry-After before the lock).
 	sp := tr.Span("claim.lock")
-	s.mu.Lock()
+	release, ok := s.ownerAdmit(w, r, "claim", req.WorkerID)
 	sp.End()
-	defer s.mu.Unlock()
+	if !ok {
+		s.claimResult("shed")
+		tr.SetError(errors.New("claim shed by admission control"))
+		return
+	}
+	defer release()
 	if s.sys.Covered() {
 		s.claimResult("covered")
 		writeJSON(w, http.StatusOK, ClaimResponse{Task: TaskDTO{Covered: true}})

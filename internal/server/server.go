@@ -276,6 +276,11 @@ type Server struct {
 	disp  *dispatch.Dispatcher
 	dispM *telemetry.DispatchMetrics
 
+	// Admission control (nil unless WithAdmission): bounded owner-path
+	// queue, per-worker rate limiting, body caps and write deadlines.
+	admCfg *AdmissionConfig
+	adm    *admission
+
 	// Campaign event log (nil when the server runs without one). replaying
 	// is set while New folds a pre-existing journal into the campaign
 	// aggregate; /readyz reports not-ready until it clears. sseHeartbeat
@@ -318,6 +323,16 @@ func WithDispatch(d *dispatch.Dispatcher) Option {
 // event bus (when one is configured).
 func WithSLO(t *slo.Tracker) Option {
 	return func(s *Server) { s.sloT = t }
+}
+
+// WithAdmission wires admission control into the server: the owner path
+// gets a bounded queue (excess sheds with 429 + Retry-After), workers get
+// token-bucket rate limits, request bodies are capped and responses carry
+// write deadlines. Every rejection shows up in
+// snaptask_requests_shed_total{cause}, as an error-retained trace, and as
+// a coalesced load_shed event on the bus.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.admCfg = &cfg }
 }
 
 // WithWatchdog wires a runtime watchdog into the server: New points its
@@ -407,6 +422,18 @@ func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
 		}); err != nil {
 			return nil, fmt.Errorf("server: dispatch restore: %w", err)
 		}
+	}
+	if s.admCfg != nil {
+		var (
+			reg    *telemetry.Registry
+			tracer *telemetry.Tracer
+			logger *slog.Logger
+		)
+		if s.tel != nil {
+			reg, tracer, logger = s.tel.Registry, s.tel.Tracer, s.tel.Logger
+		}
+		s.adm = newAdmission(*s.admCfg, telemetry.NewAdmissionMetrics(reg),
+			tracer, logger, s.evlog)
 	}
 	s.locateSalt = uint64(rng.Int63())
 	s.publishLocked()
@@ -580,13 +607,28 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// rejectDecode answers a failed request-body decode: an oversized body
+// (the admission body cap) is a body_limit shed with 413, anything else a
+// plain 400.
+func (s *Server) rejectDecode(w http.ResponseWriter, r *http.Request, endpoint string, err error) {
+	var mbe *http.MaxBytesError
+	if s.adm != nil && errors.As(err, &mbe) {
+		s.adm.shedBody(w, r, endpoint)
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+}
+
 // handleTask is the deprecated anonymous-compat path: it PEEKS at the next
 // pending task without removing it — POST /v1/task/claim owns assignment
 // now. The task leaves the queue when its upload arrives (TakeTask) or when
 // a registered worker claims it.
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, ok := s.ownerAdmit(w, r, "task", "")
+	if !ok {
+		return
+	}
+	defer release()
 	if s.sys.Covered() {
 		writeJSON(w, http.StatusOK, TaskDTO{Covered: true})
 		return
@@ -649,9 +691,10 @@ func PhotoToDTO(p camera.Photo) PhotoDTO {
 }
 
 func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
+	s.adm.limitBody(w, r)
 	var req UploadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		s.rejectDecode(w, r, "upload", err)
 		return
 	}
 	if len(req.Photos) == 0 {
@@ -663,8 +706,11 @@ func (s *Server) handlePhotos(w http.ResponseWriter, r *http.Request) {
 		photos[i] = photoFromDTO(d)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, ok := s.ownerAdmit(w, r, "upload", req.WorkerID)
+	if !ok {
+		return
+	}
+	defer release()
 	leased, dup, err := s.beginLeasedUpload(req.WorkerID, req.LeaseID)
 	if err != nil {
 		writeError(w, leaseErrorStatus(err), err)
@@ -749,9 +795,10 @@ func leaseErrorStatus(err error) int {
 }
 
 func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
+	s.adm.limitBody(w, r)
 	var req AnnotateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		s.rejectDecode(w, r, "upload", err)
 		return
 	}
 	if len(req.Photos) == 0 {
@@ -771,8 +818,11 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 		anns = append(anns, a)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, ok := s.ownerAdmit(w, r, "upload", req.WorkerID)
+	if !ok {
+		return
+	}
+	defer release()
 	leased, dup, err := s.beginLeasedUpload(req.WorkerID, req.LeaseID)
 	if err != nil {
 		writeError(w, leaseErrorStatus(err), err)
@@ -814,12 +864,14 @@ func (s *Server) handleAnnotations(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	s.adm.armWriteDeadline(w)
 	writeJSON(w, http.StatusOK, s.snap.Load().Map)
 }
 
 // handleMapPGM serves the current map as a PGM image, viewable directly in
 // any image tool.
 func (s *Server) handleMapPGM(w http.ResponseWriter, r *http.Request) {
+	s.adm.armWriteDeadline(w)
 	snap := s.snap.Load()
 	img, err := metrics.WritePGM(snap.Obstacles, snap.Visibility, nil)
 	if err != nil {
@@ -832,6 +884,10 @@ func (s *Server) handleMapPGM(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	if !s.rateAdmit(w, r, "locate", "") {
+		return
+	}
+	s.adm.limitBody(w, r)
 	start := time.Now()
 	var tracer *telemetry.Tracer
 	if s.tel != nil {
@@ -852,7 +908,7 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		result = "bad_request"
 		tr.SetError(err)
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		s.rejectDecode(w, r, "locate", err)
 		return
 	}
 	photo := photoFromDTO(req.Photo)
@@ -910,8 +966,11 @@ func (s *Server) locateRand(photo camera.Photo) *rand.Rand {
 // handleSnapshot streams the backend's serialised state — the paper's
 // model-and-maps database record — so a new server can resume the session.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, ok := s.ownerAdmit(w, r, "snapshot", "")
+	if !ok {
+		return
+	}
+	defer release()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := s.sys.WriteSnapshot(w); err != nil {
 		// Headers are already sent; the truncated stream will fail to
@@ -921,6 +980,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.adm.armWriteDeadline(w)
 	writeJSON(w, http.StatusOK, s.snap.Load().Status)
 }
 

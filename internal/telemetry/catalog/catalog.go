@@ -21,6 +21,7 @@ import (
 func Registry() *telemetry.Registry {
 	reg := telemetry.NewRegistry()
 	telemetry.NewHTTPMetrics(reg)
+	telemetry.NewAdmissionMetrics(reg)
 	telemetry.NewIngestMetrics(reg)
 	telemetry.NewSnapshotMetrics(reg)
 	telemetry.NewEventMetrics(reg)

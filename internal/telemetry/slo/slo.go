@@ -140,7 +140,7 @@ func New(reg *telemetry.Registry, objectives ...Objective) *Tracker {
 		total: reg.CounterVec("snaptask_slo_requests_total",
 			"Requests counted against an SLO endpoint.", "endpoint"),
 		bad: reg.CounterVec("snaptask_slo_bad_requests_total",
-			"Requests that spent error budget (5xx or over the latency target).", "endpoint"),
+			"Requests that spent error budget (5xx, shed 429, or over the latency target).", "endpoint"),
 		burnRate: reg.GaugeVec("snaptask_slo_burn_rate",
 			"Error-budget burn rate per endpoint and window (1 = budget consumed exactly at the objective rate).",
 			"endpoint", "window"),
@@ -185,6 +185,10 @@ func (t *Tracker) OnTransition(fn func(Transition)) {
 
 // ObserveRequest implements telemetry.RequestObserver: requests on routes
 // mapped to an SLO endpoint are counted; everything else is ignored.
+// Shed requests (429) spend error budget alongside 5xx: a request the
+// server turned away is a request the user did not get served, and load
+// shedding that never surfaces in the SLO would hide the very overload it
+// responds to.
 func (t *Tracker) ObserveRequest(route, method string, status int, elapsed time.Duration) {
 	if t == nil {
 		return
@@ -195,7 +199,7 @@ func (t *Tracker) ObserveRequest(route, method string, status int, elapsed time.
 	if !ok {
 		return
 	}
-	t.Record(endpoint, elapsed, status >= 500)
+	t.Record(endpoint, elapsed, status >= 500 || status == http.StatusTooManyRequests)
 }
 
 // Record counts one request against an endpoint's objective. serverErr

@@ -46,6 +46,8 @@ func run(args []string) error {
 	serverURL := fs.String("server", "http://127.0.0.1:8080", "backend base URL")
 	venueName := fs.String("venue", "library", "venue: library, small or office")
 	seed := fs.Int64("seed", 42, "world seed (must match the server)")
+	campaignID := fs.String("campaign", "",
+		"target campaign ID; requests go to /v1/campaigns/{id}/... (empty = server default campaign)")
 	agentSeed := fs.Int64("agent-seed", 7, "agent behaviour seed")
 	bootstrap := fs.Bool("bootstrap", false, "upload the initial entrance capture first")
 	maxTasks := fs.Int("tasks", 300, "maximum tasks to execute (per worker in fleet mode)")
@@ -71,7 +73,7 @@ func run(args []string) error {
 		return err
 	}
 
-	v, err := buildVenue(*venueName, *seed)
+	v, err := venue.ByName(*venueName, *seed)
 	if err != nil {
 		return err
 	}
@@ -84,6 +86,9 @@ func run(args []string) error {
 
 	rng := rand.New(rand.NewSource(*agentSeed))
 	cl := client.New(*serverURL, nil)
+	if *campaignID != "" {
+		cl = cl.WithCampaign(*campaignID)
+	}
 	// Every request the fleet sends carries a client-minted request ID and
 	// W3C traceparent; logging them here lets a slow or failed server-side
 	// trace be joined back to the exact agent call that caused it.
@@ -183,6 +188,9 @@ func run(args []string) error {
 		hc := &http.Client{}
 		factory := func() *client.Agent {
 			wc := client.New(*serverURL, hc)
+			if *campaignID != "" {
+				wc = wc.WithCampaign(*campaignID)
+			}
 			wc.OnRequest = cl.OnRequest
 			return newAgent(wc, *crashProb)
 		}
@@ -273,17 +281,4 @@ func runFleet(logger *slog.Logger, newAgent func() *client.Agent, n, maxTasks in
 			slog.Uint64("retried_429", totalRetried))
 	}
 	return firstErr
-}
-
-func buildVenue(name string, seed int64) (*venue.Venue, error) {
-	switch name {
-	case "library":
-		return venue.Library()
-	case "small":
-		return venue.SmallRoom()
-	case "office":
-		return venue.GenerateOffice(rand.New(rand.NewSource(seed)), 18, 12, 8)
-	default:
-		return nil, fmt.Errorf("unknown venue %q (library, small, office)", name)
-	}
 }

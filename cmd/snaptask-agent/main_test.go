@@ -1,14 +1,18 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"snaptask/internal/venue"
+)
 
 func TestBuildVenue(t *testing.T) {
 	for _, name := range []string{"library", "small", "office"} {
-		if _, err := buildVenue(name, 1); err != nil {
+		if _, err := venue.ByName(name, 1); err != nil {
 			t.Errorf("venue %q: %v", name, err)
 		}
 	}
-	if _, err := buildVenue("nope", 1); err == nil {
+	if _, err := venue.ByName("nope", 1); err == nil {
 		t.Error("unknown venue accepted")
 	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,9 +34,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"snaptask/internal/camera"
+	"snaptask/internal/campaign"
 	"snaptask/internal/client"
 	"snaptask/internal/core"
 	"snaptask/internal/dispatch"
@@ -129,6 +132,36 @@ type loadSLORow struct {
 	BadRatio float64 `json:"bad_ratio_5m"`
 }
 
+// loadMultiRow is one campaign's steady measurement from the
+// multi-campaign phase: the shared covered model cloned into N campaigns
+// under one manager, each driven concurrently at baseRate/N.
+type loadMultiRow struct {
+	Campaign    string            `json:"campaign"`
+	OfferedQPS  float64           `json:"offered_qps"`
+	AchievedQPS float64           `json:"achieved_qps"`
+	Offered     uint64            `json:"offered"`
+	Done        uint64            `json:"done"`
+	Shed        uint64            `json:"shed"`
+	Errors      uint64            `json:"errors"`
+	Endpoints   []loadEndpointRow `json:"endpoints"`
+}
+
+// loadMultiReport is the multi-campaign dimension of BENCH_load.json.
+// Baseline is the in-phase control: one campaign under the same manager
+// driven at the full base rate immediately before the concurrent shards,
+// so the gate's shard-vs-single comparison shares process state and host
+// conditions with the shards it judges. Shard-per-venue ownership means
+// splitting that same offered load across N campaigns must not make any
+// single campaign slower than the one-campaign control.
+type loadMultiReport struct {
+	Campaigns       int            `json:"campaigns"`
+	RatePerCampaign float64        `json:"rate_per_campaign"`
+	WorkersPerCamp  int            `json:"workers_per_campaign"`
+	DurationSec     float64        `json:"duration_sec"`
+	Baseline        loadMultiRow   `json:"baseline"`
+	Rows            []loadMultiRow `json:"rows"`
+}
+
 // loadReport is the machine-readable BENCH_load.json payload.
 type loadReport struct {
 	Venue      string            `json:"venue"`
@@ -154,6 +187,9 @@ type loadReport struct {
 	SLOSteady   []loadSLORow      `json:"slo_steady"`
 	SLOOverload []loadSLORow      `json:"slo_overload"`
 	ShedByCause map[string]uint64 `json:"shed_by_cause,omitempty"`
+	// MultiCampaign is the shard-per-venue phase: the covered model cloned
+	// into >=4 campaigns under one manager, driven concurrently.
+	MultiCampaign *loadMultiReport `json:"multi_campaign,omitempty"`
 }
 
 // load runs the open-loop harness experiment (see the package comment).
@@ -295,30 +331,7 @@ func (b *bench) load() error {
 		workerIDs[i] = reg.ID
 	}
 
-	toResult := func(err error) loadgen.OpResult {
-		if err == nil {
-			return loadgen.OpResult{Status: http.StatusOK}
-		}
-		var apiErr *client.APIError
-		if errors.As(err, &apiErr) {
-			return loadgen.OpResult{Status: apiErr.Status}
-		}
-		return loadgen.OpResult{Err: err}
-	}
-	ops := []loadgen.OpSpec{
-		{Name: "upload", Weight: 2, Do: func(_ context.Context, _ int, rng *rand.Rand) loadgen.OpResult {
-			_, err := cl.UploadBootstrap(uploadPool[rng.Intn(len(uploadPool))])
-			return toResult(err)
-		}},
-		{Name: "locate", Weight: 60, Do: func(_ context.Context, _ int, rng *rand.Rand) loadgen.OpResult {
-			_, err := cl.Locate(locatePool[rng.Intn(len(locatePool))])
-			return toResult(err)
-		}},
-		{Name: "claim", Weight: 38, Do: func(_ context.Context, worker int, _ *rand.Rand) loadgen.OpResult {
-			_, _, err := cl.Claim(workerIDs[worker%len(workerIDs)], nil)
-			return toResult(err)
-		}},
-	}
+	ops := loadOps(cl, workerIDs, locatePool, uploadPool)
 
 	report := loadReport{
 		Venue: v.Name(), Seed: b.seed, Quick: b.quick,
@@ -410,6 +423,21 @@ func (b *bench) load() error {
 	}
 	report.Calibration = calibrationRows(calib, routes, steadyMetrics, calibMetrics)
 
+	// --- Multi-campaign phase: the covered model cloned into four shards
+	// under one campaign manager, each driven at baseRate/4 concurrently.
+	// Runs before the overload so shard latency is not coloured by the
+	// deliberate saturation's drain and GC debris.
+	var snapBuf bytes.Buffer
+	if err := sys.WriteSnapshot(&snapBuf); err != nil {
+		return err
+	}
+	b.log.Info("running the multi-campaign phase",
+		slog.Int("campaigns", 4), slog.Float64("rate_per_campaign", sc.baseRate/4))
+	report.MultiCampaign, err = b.loadMulti(sc, snapBuf.Bytes(), locatePool, uploadPool, hc)
+	if err != nil {
+		return err
+	}
+
 	overload, err := runCampaign("overload", sc.baseRate*sc.overloadX, sc.overloadDur, 43)
 	if err != nil {
 		return err
@@ -456,6 +484,19 @@ func (b *bench) load() error {
 		fmt.Printf("  %-10s  offered=%6.0f/s achieved=%6.0f/s (%.2f) shed=%d err=%d unsent=%d\n",
 			c.Name, c.OfferedQPS, c.AchievedQPS, c.AchievedQPS/c.OfferedQPS,
 			c.Shed, c.Errors, c.Unsent)
+	}
+	if mc := report.MultiCampaign; mc != nil {
+		fmt.Printf("  multi-campaign (%d shards, %g/s + %d workers each, corrected p99):\n",
+			mc.Campaigns, mc.RatePerCampaign, mc.WorkersPerCamp)
+		rows := append([]loadMultiRow{mc.Baseline}, mc.Rows...)
+		for _, row := range rows {
+			parts := make([]string, 0, len(row.Endpoints))
+			for _, e := range row.Endpoints {
+				parts = append(parts, fmt.Sprintf("%s=%.1fms", e.Endpoint, e.Corrected.P99))
+			}
+			fmt.Printf("  %-9s achieved=%5.0f/s shed=%-3d err=%-3d %s\n",
+				row.Campaign, row.AchievedQPS, row.Shed, row.Errors, strings.Join(parts, "  "))
+		}
 	}
 	fmt.Println("  /v1/slo cross-reference:")
 	fmt.Printf("    steady:   %s\n", fmtSLO(report.SLOSteady))
@@ -512,6 +553,43 @@ func checkLoadGate(gate, fresh *loadReport) error {
 		if e.ServerP99MS > 0 && !e.ServerAgree {
 			return fmt.Errorf("load gate: calibration %s service p99 %.1fms disagrees with server histogram (%.1f..%.1f]ms",
 				e.Endpoint, e.Service.P99, e.ServerP99LowMS, e.ServerP99MS)
+		}
+	}
+	// Multi-campaign invariants (within-phase): every shard must absorb its
+	// offered quarter, and no shard's corrected p99 may exceed ~1.25x the
+	// in-phase single-campaign baseline (the same offered load against one
+	// campaign of the same manager, measured seconds earlier) plus absolute
+	// scheduler slack — shards contending on each other's owner locks would
+	// surface exactly here. Comparing within one phase cancels machine
+	// speed and cross-phase heap state.
+	if gate != nil && gate.MultiCampaign != nil && fresh.MultiCampaign == nil {
+		return fmt.Errorf("load gate: baseline has a multi-campaign phase but this run produced none")
+	}
+	if mc := fresh.MultiCampaign; mc != nil {
+		if len(mc.Rows) < 4 {
+			return fmt.Errorf("load gate: multi-campaign phase ran %d campaigns, want >= 4", len(mc.Rows))
+		}
+		single := make(map[string]float64, len(mc.Baseline.Endpoints))
+		for _, e := range mc.Baseline.Endpoints {
+			single[e.Endpoint] = e.Corrected.P99
+		}
+		if ratio := mc.Baseline.AchievedQPS / mc.Baseline.OfferedQPS; ratio < 0.9 {
+			return fmt.Errorf("load gate: multi-campaign baseline achieved/offered %.2f < 0.9", ratio)
+		}
+		for _, row := range mc.Rows {
+			if ratio := row.AchievedQPS / row.OfferedQPS; ratio < 0.9 {
+				return fmt.Errorf("load gate: campaign %s achieved/offered %.2f < 0.9", row.Campaign, ratio)
+			}
+			for _, e := range row.Endpoints {
+				base, ok := single[e.Endpoint]
+				if !ok || base <= 0 {
+					continue
+				}
+				if limit := base*1.25 + 50; e.Corrected.P99 > limit {
+					return fmt.Errorf("load gate: campaign %s %s corrected p99 %.1fms > 1.25x single-campaign baseline %.1fms + 50ms slack",
+						row.Campaign, e.Endpoint, e.Corrected.P99, base)
+				}
+			}
 		}
 	}
 	if gate == nil {
@@ -735,6 +813,175 @@ func parseShedCauses(metrics string) map[string]uint64 {
 		return nil
 	}
 	return out
+}
+
+// toOpResult maps a client-call error to the harness status accounting.
+func toOpResult(err error) loadgen.OpResult {
+	if err == nil {
+		return loadgen.OpResult{Status: http.StatusOK}
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return loadgen.OpResult{Status: apiErr.Status}
+	}
+	return loadgen.OpResult{Err: err}
+}
+
+// loadOps is the harness op mix — shared by the single-campaign phases and
+// each shard of the multi-campaign phase (with a campaign-scoped client).
+func loadOps(cl *client.Client, workerIDs []string, locatePool []camera.Photo, uploadPool [][]camera.Photo) []loadgen.OpSpec {
+	return []loadgen.OpSpec{
+		{Name: "upload", Weight: 2, Do: func(_ context.Context, _ int, rng *rand.Rand) loadgen.OpResult {
+			_, err := cl.UploadBootstrap(uploadPool[rng.Intn(len(uploadPool))])
+			return toOpResult(err)
+		}},
+		{Name: "locate", Weight: 60, Do: func(_ context.Context, _ int, rng *rand.Rand) loadgen.OpResult {
+			_, err := cl.Locate(locatePool[rng.Intn(len(locatePool))])
+			return toOpResult(err)
+		}},
+		{Name: "claim", Weight: 38, Do: func(_ context.Context, worker int, _ *rand.Rand) loadgen.OpResult {
+			_, _, err := cl.Claim(workerIDs[worker%len(workerIDs)], nil)
+			return toOpResult(err)
+		}},
+	}
+}
+
+// loadMulti runs the multi-campaign steady phase: the covered system is
+// cloned into four shards under one campaign.Manager — each with its own
+// owner lock, event log, dispatcher and admission instance — and every
+// shard is driven concurrently at baseRate/4 by its own quarter of the
+// fleet. Total offered load and fleet size match one steady
+// single-campaign run, so per-shard latency comparable to the
+// single-campaign rows is direct evidence the shards do not contend on
+// each other's owner paths.
+func (b *bench) loadMulti(sc loadScale, snap []byte, locatePool []camera.Photo, uploadPool [][]camera.Photo, hc *http.Client) (*loadMultiReport, error) {
+	const nCampaigns = 4
+	tel := telemetry.New(nil, 256)
+	mgr, err := campaign.NewManager(campaign.ManagerConfig{
+		Telemetry: tel,
+		LeaseTTL:  time.Minute,
+		SLO:       true,
+		Admission: &server.AdmissionConfig{
+			MaxQueue:     sc.maxQueue,
+			RatePerSec:   sc.ratePerSec,
+			RateBurst:    sc.ratePerSec / 2,
+			MaxBodyBytes: 32 << 20,
+			WriteTimeout: 15 * time.Second,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer mgr.Close()
+	ids := []string{"baseline"}
+	for i := 1; i <= nCampaigns; i++ {
+		ids = append(ids, fmt.Sprintf("shard-%d", i))
+	}
+	for _, id := range ids {
+		// Each campaign rebuilds the identical world (same venue, same
+		// feature seed) so nothing mutable is shared between campaigns,
+		// then loads the covered model from the snapshot.
+		v, err := venue.SmallRoom()
+		if err != nil {
+			return nil, err
+		}
+		feats := v.GenerateFeatures(rand.New(rand.NewSource(b.seed)))
+		world := camera.NewWorld(v, feats)
+		sysC, err := core.LoadSystem(bytes.NewReader(snap), v, world)
+		if err != nil {
+			return nil, fmt.Errorf("load: clone campaign model: %w", err)
+		}
+		if _, err := mgr.CreateWith(campaign.Spec{ID: id, Venue: "small", Seed: b.seed}, sysC); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: mgr}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// No churn in this phase: a crashed worker's multi-second outage would
+	// dominate the small per-shard sample's p99, and this phase measures
+	// shard isolation, not fleet resilience (the steady single-campaign
+	// phases already cover churn).
+	runShard := func(id string, rate float64, workers, workerN int, seedOff int64) (*loadgen.Result, error) {
+		cl := client.New(base, hc).WithCampaign(id)
+		cl.MaxRetries429 = -1
+		workerIDs := make([]string, workerN)
+		for w := range workerIDs {
+			reg, err := cl.RegisterWorker(server.RegisterWorkerRequest{})
+			if err != nil {
+				return nil, fmt.Errorf("load: register worker on %s: %w", id, err)
+			}
+			workerIDs[w] = reg.ID
+		}
+		return loadgen.Run(context.Background(), loadgen.Config{
+			Workers:      workers,
+			Arrivals:     loadgen.Poisson{PerSec: rate},
+			Duration:     sc.campaignDur,
+			Ops:          loadOps(cl, workerIDs, locatePool, uploadPool),
+			Think:        loadgen.ThinkTime{Median: 20 * time.Millisecond, Sigma: 1.0, Max: 2 * time.Second},
+			Seed:         b.seed + seedOff,
+			DrainTimeout: 20 * time.Second,
+		})
+	}
+	toRow := func(id string, res *loadgen.Result) loadMultiRow {
+		var shed, errN uint64
+		for _, st := range res.Endpoints {
+			shed += st.Shed.Load()
+			errN += st.Errors.Load()
+		}
+		return loadMultiRow{
+			Campaign: id, OfferedQPS: res.OfferedRate, AchievedQPS: res.Achieved,
+			Offered: res.Offered, Done: res.Done, Shed: shed, Errors: errN,
+			Endpoints: mergeEndpointRows([]*loadgen.Result{res}, nil, ""),
+		}
+	}
+
+	// In-phase control: the full base rate against ONE campaign of this
+	// manager, immediately before the shards split the identical offered
+	// load four ways. Comparing shards against this row (rather than the
+	// earlier steady phases) keeps both sides of the gate's ratio on the
+	// same process state and host conditions.
+	perWorkers := sc.workers / nCampaigns
+	perRate := sc.baseRate / float64(nCampaigns)
+	perIDs := sc.workerIDs / nCampaigns
+	if perIDs < 8 {
+		perIDs = 8
+	}
+	ctrl, err := runShard("baseline", sc.baseRate, sc.workers, sc.workerIDs, 49)
+	if err != nil {
+		return nil, fmt.Errorf("load: multi-campaign baseline: %w", err)
+	}
+
+	results := make([]*loadgen.Result, nCampaigns)
+	errs := make([]error, nCampaigns)
+	var wg sync.WaitGroup
+	for i := 0; i < nCampaigns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = runShard(ids[i+1], perRate, perWorkers, perIDs, 50+int64(i))
+		}(i)
+	}
+	wg.Wait()
+
+	out := &loadMultiReport{
+		Campaigns: nCampaigns, RatePerCampaign: perRate,
+		WorkersPerCamp: perWorkers, DurationSec: sc.campaignDur.Seconds(),
+		Baseline: toRow("baseline", ctrl),
+	}
+	for i := 0; i < nCampaigns; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("load: campaign %s: %w", ids[i+1], errs[i])
+		}
+		out.Rows = append(out.Rows, toRow(ids[i+1], results[i]))
+	}
+	return out, nil
 }
 
 // fetchSLO samples GET /v1/slo into verdict rows (5m window bad ratio).

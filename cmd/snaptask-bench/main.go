@@ -121,7 +121,7 @@ func run(args []string) error {
 		"regression gate: fail the overhead experiment when the instrumented-ingest overhead exceeds this fraction (e.g. 0.02 = the 2% budget in EXPERIMENTS.md); 0 disables")
 	loadOut := fs.String("load-out", "", "write the load experiment's JSON report to this file")
 	loadGate := fs.String("load-gate", "",
-		"regression gate: compare the load experiment against this committed BENCH_load.json and fail when steady upload/locate corrected p99 exceeds 2x the committed value, a steady campaign achieves <90% of offered QPS, harness and server p99 disagree, or the overload campaign fails to shed / flip /v1/slo to burning")
+		"regression gate: compare the load experiment against this committed BENCH_load.json and fail when steady upload/locate corrected p99 exceeds 2x the committed value, a steady campaign achieves <90% of offered QPS, harness and server p99 disagree, the overload campaign fails to shed / flip /v1/slo to burning, or any multi-campaign shard's steady p99 exceeds 1.25x the same run's single-campaign figure")
 	metricsDoc := fs.String("metrics-doc", "",
 		"write the generated metric catalogue (docs/METRICS.md) to this file and exit")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")

@@ -6,6 +6,15 @@
 // deterministically from -venue and -seed; agents must be started with the
 // same pair so that their cameras observe the same world.
 //
+// One process hosts many concurrent venue campaigns: -venue/-seed define
+// the default campaign that every legacy route aliases to, POST
+// /v1/campaigns creates more (each with its own model, owner lock, journal
+// directory, dispatcher and admission queue), /v1/campaigns/{id}/... scopes
+// any campaign route, POST /v1/pool/claim claims from the shared
+// cross-campaign worker pool, and /v1/status + /metrics carry per-campaign
+// rollups. Named campaigns are journaled under
+// <journal-dir>/campaigns/<id>/ and restored on restart.
+//
 // Observability: GET /metrics on the main listener exposes the Prometheus
 // text exposition, GET /v1/slo reports multi-window burn rates against the
 // per-endpoint latency/error objectives, GET /healthz and /readyz are the
@@ -65,12 +74,11 @@ import (
 	"time"
 
 	"snaptask/internal/camera"
+	"snaptask/internal/campaign"
 	"snaptask/internal/core"
-	"snaptask/internal/dispatch"
 	"snaptask/internal/events"
 	"snaptask/internal/server"
 	"snaptask/internal/telemetry"
-	"snaptask/internal/telemetry/slo"
 	"snaptask/internal/venue"
 )
 
@@ -141,14 +149,19 @@ func run(ctx context.Context, args []string) error {
 	}
 	tel := telemetry.New(logger, *traceCap)
 
-	v, err := buildVenue(*venueName, *seed)
-	if err != nil {
-		return err
+	if *journalPath != "" && *journalDir != "" {
+		return fmt.Errorf("-journal and -journal-dir are mutually exclusive")
 	}
-	feats := v.GenerateFeatures(rand.New(rand.NewSource(*seed)))
-	world := camera.NewWorld(v, feats)
+	// -load restores the default campaign's model from an explicit snapshot
+	// file; otherwise the manager restores <journal-dir>/model.snap when
+	// present, or builds a fresh system from the spec.
 	var sys *core.System
 	if *statePath != "" {
+		v, err := venue.ByName(*venueName, *seed)
+		if err != nil {
+			return err
+		}
+		world := camera.NewWorld(v, v.GenerateFeatures(rand.New(rand.NewSource(*seed))))
 		f, err := os.Open(*statePath)
 		if err != nil {
 			return fmt.Errorf("open snapshot: %w", err)
@@ -164,66 +177,53 @@ func run(ctx context.Context, args []string) error {
 		logger.Info("resumed session",
 			slog.Int("photos_processed", sys.PhotosProcessed()),
 			slog.Bool("covered", sys.Covered()))
-	} else {
-		sys, err = core.NewSystem(v, world, core.Config{Margin: *margin, Partitions: *partitions})
-		if err != nil {
-			return err
-		}
 	}
-	sys.SetTelemetry(tel)
-	sloT := slo.New(tel.Registry)
 	wd := telemetry.NewWatchdog(tel.Registry, telemetry.WatchdogConfig{
 		Interval:       *watchdogInterval,
 		StallThreshold: *stallThreshold,
 		ProfileDir:     *profileDir,
 		Logger:         logger,
 	})
-	opts := []server.Option{
-		server.WithTelemetry(tel),
-		server.WithSLO(sloT),
-		server.WithWatchdog(wd),
-		server.WithAdmission(server.AdmissionConfig{
+	// The campaign manager hosts every venue campaign (the legacy routes
+	// alias to the default one) and restores named campaigns from the
+	// journal root's manifest before the default is installed.
+	mgr, err := campaign.NewManager(campaign.ManagerConfig{
+		JournalRoot:     *journalDir,
+		SegmentMaxBytes: *segmentMaxBytes,
+		Checkpoint:      events.CheckpointPolicy{Interval: *checkpointInterval, Every: *checkpointEvery},
+		Admission: &server.AdmissionConfig{
 			MaxQueue:     *maxQueue,
 			RatePerSec:   *rateLimit,
 			RateBurst:    *rateBurst,
 			MaxBodyBytes: *maxBodyBytes,
 			WriteTimeout: *writeTimeout,
-		}),
-		server.WithDispatch(dispatch.New(dispatch.Config{
-			LeaseTTL: *leaseTTL,
-			Budget:   *incentiveBudget,
-		})),
-	}
-	if *journalPath != "" && *journalDir != "" {
-		return fmt.Errorf("-journal and -journal-dir are mutually exclusive")
-	}
-	var evlog *events.Log
-	switch {
-	case *journalDir != "":
-		evlog, err = events.OpenDir(*journalDir, telemetry.NewEventMetrics(tel.Registry),
-			events.DirStoreOptions{SegmentMaxBytes: *segmentMaxBytes},
-			events.CheckpointPolicy{Interval: *checkpointInterval, Every: *checkpointEvery})
-	case *journalPath != "":
-		evlog, err = events.Open(*journalPath, telemetry.NewEventMetrics(tel.Registry))
-	}
+		},
+		LeaseTTL:        *leaseTTL,
+		IncentiveBudget: *incentiveBudget,
+		Telemetry:       tel,
+		Watchdog:        wd,
+		SLO:             true,
+	})
 	if err != nil {
 		return err
 	}
-	if evlog != nil {
-		defer func() {
-			if err := evlog.Close(); err != nil {
-				logger.Error("journal close failed", slog.String("err", err.Error()))
-			}
-		}()
-		opts = append(opts, server.WithEvents(evlog))
-	}
-	srv, err := server.New(sys, rand.New(rand.NewSource(*seed+1)), opts...)
+	def, err := mgr.CreateDefault(campaign.Spec{
+		Venue:      *venueName,
+		Seed:       *seed,
+		Margin:     *margin,
+		Partitions: *partitions,
+	}, sys, *journalPath)
 	if err != nil {
 		return err
 	}
-	// Start after server.New: New wires the owner-busy probe and the SLO
-	// evaluation hook into the watchdog, and ticks before that wiring would
-	// probe nothing.
+	defer func() {
+		if err := mgr.Close(); err != nil {
+			logger.Error("journal close failed", slog.String("err", err.Error()))
+		}
+	}()
+	// Start after the campaigns are built: building wires the owner-busy
+	// probe and the SLO evaluation hooks into the watchdog, and ticks
+	// before that wiring would probe nothing.
 	wd.Start()
 	defer wd.Stop()
 	if *profileDir != "" {
@@ -231,11 +231,12 @@ func run(ctx context.Context, args []string) error {
 			slog.String("profile_dir", *profileDir),
 			slog.Duration("stall_threshold", *stallThreshold))
 	}
-	if evlog != nil {
+	if *journalPath != "" || *journalDir != "" {
 		path := *journalPath
 		if *journalDir != "" {
 			path = *journalDir
 		}
+		evlog := def.Log()
 		c := evlog.Campaign().Counters()
 		logger.Info("journal replayed",
 			slog.String("path", path),
@@ -245,6 +246,9 @@ func run(ctx context.Context, args []string) error {
 			slog.Int("photos", c.PhotosProcessed),
 			slog.Int("coverage_cells", c.CoverageCells),
 			slog.Bool("covered", c.Covered))
+	}
+	if n := len(mgr.List()); n > 1 {
+		logger.Info("campaigns restored", slog.Int("campaigns", n))
 	}
 
 	var pprofServer *http.Server
@@ -276,12 +280,11 @@ func run(ctx context.Context, args []string) error {
 
 	logger.Info("listening",
 		slog.String("addr", *addr),
-		slog.String("venue", v.Name()),
-		slog.Float64("area_m2", v.Area()),
-		slog.Int("features", len(feats)))
+		slog.String("venue", *venueName),
+		slog.Int("campaigns", len(mgr.List())))
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           mgr,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -325,13 +328,14 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("debug listener shutdown: %w", pprofShutdown)
 	}
 	if *journalDir != "" {
-		// A final checkpoint makes the next start replay an empty tail.
-		if err := srv.Checkpoint(); err != nil {
+		// A final checkpoint (event-log checkpoint + model snapshot, per
+		// campaign) makes the next start replay an empty tail.
+		if err := mgr.Checkpoint(); err != nil {
 			logger.Error("shutdown checkpoint failed", slog.String("err", err.Error()))
 		}
 	}
 	if *savePath != "" {
-		if err := saveState(srv, *savePath); err != nil {
+		if err := saveState(def.Server(), *savePath); err != nil {
 			return err
 		}
 		logger.Info("state saved", slog.String("path", *savePath))
@@ -349,17 +353,4 @@ func saveState(srv *server.Server, path string) error {
 		return fmt.Errorf("save snapshot: %w", err)
 	}
 	return nil
-}
-
-func buildVenue(name string, seed int64) (*venue.Venue, error) {
-	switch name {
-	case "library":
-		return venue.Library()
-	case "small":
-		return venue.SmallRoom()
-	case "office":
-		return venue.GenerateOffice(rand.New(rand.NewSource(seed)), 18, 12, 8)
-	default:
-		return nil, fmt.Errorf("unknown venue %q (library, small, office)", name)
-	}
 }

@@ -15,6 +15,7 @@ import (
 	"snaptask/internal/client"
 	"snaptask/internal/core"
 	"snaptask/internal/server"
+	"snaptask/internal/venue"
 )
 
 func TestBuildVenue(t *testing.T) {
@@ -29,7 +30,7 @@ func TestBuildVenue(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			v, err := buildVenue(tt.name, 1)
+			v, err := venue.ByName(tt.name, 1)
 			if (err != nil) != tt.wantErr {
 				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
 			}
@@ -136,7 +137,7 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatalf("snapshot not saved: %v", err)
 	}
 	defer f.Close()
-	v, err := buildVenue("small", 42)
+	v, err := venue.ByName("small", 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestLeaseLifecycleE2E(t *testing.T) {
 	waitReady(t, addr)
 
 	// The same simulated world the server derives from -venue/-seed.
-	v, err := buildVenue("small", 42)
+	v, err := venue.ByName("small", 42)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serverURL := fs.String("server", "http://127.0.0.1:8080", "backend base URL")
 	after := fs.Uint64("after", 0, "start after this sequence number (0 = full history)")
 	perEvent := fs.Bool("events", false, "print one line per event instead of the live summary")
+	campaignID := fs.String("campaign", "", "tail a specific campaign's stream (/v1/campaigns/{id}/events)")
 	exitCovered := fs.Bool("exit-on-covered", false, "exit once the campaign is covered")
 	retry := fs.Duration("retry", 2*time.Second, "reconnect delay after a dropped stream")
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +51,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	c := client.New(*serverURL, nil)
+	if *campaignID != "" {
+		c = c.WithCampaign(*campaignID)
+	}
 	camp := events.NewCampaign()
 	last := *after
 	// SLO burns are operational telemetry, not campaign state: the campaign
@@ -73,8 +77,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				sheds += e.Count
 			}
 			if *perEvent {
-				fmt.Fprintf(out, "%s seq=%d kind=%s%s\n",
-					e.T.Format(time.RFC3339), e.Seq, e.Kind, eventDetail(e))
+				tag := ""
+				if e.Campaign != "" {
+					tag = " campaign=" + e.Campaign
+				}
+				fmt.Fprintf(out, "%s seq=%d%s kind=%s%s\n",
+					e.T.Format(time.RFC3339), e.Seq, tag, e.Kind, eventDetail(e))
 			} else {
 				fmt.Fprintf(out, "\r\033[K%s", summaryLine(camp.Counters(), sloBurns, sheds))
 			}

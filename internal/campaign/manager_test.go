@@ -1,0 +1,354 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"snaptask/internal/camera"
+	"snaptask/internal/core"
+	"snaptask/internal/geom"
+	"snaptask/internal/server"
+	"snaptask/internal/telemetry"
+	"snaptask/internal/venue"
+)
+
+func testTelemetry() *telemetry.Telemetry {
+	return telemetry.New(slog.New(slog.NewTextHandler(io.Discard, nil)), 8)
+}
+
+// newTestManager builds a manager with a default campaign over the small
+// test room and an httptest server in front of it.
+func newTestManager(t *testing.T, cfg ManagerConfig) (*Manager, *httptest.Server) {
+	t.Helper()
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = testTelemetry()
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = time.Minute
+	}
+	cfg.SLO = true
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreateDefault(Spec{Venue: "small", Seed: 1}, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	ts := httptest.NewServer(m)
+	t.Cleanup(ts.Close)
+	return m, ts
+}
+
+// campaignWorld rebuilds the deterministic world a campaign spec implies,
+// so tests can capture photos the campaign's model will accept.
+func campaignWorld(t *testing.T, spec Spec) (*venue.Venue, *camera.World) {
+	t.Helper()
+	v, err := venue.ByName(spec.Venue, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, camera.NewWorld(v, v.GenerateFeatures(rand.New(rand.NewSource(spec.Seed))))
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	payload, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// bootstrapCampaign uploads the entrance capture to one campaign's scoped
+// upload route, seeding its model with tasks.
+func bootstrapCampaign(t *testing.T, base string, spec Spec, seed int64) {
+	t.Helper()
+	v, w := campaignWorld(t, spec)
+	rng := rand.New(rand.NewSource(seed))
+	photos, err := core.BootstrapCapture(w, v, camera.DefaultIntrinsics(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.UploadRequest{Bootstrap: true}
+	for _, p := range photos {
+		req.Photos = append(req.Photos, server.PhotoToDTO(p))
+	}
+	var up server.UploadResponse
+	if code := postJSON(t, base+"/photos", req, &up); code != http.StatusOK {
+		t.Fatalf("bootstrap %s: code %d", base, code)
+	}
+}
+
+// sweepUpload fulfils one pending task over the campaign-scoped routes
+// (fetch via the legacy peek, sweep, upload). Returns false when the
+// campaign reports no pending task or is covered.
+func sweepUpload(t *testing.T, base string, spec Spec, seed int64) bool {
+	t.Helper()
+	v, w := campaignWorld(t, spec)
+	var task server.TaskDTO
+	code := getJSON(t, base+"/task", &task)
+	if code == http.StatusNotFound || task.Covered {
+		return false
+	}
+	if code != http.StatusOK {
+		t.Fatalf("GET %s/v1/task: code %d", base, code)
+	}
+	pos := geom.V2(task.X, task.Y)
+	if v.Blocked(pos) {
+		pos = v.Entrance()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sweep, err := w.Sweep(pos, camera.DefaultIntrinsics(), camera.CaptureOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.UploadRequest{TaskID: task.ID, LocX: task.X, LocY: task.Y,
+		SeedX: task.SeedX, SeedY: task.SeedY, HasSeed: task.HasSeed}
+	for _, p := range sweep {
+		req.Photos = append(req.Photos, server.PhotoToDTO(p))
+	}
+	var up server.UploadResponse
+	if code := postJSON(t, base+"/photos", req, &up); code != http.StatusOK {
+		t.Fatalf("sweep upload %s: code %d", base, code)
+	}
+	return true
+}
+
+func campaignBase(ts *httptest.Server, id string) string {
+	return ts.URL + "/v1/campaigns/" + id
+}
+
+func TestLifecycleHTTP(t *testing.T) {
+	m, ts := newTestManager(t, ManagerConfig{})
+
+	// Create.
+	var created Rollup
+	if code := postJSON(t, ts.URL+"/v1/campaigns", Spec{ID: "alpha", Venue: "small", Seed: 7}, &created); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	if created.ID != "alpha" || created.Venue != "small" {
+		t.Fatalf("create rollup: %+v", created)
+	}
+
+	// Duplicate, bad ID, bad venue, reserved ID.
+	if code := postJSON(t, ts.URL+"/v1/campaigns", Spec{ID: "alpha", Venue: "small"}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create: code %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/campaigns", Spec{ID: "Bad/ID", Venue: "small"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad id create: code %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/campaigns", Spec{ID: "default", Venue: "small"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("reserved id create: code %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/campaigns", Spec{ID: "beta", Venue: "nope"}, nil); code >= 200 && code < 300 {
+		t.Fatalf("bogus venue accepted: code %d", code)
+	}
+
+	// List: default first, then alpha.
+	var list ListResponse
+	if code := getJSON(t, ts.URL+"/v1/campaigns", &list); code != http.StatusOK {
+		t.Fatalf("list: code %d", code)
+	}
+	if len(list.Campaigns) != 2 || list.Campaigns[0].ID != DefaultID || list.Campaigns[1].ID != "alpha" {
+		t.Fatalf("list: %+v", list.Campaigns)
+	}
+
+	// Get.
+	var got Rollup
+	if code := getJSON(t, campaignBase(ts, "alpha"), &got); code != http.StatusOK || got.ID != "alpha" {
+		t.Fatalf("get: code %d rollup %+v", code, got)
+	}
+	if code := getJSON(t, campaignBase(ts, "ghost"), nil); code != http.StatusNotFound {
+		t.Fatalf("get unknown: code %d", code)
+	}
+
+	// Scoped routes hit the owning campaign.
+	var st server.StatusResponse
+	if code := getJSON(t, campaignBase(ts, "alpha")+"/status", &st); code != http.StatusOK {
+		t.Fatalf("scoped status: code %d", code)
+	}
+	if code := getJSON(t, campaignBase(ts, "ghost")+"/status", nil); code != http.StatusNotFound {
+		t.Fatalf("scoped status unknown campaign: code %d", code)
+	}
+
+	// Archive: mutations 410, reads still fine, idempotent, default refused.
+	if code := postJSON(t, campaignBase(ts, "alpha")+"/archive", struct{}{}, nil); code != http.StatusOK {
+		t.Fatalf("archive: code %d", code)
+	}
+	if !m.Get("alpha").Archived() {
+		t.Fatal("alpha not archived")
+	}
+	if code := postJSON(t, campaignBase(ts, "alpha")+"/photos", server.UploadRequest{}, nil); code != http.StatusGone {
+		t.Fatalf("archived mutation: code %d, want 410", code)
+	}
+	if code := getJSON(t, campaignBase(ts, "alpha")+"/status", &st); code != http.StatusOK {
+		t.Fatalf("archived read: code %d", code)
+	}
+	if code := postJSON(t, campaignBase(ts, "alpha")+"/archive", struct{}{}, nil); code != http.StatusOK {
+		t.Fatalf("re-archive: code %d", code)
+	}
+	if code := postJSON(t, campaignBase(ts, DefaultID)+"/archive", struct{}{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("archive default: code %d, want 400", code)
+	}
+}
+
+func TestStatusRollupAndMetrics(t *testing.T) {
+	m, ts := newTestManager(t, ManagerConfig{})
+	spec := Spec{ID: "east-wing", Venue: "small", Seed: 21}
+	if _, err := m.Create(spec); err != nil {
+		t.Fatal(err)
+	}
+	bootstrapCampaign(t, campaignBase(ts, "east-wing"), spec, 5)
+
+	// /v1/status: default campaign's fields plus the campaigns section.
+	var ms ManagerStatus
+	if code := getJSON(t, ts.URL+"/v1/status", &ms); code != http.StatusOK {
+		t.Fatalf("status: code %d", code)
+	}
+	if len(ms.Campaigns) != 2 {
+		t.Fatalf("status campaigns: %+v", ms.Campaigns)
+	}
+	var east *Rollup
+	for i := range ms.Campaigns {
+		if ms.Campaigns[i].ID == "east-wing" {
+			east = &ms.Campaigns[i]
+		}
+	}
+	if east == nil || east.PhotosProcessed == 0 || east.PendingTasks == 0 {
+		t.Fatalf("east-wing rollup after bootstrap: %+v", east)
+	}
+
+	// ?campaign= scopes the bare route to one campaign (plain status shape).
+	var st server.StatusResponse
+	if code := getJSON(t, ts.URL+"/v1/status?campaign=east-wing", &st); code != http.StatusOK {
+		t.Fatalf("scoped status: code %d", code)
+	}
+	if st.PhotosProcessed != east.PhotosProcessed {
+		t.Fatalf("scoped status photos %d, rollup %d", st.PhotosProcessed, east.PhotosProcessed)
+	}
+
+	// /metrics: per-campaign labels on existing families plus the
+	// aggregate campaign gauges.
+	var buf bytes.Buffer
+	m.cfg.Telemetry.Registry.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`{campaign="east-wing"`,
+		`{campaign="default"`,
+		"snaptask_campaigns_active 2",
+		"snaptask_campaigns_archived 0",
+		"snaptask_campaigns_pending_tasks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestSharedWorkerPool(t *testing.T) {
+	m, ts := newTestManager(t, ManagerConfig{})
+	specs := []Spec{
+		{ID: "wing-a", Venue: "small", Seed: 31},
+		{ID: "wing-b", Venue: "small", Seed: 32},
+	}
+	for _, sp := range specs {
+		if _, err := m.Create(sp); err != nil {
+			t.Fatal(err)
+		}
+		bootstrapCampaign(t, campaignBase(ts, sp.ID), sp, 9)
+	}
+
+	// Claims from an unregistered worker are rejected.
+	if code := postJSON(t, ts.URL+"/v1/pool/claim", server.ClaimRequest{WorkerID: "nobody"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown worker claim: code %d", code)
+	}
+
+	var reg PoolRegisterResponse
+	if code := postJSON(t, ts.URL+"/v1/pool/workers", server.RegisterWorkerRequest{ID: "w1"}, &reg); code != http.StatusOK {
+		t.Fatalf("pool register: code %d", code)
+	}
+	if reg.ID != "w1" {
+		t.Fatalf("pool register id %q", reg.ID)
+	}
+
+	// The pool routes claims to whichever campaign has the most pending
+	// work; over enough claims both bootstrapped campaigns must grant.
+	granted := map[string]int{}
+	for i := 0; i < 8; i++ {
+		var resp PoolClaimResponse
+		code := postJSON(t, ts.URL+"/v1/pool/claim", server.ClaimRequest{WorkerID: "w1"}, &resp)
+		if code == http.StatusNotFound {
+			break
+		}
+		if code != http.StatusOK {
+			t.Fatalf("pool claim %d: code %d", i, code)
+		}
+		if resp.AllCovered {
+			break
+		}
+		if resp.Campaign == "" || resp.Task.ID == 0 {
+			t.Fatalf("pool claim %d: %+v", i, resp)
+		}
+		granted[resp.Campaign]++
+	}
+	if len(granted) < 2 {
+		t.Fatalf("pool claims did not spread across campaigns: %v", granted)
+	}
+	// The default campaign was never bootstrapped: no pending tasks, so
+	// the pool must not have enrolled the worker there.
+	if granted[DefaultID] != 0 {
+		t.Fatalf("pool claimed from the empty default campaign: %v", granted)
+	}
+	// Archived campaigns leave the pool.
+	if _, err := m.Archive("wing-a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		var resp PoolClaimResponse
+		code := postJSON(t, ts.URL+"/v1/pool/claim", server.ClaimRequest{WorkerID: "w1"}, &resp)
+		if code == http.StatusNotFound {
+			break
+		}
+		if resp.Campaign == "wing-a" {
+			t.Fatal("pool claimed from an archived campaign")
+		}
+	}
+}

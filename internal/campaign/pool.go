@@ -1,0 +1,210 @@
+// Shared cross-campaign worker pool: one agent fleet registers here once
+// and claims from whichever campaign currently has work. The pool keeps
+// its own registry and lazily enrols a worker into a campaign's dispatcher
+// the first time it claims there, so campaign dispatch state (leases,
+// per-worker counters, journal events) stays fully per-campaign.
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"snaptask/internal/dispatch"
+	"snaptask/internal/geom"
+	"snaptask/internal/server"
+)
+
+// PoolRegisterResponse confirms pool registration.
+type PoolRegisterResponse struct {
+	ID string `json:"id"`
+}
+
+// PoolClaimResponse is a campaign-attributed claim: the granting
+// campaign's ID plus the standard lease grant. AllCovered reports that
+// every live campaign is fully covered — the fleet's stop signal.
+type PoolClaimResponse struct {
+	Campaign string `json:"campaign,omitempty"`
+	server.ClaimResponse
+	AllCovered bool `json:"allCovered,omitempty"`
+}
+
+// pool is the manager's shared worker registry.
+type pool struct {
+	m  *Manager
+	mu sync.Mutex
+	// workers maps pool worker ID to its info and per-campaign enrolment.
+	workers map[string]*poolWorker
+	seq     int
+}
+
+type poolWorker struct {
+	info dispatch.WorkerInfo
+	mu   sync.Mutex
+	// enrolled marks the campaigns whose dispatcher already knows this
+	// worker (registration is idempotent; this just avoids re-announcing
+	// on every claim).
+	enrolled map[string]bool
+}
+
+func newPool(m *Manager) *pool {
+	return &pool{m: m, workers: make(map[string]*poolWorker)}
+}
+
+// register adds (or re-announces) a worker to the pool.
+func (p *pool) register(req server.RegisterWorkerRequest) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := req.ID
+	if id == "" {
+		p.seq++
+		id = fmt.Sprintf("pool-%d", p.seq)
+	}
+	pw, ok := p.workers[id]
+	if !ok {
+		pw = &poolWorker{enrolled: make(map[string]bool)}
+		p.workers[id] = pw
+		p.m.cm.PoolWorkers.Set(float64(len(p.workers)))
+	}
+	pw.info = dispatch.WorkerInfo{
+		ID:          id,
+		Pos:         geom.V2(req.X, req.Y),
+		HasPos:      req.HasLoc,
+		BaseReward:  req.BaseReward,
+		PerMetre:    req.PerMetre,
+		Reliability: req.Reliability,
+	}
+	return id
+}
+
+func (p *pool) get(id string) *poolWorker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers[id]
+}
+
+// claim picks the campaign with the most remaining work (pending tasks
+// from the lock-free read snapshot, campaign ID as the deterministic
+// tiebreak), enrols the worker there if needed, and claims. Campaigns
+// that answer no-task fall through to the next candidate.
+func (p *pool) claim(req server.ClaimRequest) (PoolClaimResponse, int, error) {
+	pw := p.get(req.WorkerID)
+	if pw == nil {
+		p.m.cm.PoolClaims.With("error").Inc()
+		return PoolClaimResponse{}, http.StatusNotFound,
+			fmt.Errorf("pool: unknown worker %q (register via POST /v1/pool/workers)", req.WorkerID)
+	}
+	var pos *geom.Vec2
+	if req.HasLoc {
+		v := geom.V2(req.X, req.Y)
+		pos = &v
+	}
+
+	type candidate struct {
+		c       *Campaign
+		pending int
+	}
+	var (
+		cands   []candidate
+		live    int
+		covered int
+	)
+	for _, c := range p.m.List() {
+		if c.Archived() {
+			continue
+		}
+		live++
+		snap := c.srv.Snapshot()
+		if snap == nil {
+			continue
+		}
+		if snap.Status.Covered {
+			covered++
+			continue
+		}
+		if snap.Status.PendingTasks == 0 {
+			continue
+		}
+		cands = append(cands, candidate{c, snap.Status.PendingTasks})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].pending != cands[j].pending {
+			return cands[i].pending > cands[j].pending
+		}
+		return cands[i].c.ID() < cands[j].c.ID()
+	})
+
+	for _, cand := range cands {
+		if err := p.enrol(pw, cand.c); err != nil {
+			continue
+		}
+		resp, err := cand.c.srv.ClaimTask(req.WorkerID, pos)
+		switch {
+		case err == nil && resp.Task.Covered:
+			continue
+		case err == nil:
+			p.m.cm.PoolClaims.With("granted").Inc()
+			return PoolClaimResponse{Campaign: cand.c.ID(), ClaimResponse: resp}, http.StatusOK, nil
+		case errors.Is(err, dispatch.ErrNoTask),
+			errors.Is(err, dispatch.ErrBudgetExhausted):
+			continue
+		default:
+			p.m.cm.PoolClaims.With("error").Inc()
+			return PoolClaimResponse{}, http.StatusInternalServerError,
+				fmt.Errorf("pool: claim in campaign %q: %w", cand.c.ID(), err)
+		}
+	}
+	if live > 0 && covered == live {
+		p.m.cm.PoolClaims.With("covered").Inc()
+		return PoolClaimResponse{
+			ClaimResponse: server.ClaimResponse{Task: server.TaskDTO{Covered: true}},
+			AllCovered:    true,
+		}, http.StatusOK, nil
+	}
+	p.m.cm.PoolClaims.With("no_task").Inc()
+	return PoolClaimResponse{}, http.StatusNotFound,
+		errors.New("pool: no campaign has a pending task")
+}
+
+// enrol registers the worker with the campaign's dispatcher on first
+// claim there.
+func (p *pool) enrol(pw *poolWorker, c *Campaign) error {
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	if pw.enrolled[c.ID()] {
+		return nil
+	}
+	if _, err := c.srv.RegisterWorker(pw.info); err != nil {
+		return err
+	}
+	pw.enrolled[c.ID()] = true
+	return nil
+}
+
+// handlePoolRegister implements POST /v1/pool/workers.
+func (m *Manager) handlePoolRegister(w http.ResponseWriter, r *http.Request) {
+	var req server.RegisterWorkerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, PoolRegisterResponse{ID: m.pool.register(req)})
+}
+
+// handlePoolClaim implements POST /v1/pool/claim.
+func (m *Manager) handlePoolClaim(w http.ResponseWriter, r *http.Request) {
+	var req server.ClaimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	resp, status, err := m.pool.claim(req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
+}

@@ -52,6 +52,10 @@ type Client struct {
 	// surfaced. 0 uses the default (3); negative disables retrying.
 	MaxRetries429 int
 
+	// campaign, when set, rewrites every /v1/* path onto the
+	// campaign-scoped route shape (see WithCampaign).
+	campaign string
+
 	retried atomic.Uint64
 }
 
@@ -64,11 +68,36 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: baseURL, hc: httpClient}
 }
 
+// WithCampaign returns a client routing every request through the
+// multi-campaign server's campaign-scoped endpoints: /v1/X becomes
+// /v1/campaigns/{id}/X (including the SSE event stream). The receiver is
+// unchanged; the derived client shares the HTTP client, callback and
+// retry policy but counts its own 429 retries.
+func (c *Client) WithCampaign(id string) *Client {
+	return &Client{
+		base:          c.base,
+		hc:            c.hc,
+		OnRequest:     c.OnRequest,
+		MaxRetries429: c.MaxRetries429,
+		campaign:      id,
+	}
+}
+
+// path maps a legacy route onto the campaign-scoped shape when the client
+// is campaign-bound.
+func (c *Client) path(p string) string {
+	if c.campaign == "" || !strings.HasPrefix(p, "/v1/") {
+		return p
+	}
+	return "/v1/campaigns/" + c.campaign + strings.TrimPrefix(p, "/v1")
+}
+
 // do sends one request with client-minted correlation headers: a request
 // ID and a fresh trace context per logical request (the server joins the
 // trace rather than minting its own, so one trace ID spans client log,
 // access log and owner-path stage spans).
 func (c *Client) do(method, path string, body io.Reader) (*http.Response, error) {
+	path = c.path(path)
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
 		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)

@@ -34,7 +34,7 @@ func (c *Client) Progress() (server.ProgressResponse, error) {
 // error aborts the stream and is returned.
 func (c *Client) Events(ctx context.Context, after uint64, fn func(events.Event) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		fmt.Sprintf("%s/v1/events?after=%d", c.base, after), nil)
+		fmt.Sprintf("%s%s?after=%d", c.base, c.path("/v1/events"), after), nil)
 	if err != nil {
 		return fmt.Errorf("client: events request: %w", err)
 	}

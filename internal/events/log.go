@@ -26,6 +26,11 @@ type Log struct {
 	// lastDropped mirrors bus evictions into the telemetry counter.
 	lastDropped uint64
 
+	// campaignID, when set, is stamped onto every emitted event that does
+	// not already carry one (multi-campaign servers; empty keeps legacy
+	// single-campaign journals byte-identical).
+	campaignID string
+
 	// Checkpointing state (meaningful only when store is a CheckpointStore).
 	policy       CheckpointPolicy
 	now          func() time.Time
@@ -135,6 +140,9 @@ func (l *Log) Emit(e Event) {
 	if e.T.IsZero() {
 		e.T = time.Now().UTC()
 	}
+	if e.Campaign == "" {
+		e.Campaign = l.campaignID
+	}
 	if l.store != nil {
 		if err := l.store.Append(e); err == nil {
 			l.m.Appended.Inc()
@@ -149,6 +157,18 @@ func (l *Log) Emit(e Event) {
 		l.lastDropped = d
 		l.m.Subscribers.Set(float64(l.bus.Subscribers()))
 	}
+}
+
+// SetCampaignID sets the campaign name stamped onto every subsequently
+// emitted event that does not already carry one. Call before serving;
+// replayed history is never restamped.
+func (l *Log) SetCampaignID(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.campaignID = id
+	l.mu.Unlock()
 }
 
 // Commit makes every emitted event durable (store fsync) and observes the

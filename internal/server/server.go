@@ -343,6 +343,21 @@ func WithWatchdog(wd *telemetry.Watchdog) Option {
 	return func(s *Server) { s.wd = wd }
 }
 
+// WithSSE tunes the event stream: the keep-alive heartbeat interval and
+// the per-subscriber buffer (a full buffer evicts the subscriber). Zero
+// values keep the defaults. The campaign manager's eviction tests use
+// deliberately tiny buffers.
+func WithSSE(heartbeat time.Duration, buf int) Option {
+	return func(s *Server) {
+		if heartbeat > 0 {
+			s.sseHeartbeat = heartbeat
+		}
+		if buf > 0 {
+			s.sseBuf = buf
+		}
+	}
+}
+
 // New returns a server for the given system. The rng drives all stochastic
 // backend steps and is owned by the server afterwards.
 func New(sys *core.System, rng *rand.Rand, opts ...Option) (*Server, error) {
@@ -1014,6 +1029,24 @@ func (s *Server) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.checkpointLocked()
+}
+
+// CheckpointState writes an event-log checkpoint and, when w is non-nil,
+// the serialised backend model — both under one owner-lock acquisition,
+// so the two artefacts describe the same cut of campaign history. The
+// campaign manager persists each campaign this way at shutdown.
+func (s *Server) CheckpointState(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evlog != nil {
+		if err := s.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	if w != nil {
+		return s.sys.WriteSnapshot(w)
+	}
+	return nil
 }
 
 // checkpointLocked captures one consistent cut of (event seq, campaign

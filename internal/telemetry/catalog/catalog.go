@@ -27,6 +27,8 @@ func Registry() *telemetry.Registry {
 	telemetry.NewEventMetrics(reg)
 	telemetry.NewDispatchMetrics(reg)
 	telemetry.NewLocateMetrics(reg)
+	telemetry.NewCampaignMetrics(reg)
+	telemetry.RegisterCampaignRollups(reg, nil, nil)
 	telemetry.NewTracer(reg, 1)
 	telemetry.NewWatchdog(reg, telemetry.WatchdogConfig{})
 	slo.New(reg)

@@ -159,7 +159,7 @@ type family struct {
 	bounds     []float64 // histograms only
 
 	series sync.Map // joined label values -> instrument (hot-path lookups)
-	fn     func() float64
+	fns    sync.Map // joined const-label values -> func() float64 (GaugeFunc)
 }
 
 const labelSep = "\x00"
@@ -189,10 +189,21 @@ func (f *family) lookup(key string) any {
 // Registry holds metric families and renders them in the Prometheus text
 // exposition format. The zero registry is not usable; a nil *Registry is a
 // valid no-op source of nil instruments.
+//
+// A Registry obtained from WithConstLabels is a *view*: it owns no
+// families of its own but registers into its root with the constant label
+// names prepended, and every instrument it hands out is pinned to the
+// constant values. Views let N copies of the same instrument bundle (one
+// per campaign, say) share one family, partitioned by the constant label.
 type Registry struct {
 	mu      sync.Mutex
 	ordered []*family
 	byName  map[string]*family
+
+	// View state (nil/empty on a root registry).
+	root       *Registry
+	constNames []string
+	constVals  []string
 }
 
 // NewRegistry returns an empty registry.
@@ -200,11 +211,60 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*family)}
 }
 
+// WithConstLabels returns a view of the registry that injects the given
+// constant label pairs (name, value, name, value, ...) into every family
+// registered through it: the family's label set gains the constant names
+// (leading), and every series the view mints carries the constant values.
+// Rendering and introspection on a view cover the whole root registry.
+// Nil-safe; calling it on a view composes the pairs.
+func (r *Registry) WithConstLabels(pairs ...string) *Registry {
+	if r == nil {
+		return nil
+	}
+	if len(pairs)%2 != 0 {
+		panic("telemetry: WithConstLabels requires name/value pairs")
+	}
+	root := r
+	if r.root != nil {
+		root = r.root
+	}
+	names := append([]string(nil), r.constNames...)
+	vals := append([]string(nil), r.constVals...)
+	for i := 0; i < len(pairs); i += 2 {
+		names = append(names, pairs[i])
+		vals = append(vals, pairs[i+1])
+	}
+	return &Registry{root: root, constNames: names, constVals: vals}
+}
+
+// constKey is the joined constant label values ("" on a root registry).
+func (r *Registry) constKey() string {
+	return strings.Join(r.constVals, labelSep)
+}
+
+// seriesKey joins a view's constant label values with per-call label
+// values into one family series key.
+func seriesKey(prefix string, values []string) string {
+	joined := strings.Join(values, labelSep)
+	switch {
+	case prefix == "":
+		return joined
+	case joined == "":
+		return prefix
+	default:
+		return prefix + labelSep + joined
+	}
+}
+
 // register returns the family for name, creating it with the given shape.
 // Re-registering an existing name returns the existing family when the
 // shape matches and panics otherwise — two call sites disagreeing on a
 // metric's type is a programming error worth failing loudly on.
 func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	if r.root != nil {
+		merged := append(append([]string(nil), r.constNames...), labels...)
+		return r.root.register(name, help, kind, merged, bounds)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.byName[name]; ok {
@@ -238,7 +298,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.register(name, help, kindCounter, nil, nil).lookup("").(*Counter)
+	return r.register(name, help, kindCounter, nil, nil).lookup(r.constKey()).(*Counter)
 }
 
 // Gauge registers (or finds) an unlabelled gauge.
@@ -246,17 +306,22 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.register(name, help, kindGauge, nil, nil).lookup("").(*Gauge)
+	return r.register(name, help, kindGauge, nil, nil).lookup(r.constKey()).(*Gauge)
 }
 
 // GaugeFunc registers a gauge whose value is computed by fn at render
-// time (render is a cold path, so the callback may do real work).
+// time (render is a cold path, so the callback may do real work). On a
+// const-label view each view contributes its own labelled series, so N
+// campaigns can each bind their own callback to one family. A nil fn
+// registers the family (for catalogue purposes) without a series.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	if r == nil {
 		return
 	}
 	f := r.register(name, help, kindGauge, nil, nil)
-	f.fn = fn
+	if fn != nil {
+		f.fns.Store(r.constKey(), fn)
+	}
 }
 
 // Histogram registers (or finds) an unlabelled histogram with the given
@@ -265,18 +330,21 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.register(name, help, kindHistogram, nil, bounds).lookup("").(*Histogram)
+	return r.register(name, help, kindHistogram, nil, bounds).lookup(r.constKey()).(*Histogram)
 }
 
 // CounterVec is a counter family partitioned by label values.
-type CounterVec struct{ f *family }
+type CounterVec struct {
+	f      *family
+	prefix string // const-label values when minted via a view
+}
 
 // CounterVec registers a labelled counter family.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	if r == nil {
 		return nil
 	}
-	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil), prefix: r.constKey()}
 }
 
 // With returns the series for the given label values (order matches the
@@ -285,18 +353,21 @@ func (v *CounterVec) With(values ...string) *Counter {
 	if v == nil {
 		return nil
 	}
-	return v.f.lookup(strings.Join(values, labelSep)).(*Counter)
+	return v.f.lookup(seriesKey(v.prefix, values)).(*Counter)
 }
 
 // GaugeVec is a gauge family partitioned by label values.
-type GaugeVec struct{ f *family }
+type GaugeVec struct {
+	f      *family
+	prefix string
+}
 
 // GaugeVec registers a labelled gauge family.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	if r == nil {
 		return nil
 	}
-	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil), prefix: r.constKey()}
 }
 
 // With returns the series for the given label values.
@@ -304,18 +375,21 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	if v == nil {
 		return nil
 	}
-	return v.f.lookup(strings.Join(values, labelSep)).(*Gauge)
+	return v.f.lookup(seriesKey(v.prefix, values)).(*Gauge)
 }
 
 // HistogramVec is a histogram family partitioned by label values.
-type HistogramVec struct{ f *family }
+type HistogramVec struct {
+	f      *family
+	prefix string
+}
 
 // HistogramVec registers a labelled histogram family.
 func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
 	if r == nil {
 		return nil
 	}
-	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds), prefix: r.constKey()}
 }
 
 // With returns the series for the given label values.
@@ -323,7 +397,7 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil {
 		return nil
 	}
-	return v.f.lookup(strings.Join(values, labelSep)).(*Histogram)
+	return v.f.lookup(seriesKey(v.prefix, values)).(*Histogram)
 }
 
 // Render writes every registered family in the Prometheus text exposition
@@ -333,6 +407,10 @@ func (r *Registry) Render(w io.Writer) {
 	if r == nil {
 		return
 	}
+	if r.root != nil {
+		r.root.Render(w)
+		return
+	}
 	r.mu.Lock()
 	families := append([]*family(nil), r.ordered...)
 	r.mu.Unlock()
@@ -340,16 +418,20 @@ func (r *Registry) Render(w io.Writer) {
 	for _, f := range families {
 		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
-		if f.fn != nil {
-			fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
-			continue
-		}
 		type row struct {
 			key  string
 			inst any
 		}
 		var rows []row
+		f.fns.Range(func(k, v any) bool {
+			rows = append(rows, row{k.(string), v})
+			return true
+		})
 		f.series.Range(func(k, v any) bool {
+			// A callback series shadows a stored series on the same key.
+			if _, dup := f.fns.Load(k); dup {
+				return true
+			}
 			rows = append(rows, row{k.(string), v})
 			return true
 		})
@@ -357,6 +439,8 @@ func (r *Registry) Render(w io.Writer) {
 		for _, rw := range rows {
 			labels := labelPairs(f.labelNames, rw.key)
 			switch inst := rw.inst.(type) {
+			case func() float64:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(labels), formatValue(inst()))
 			case *Counter:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(labels), inst.Value())
 			case *Gauge:
@@ -392,6 +476,9 @@ type FamilyInfo struct {
 func (r *Registry) Families() []FamilyInfo {
 	if r == nil {
 		return nil
+	}
+	if r.root != nil {
+		return r.root.Families()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,24 @@
+package venue
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ByName builds one of the stock venues deterministically from its wire
+// name and a seed (the seed only matters for generated venues). The server
+// CLI, agent CLI and the campaign manager all resolve venue names through
+// this one switch so a campaign created over HTTP reconstructs exactly the
+// world an agent simulates locally.
+func ByName(name string, seed int64) (*Venue, error) {
+	switch name {
+	case "library":
+		return Library()
+	case "small", "small-room":
+		return SmallRoom()
+	case "office":
+		return GenerateOffice(rand.New(rand.NewSource(seed)), 18, 12, 8)
+	default:
+		return nil, fmt.Errorf("unknown venue %q (library, small, office)", name)
+	}
+}
